@@ -1,0 +1,23 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results")
+
+
+def results_path(name: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.join(RESULTS_DIR, name)
+
+
+def emit(text: str) -> None:
+    """Print a benchmark table (visible with -s, captured otherwise)."""
+    print("\n" + text)
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""TPC-H on Hive-on-DataMPI: generate a warehouse, explain and run queries.
+
+Reproduces a slice of the paper's §V-C evaluation interactively: pick a
+scale factor and a file format, run a few of the 22 business queries on
+both engines, and see the per-job breakdowns the paper's Fig 11 stacks.
+
+Run with:  python examples/tpch_warehouse.py [sf] [format]
+"""
+
+import sys
+
+from repro import hive_session
+from repro.bench import fresh_tpch, improvement_percent, run_script
+from repro.plan.physical import explain_plan
+from repro.workloads.tpch import tpch_query
+
+QUERIES_TO_SHOW = (1, 3, 9, 12)
+
+
+def main():
+    sf = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+    format_name = sys.argv[2] if len(sys.argv) > 2 else "orc"
+
+    print(f"generating TPC-H SF-{sf:g} in {format_name} format (sampled rows, "
+          "paper-scale byte accounting)...")
+    hdfs, metastore = fresh_tpch(sf, lineitem_sample=6000, format_name=format_name)
+    for name in ("lineitem", "orders", "customer"):
+        table = metastore.get_table(name)
+        print(f"  {name:<9} {table.logical_bytes(hdfs) / 2**30:6.2f} GB "
+              f"({table.row_count(hdfs)} sampled rows)")
+
+    # show what the compiler produces for Q12
+    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    result = session.query(tpch_query(12, sf))
+    print("\nTPC-H Q12 physical plan (shared verbatim by both engines):")
+    print(explain_plan(result.plan))
+
+    print("\nquery times (simulated seconds):")
+    print(f"{'query':<6} {'hadoop':>9} {'datampi':>9} {'improvement':>12}")
+    for query in QUERIES_TO_SHOW:
+        script = tpch_query(query, sf)
+        hadoop = run_script("hadoop", hdfs, metastore, script).breakdown.total
+        datampi = run_script("datampi", hdfs, metastore, script).breakdown.total
+        print(f"Q{query:<5} {hadoop:>9.1f} {datampi:>9.1f} "
+              f"{improvement_percent(hadoop, datampi):>11.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`--no-use-pep517` environments / no network).
+"""
+
+from setuptools import setup
+
+setup()

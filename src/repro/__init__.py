@@ -1,0 +1,76 @@
+"""repro — Hive on DataMPI, reproduced.
+
+A from-scratch Python reproduction of *"Accelerating Apache Hive with
+MPI for Data Warehouse Systems"* (ICDCS 2015): a HiveQL compiler, a
+simulated HDFS with Text/Sequence/ORC formats, a Hadoop-MapReduce
+execution engine and the paper's DataMPI engine, all running real
+relational workloads (Intel HiBench, TPC-H) on a discrete-event cluster
+simulator calibrated to the paper's 8-node GigE testbed.
+
+Quick start::
+
+    from repro import hive_session
+    session = hive_session(engine="datampi")
+    session.execute("CREATE TABLE t (k int, v string)")
+    ...
+
+See README.md for the full tour and DESIGN.md for the architecture.
+"""
+
+from repro.common.config import Configuration
+from repro.core.driver import Driver, QueryResult
+from repro.engines.datampi import DataMPIEngine
+from repro.engines.hadoop import HadoopEngine
+from repro.engines.local import LocalEngine
+from repro.simulate.cluster import ClusterSpec
+from repro.storage.hdfs import HDFS
+from repro.storage.metastore import Metastore
+
+__version__ = "1.0.0"
+
+
+def hive_session(
+    engine: str = "datampi",
+    num_workers: int = 7,
+    conf: Configuration = None,
+    spec: ClusterSpec = None,
+    hdfs: HDFS = None,
+    metastore: Metastore = None,
+) -> Driver:
+    """Create a ready-to-use Hive session.
+
+    *engine* is ``"datampi"``, ``"hadoop"`` (a.k.a. ``"mr"``) or
+    ``"local"`` (functional reference executor, no simulation).  Pass an
+    existing *hdfs*/*metastore* pair to share a warehouse between
+    sessions (e.g. to run the same tables on both engines).
+    """
+    if hdfs is None:
+        hdfs = HDFS(num_workers=num_workers)
+    if metastore is None:
+        metastore = Metastore(hdfs)
+    spec = spec or ClusterSpec(num_nodes=num_workers + 1)
+    name = engine.lower()
+    if name in ("datampi", "dm"):
+        engine_obj = DataMPIEngine(hdfs, spec=spec)
+    elif name in ("hadoop", "mr"):
+        engine_obj = HadoopEngine(hdfs, spec=spec)
+    elif name == "local":
+        engine_obj = LocalEngine(hdfs)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    return Driver(hdfs, metastore, engine_obj, conf=conf)
+
+
+__all__ = [
+    "hive_session",
+    "Driver",
+    "QueryResult",
+    "Configuration",
+    "HDFS",
+    "Metastore",
+    "ClusterSpec",
+    "HadoopEngine",
+    "DataMPIEngine",
+    "LocalEngine",
+    "__version__",
+]

@@ -1,0 +1,144 @@
+"""Command-line interface: a miniature `hive` shell over the simulation.
+
+Examples
+--------
+Run a query against a generated TPC-H warehouse on both engines::
+
+    python -m repro --workload tpch --sf 10 \
+        -e "SELECT count(*) FROM lineitem" --engine hadoop --engine datampi
+
+Execute a TPC-H query by number::
+
+    python -m repro --workload tpch --sf 20 --format orc --tpch-query 12
+
+Interactive shell (one statement per line, `quit` to exit)::
+
+    python -m repro --workload hibench --gb 5 --interactive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import HDFS, Metastore, hive_session
+from repro.common.errors import ReproError
+from repro.common.units import format_duration
+from repro.reporting.breakdown import breakdown_query
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hive on DataMPI (ICDCS'15) — simulated Hive shell",
+    )
+    parser.add_argument(
+        "--engine", action="append", choices=["hadoop", "datampi", "local"],
+        help="engine(s) to run on (repeatable; default: datampi)",
+    )
+    parser.add_argument(
+        "--workload", choices=["none", "tpch", "hibench"], default="none",
+        help="pre-load a generated warehouse",
+    )
+    parser.add_argument("--sf", type=float, default=10.0, help="TPC-H scale factor (GB)")
+    parser.add_argument("--gb", type=float, default=5.0, help="HiBench nominal size (GB)")
+    parser.add_argument(
+        "--format", default="text", choices=["text", "sequence", "orc"],
+        help="base-table file format",
+    )
+    parser.add_argument("--sample", type=int, default=6000,
+                        help="sampled rows for the biggest table")
+    parser.add_argument("--tpch-query", type=int, choices=range(1, 23),
+                        metavar="N", help="run TPC-H query N")
+    parser.add_argument("-e", "--execute", action="append", default=[],
+                        help="HiveQL to execute (repeatable)")
+    parser.add_argument("-f", "--file", help="HiveQL script file")
+    parser.add_argument("--set", action="append", default=[], metavar="K=V",
+                        help="session configuration, e.g. hive.datampi.parallelism=enhanced")
+    parser.add_argument("--interactive", action="store_true",
+                        help="read statements from stdin")
+    parser.add_argument("--quiet", action="store_true", help="rows only, no timing")
+    return parser
+
+
+def load_workload(args, hdfs: HDFS, metastore: Metastore) -> None:
+    if args.workload == "tpch":
+        from repro.workloads.tpch import load_tpch
+
+        info = load_tpch(hdfs, metastore, sf=args.sf, lineitem_sample=args.sample,
+                         format_name=args.format)
+        print(f"loaded TPC-H SF-{args.sf:g} ({args.format}): "
+              f"{info.total_logical_bytes / 2**30:.1f} GB logical")
+    elif args.workload == "hibench":
+        from repro.workloads.hibench import load_hibench
+
+        load_hibench(hdfs, metastore, nominal_gb=args.gb,
+                     sample_uservisits=args.sample, format_name=args.format)
+        print(f"loaded HiBench {args.gb:g} GB ({args.format})")
+
+
+def run_statement(sessions, sql: str, quiet: bool) -> None:
+    for engine_name, session in sessions:
+        try:
+            results = session.execute(sql)
+        except ReproError as error:
+            print(f"[{engine_name}] ERROR: {error}", file=sys.stderr)
+            continue
+        breakdown = breakdown_query("cli", results)
+        for result in results:
+            if result.statement in ("select", "explain") and result.rows is not None:
+                for row in result.rows:
+                    print("\t".join("NULL" if v is None else str(v) for v in row))
+        if not quiet:
+            print(
+                f"[{engine_name}] {breakdown.num_jobs} job(s), "
+                f"{format_duration(breakdown.total)} simulated "
+                f"(startup {breakdown.startup:.1f}s, "
+                f"map-shuffle {breakdown.map_shuffle:.1f}s)",
+                file=sys.stderr,
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    engines = args.engine or ["datampi"]
+
+    hdfs = HDFS(num_workers=7)
+    metastore = Metastore(hdfs)
+    load_workload(args, hdfs, metastore)
+
+    sessions = []
+    for engine_name in engines:
+        session = hive_session(engine=engine_name, hdfs=hdfs, metastore=metastore)
+        for assignment in args.set:
+            key, _, value = assignment.partition("=")
+            session.conf.set(key.strip(), value.strip())
+        sessions.append((engine_name, session))
+
+    statements: List[str] = list(args.execute)
+    if args.tpch_query:
+        from repro.workloads.tpch import tpch_query
+
+        statements.append(tpch_query(args.tpch_query, args.sf))
+    if args.file:
+        with open(args.file) as handle:
+            statements.append(handle.read())
+
+    for sql in statements:
+        run_statement(sessions, sql, args.quiet)
+
+    if args.interactive or not statements:
+        print("repro> enter HiveQL (quit to exit)", file=sys.stderr)
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            if line.lower() in ("quit", "exit", "q"):
+                break
+            run_statement(sessions, line, args.quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

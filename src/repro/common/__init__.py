@@ -1,0 +1,58 @@
+"""Shared building blocks: units, errors, configuration, rows and KV serde.
+
+Everything in this package is engine-agnostic.  The storage layer, the SQL
+compiler and both execution engines build on these primitives.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    ParseError,
+    SemanticError,
+    PlanError,
+    ExecutionError,
+    StorageError,
+)
+from repro.common.units import (
+    KB,
+    MB,
+    GB,
+    parse_size,
+    format_size,
+    format_duration,
+)
+from repro.common.config import Configuration
+from repro.common.rows import (
+    DataType,
+    Schema,
+    Column,
+    coerce_value,
+    compare_values,
+)
+from repro.common.kv import KeyValue, serialize_kv, deserialize_kv, kv_size
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "ParseError",
+    "SemanticError",
+    "PlanError",
+    "ExecutionError",
+    "StorageError",
+    "KB",
+    "MB",
+    "GB",
+    "parse_size",
+    "format_size",
+    "format_duration",
+    "Configuration",
+    "DataType",
+    "Schema",
+    "Column",
+    "coerce_value",
+    "compare_values",
+    "KeyValue",
+    "serialize_kv",
+    "deserialize_kv",
+    "kv_size",
+]

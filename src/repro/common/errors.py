@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+Each layer raises its own subclass so callers can distinguish a query-text
+problem (:class:`ParseError`), a schema problem (:class:`SemanticError`),
+a planning problem (:class:`PlanError`) and a runtime failure
+(:class:`ExecutionError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(ReproError):
+    """Invalid or missing configuration value."""
+
+
+class ParseError(ReproError):
+    """The HiveQL text could not be tokenized or parsed.
+
+    Carries the offending line/column when known.
+    """
+
+    def __init__(self, message: str, line: int = -1, column: int = -1):
+        location = f" at line {line}:{column}" if line >= 0 else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(ReproError):
+    """The query parsed but references unknown tables/columns or mis-typed
+    expressions."""
+
+
+class PlanError(ReproError):
+    """Logical or physical plan construction failed."""
+
+
+class ExecutionError(ReproError):
+    """A task failed at runtime inside one of the execution engines."""
+
+
+class StorageError(ReproError):
+    """HDFS-simulation or file-format failure (missing path, corrupt
+    stripe, bad split)."""

@@ -1,0 +1,138 @@
+"""Key-value pair model and binary serde for the shuffle path.
+
+DataMPI moves *key-value pairs*, not byte buffers, between the O and A
+communicators; Hadoop's intermediate data is Writable-encoded pairs.  Both
+engines in this reproduction share one wire format so their shuffle byte
+volumes are directly comparable (Fig 2(c)/(d) of the paper plots exactly
+these serialized sizes).
+
+Keys and values are tuples of primitive Python values.  The encoding is a
+compact tagged format:
+
+======  ==========================================
+tag     payload
+======  ==========================================
+``N``   null, no payload
+``I``   8-byte big-endian signed integer
+``D``   8-byte IEEE-754 double
+``S``   2-byte length + UTF-8 bytes
+``B``   1-byte boolean
+======  ==========================================
+
+Each tuple is prefixed with a 1-byte arity.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import ExecutionError
+
+Fields = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class KeyValue:
+    """One shuffle record: a composite key and a composite value."""
+
+    key: Fields
+    value: Fields
+
+    def serialized_size(self) -> int:
+        return kv_size(self)
+
+
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_U16 = struct.Struct(">H")
+
+
+def _encode_fields(fields: Fields, out: bytearray) -> None:
+    if len(fields) > 255:
+        raise ExecutionError("composite key/value arity > 255")
+    out.append(len(fields))
+    for field in fields:
+        if field is None:
+            out += b"N"
+        elif isinstance(field, bool):
+            out += b"B" + (b"\x01" if field else b"\x00")
+        elif isinstance(field, int):
+            out += b"I" + _I64.pack(field)
+        elif isinstance(field, float):
+            out += b"D" + _F64.pack(field)
+        elif isinstance(field, str):
+            data = field.encode("utf-8")
+            if len(data) > 0xFFFF:
+                raise ExecutionError("string field longer than 64 KiB")
+            out += b"S" + _U16.pack(len(data)) + data
+        else:
+            raise ExecutionError(f"unsupported field type: {type(field)!r}")
+
+
+def _decode_fields(buffer: bytes, offset: int) -> Tuple[Fields, int]:
+    arity = buffer[offset]
+    offset += 1
+    fields = []
+    for _ in range(arity):
+        tag = buffer[offset : offset + 1]
+        offset += 1
+        if tag == b"N":
+            fields.append(None)
+        elif tag == b"B":
+            fields.append(buffer[offset] == 1)
+            offset += 1
+        elif tag == b"I":
+            fields.append(_I64.unpack_from(buffer, offset)[0])
+            offset += 8
+        elif tag == b"D":
+            fields.append(_F64.unpack_from(buffer, offset)[0])
+            offset += 8
+        elif tag == b"S":
+            (length,) = _U16.unpack_from(buffer, offset)
+            offset += 2
+            fields.append(buffer[offset : offset + length].decode("utf-8"))
+            offset += length
+        else:
+            raise ExecutionError(f"corrupt KV stream (tag {tag!r})")
+    return tuple(fields), offset
+
+
+def serialize_kv(pair: KeyValue) -> bytes:
+    """Encode one pair into the tagged binary format."""
+    out = bytearray()
+    _encode_fields(pair.key, out)
+    _encode_fields(pair.value, out)
+    return bytes(out)
+
+
+def deserialize_kv(buffer: bytes, offset: int = 0) -> Tuple[KeyValue, int]:
+    """Decode one pair starting at *offset*; returns (pair, next_offset)."""
+    key, offset = _decode_fields(buffer, offset)
+    value, offset = _decode_fields(buffer, offset)
+    return KeyValue(key, value), offset
+
+
+def kv_size(pair: KeyValue) -> int:
+    """Serialized size of a pair without materializing the buffer.
+
+    Used on the hot path of the cost model: collectors account every pair's
+    wire size, so this mirrors :func:`serialize_kv` byte-for-byte.
+    """
+    total = 2  # two arity bytes
+    for fields in (pair.key, pair.value):
+        for field in fields:
+            if field is None:
+                total += 1
+            elif isinstance(field, bool):
+                total += 2
+            elif isinstance(field, int):
+                total += 9
+            elif isinstance(field, float):
+                total += 9
+            elif isinstance(field, str):
+                total += 3 + len(field.encode("utf-8"))
+            else:
+                raise ExecutionError(f"unsupported field type: {type(field)!r}")
+    return total

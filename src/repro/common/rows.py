@@ -1,0 +1,206 @@
+"""Row model: Hive-style primitive types, columns and schemas.
+
+Rows travel through the operator pipeline as plain Python tuples; a
+:class:`Schema` describes the shape.  Types matter in three places:
+
+* text/ORC readers coerce strings into typed values (:func:`coerce_value`),
+* the expression evaluator uses the type for arithmetic/comparison rules,
+* serde (:mod:`repro.common.kv`) picks a wire encoding per type so the
+  simulated byte volumes match what Hive's Writables would produce.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.errors import SemanticError
+
+
+class DataType(enum.Enum):
+    """Primitive Hive column types supported by the reproduction."""
+
+    INT = "int"
+    BIGINT = "bigint"
+    DOUBLE = "double"
+    STRING = "string"
+    DATE = "date"  # stored as ISO-8601 string; comparisons are lexical
+    BOOLEAN = "boolean"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        normalized = name.strip().lower()
+        aliases = {
+            "integer": "int",
+            "long": "bigint",
+            "float": "double",
+            "decimal": "double",
+            "varchar": "string",
+            "char": "string",
+            "bool": "boolean",
+            "timestamp": "date",
+        }
+        normalized = aliases.get(normalized, normalized)
+        for member in cls:
+            if member.value == normalized:
+                return member
+        raise SemanticError(f"unknown column type: {name!r}")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.BIGINT, DataType.DOUBLE)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    dtype: DataType
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.dtype.value}"
+
+
+class Schema:
+    """An ordered list of columns with O(1) name lookup.
+
+    >>> schema = Schema.parse("id int, name string")
+    >>> schema.index_of("name")
+    1
+    """
+
+    def __init__(self, columns: Sequence[Column]):
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._index = {}
+        for position, column in enumerate(self.columns):
+            key = column.name.lower()
+            if key in self._index:
+                raise SemanticError(f"duplicate column name: {column.name}")
+            self._index[key] = position
+
+    @classmethod
+    def parse(cls, text: str) -> "Schema":
+        """Build a schema from ``"name type, name type"`` shorthand."""
+        columns: List[Column] = []
+        for piece in text.split(","):
+            piece = piece.strip()
+            if not piece:
+                continue
+            parts = piece.split()
+            if len(parts) != 2:
+                raise SemanticError(f"bad column spec: {piece!r}")
+            columns.append(Column(parts[0], DataType.from_name(parts[1])))
+        return cls(columns)
+
+    @property
+    def names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def types(self) -> List[DataType]:
+        return [column.dtype for column in self.columns]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SemanticError(
+                f"column {name!r} not found in schema ({', '.join(self.names)})"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        return Schema([self.column(name) for name in names])
+
+    def concat(self, other: "Schema", prefix: str = "") -> "Schema":
+        """Schema for a join output; *prefix* disambiguates clashes."""
+        merged = list(self.columns)
+        taken = {column.name.lower() for column in merged}
+        for column in other.columns:
+            name = column.name
+            if name.lower() in taken:
+                name = f"{prefix}{name}" if prefix else f"{name}_r"
+            merged.append(Column(name, column.dtype))
+            taken.add(name.lower())
+        return Schema(merged)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(column) for column in self.columns)
+        return f"Schema({inner})"
+
+
+_NULL_TOKENS = ("", r"\N", "NULL", "null")
+
+
+def coerce_value(text: Optional[str], dtype: DataType):
+    """Coerce a delimited-text field into a typed Python value.
+
+    Empty strings and ``\\N`` become ``None`` (Hive's text-serde behaviour)
+    except for STRING columns, where the empty string survives.
+    """
+    if text is None:
+        return None
+    if dtype is DataType.STRING:
+        return None if text == r"\N" else text
+    if dtype is DataType.DATE:
+        return None if text in _NULL_TOKENS else text
+    if text in _NULL_TOKENS:
+        return None
+    try:
+        if dtype in (DataType.INT, DataType.BIGINT):
+            return int(text)
+        if dtype is DataType.DOUBLE:
+            return float(text)
+        if dtype is DataType.BOOLEAN:
+            return text.strip().lower() in ("true", "1")
+    except ValueError:
+        return None  # Hive's lazy serde yields NULL on malformed fields
+    raise SemanticError(f"cannot coerce to {dtype}")
+
+
+def compare_values(left, right) -> int:
+    """Three-way comparison with Hive NULL semantics for ORDER BY.
+
+    ``None`` sorts first (Hive's NULLS FIRST for ascending order).  Mixed
+    numeric types compare numerically.
+    """
+    if left is None and right is None:
+        return 0
+    if left is None:
+        return -1
+    if right is None:
+        return 1
+    if isinstance(left, bool) or isinstance(right, bool):
+        left, right = bool(left), bool(right)
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def row_text_size(row: Sequence[object], delimiter: str = "\x01") -> int:
+    """Byte size of a row in Hive's delimited-text encoding."""
+    total = len(delimiter) * max(0, len(row) - 1) + 1  # newline
+    for value in row:
+        if value is None:
+            total += 2  # \N
+        else:
+            total += len(str(value))
+    return total

@@ -1,0 +1,80 @@
+"""Byte-size and duration helpers.
+
+The simulator thinks in plain floats (bytes, seconds); these helpers keep
+call sites readable (``64 * MB``) and make report output human friendly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ConfigError
+
+KB: int = 1024
+MB: int = 1024 * KB
+GB: int = 1024 * MB
+TB: int = 1024 * GB
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([KMGT]?B?)\s*$", re.IGNORECASE)
+
+_SUFFIX_FACTOR = {
+    "": 1,
+    "B": 1,
+    "KB": KB,
+    "K": KB,
+    "MB": MB,
+    "M": MB,
+    "GB": GB,
+    "G": GB,
+    "TB": TB,
+    "T": TB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string like ``"64MB"`` or ``"1.5 GB"`` into bytes.
+
+    >>> parse_size("64MB")
+    67108864
+    >>> parse_size("2k")
+    2048
+    """
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ConfigError(f"unparseable size: {text!r}")
+    value = float(match.group(1))
+    suffix = match.group(2).upper()
+    if suffix not in _SUFFIX_FACTOR:
+        raise ConfigError(f"unknown size suffix in {text!r}")
+    return int(value * _SUFFIX_FACTOR[suffix])
+
+
+def format_size(num_bytes: float) -> str:
+    """Render a byte count with the largest suffix that keeps 3 significant
+    digits, mirroring ``ls -h`` style output.
+
+    >>> format_size(935 * MB)
+    '935.0 MB'
+    """
+    magnitude = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(magnitude) < 1024.0 or unit == "TB":
+            return f"{magnitude:.1f} {unit}"
+        magnitude /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration as ``mm:ss.s`` (or ``h:mm:ss`` above an hour).
+
+    >>> format_duration(61.5)
+    '01:01.5'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds >= 3600:
+        hours = int(seconds // 3600)
+        rem = seconds - hours * 3600
+        return f"{hours}:{int(rem // 60):02d}:{int(rem % 60):02d}"
+    minutes = int(seconds // 60)
+    return f"{minutes:02d}:{seconds - minutes * 60:04.1f}"

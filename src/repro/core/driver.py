@@ -1,0 +1,302 @@
+"""Hive Driver: statement execution on top of a pluggable engine.
+
+Responsibilities (Hive's Driver + DDL task equivalents):
+
+* parse multi-statement scripts;
+* DDL — ``CREATE TABLE``, ``DROP TABLE``, ``SET``;
+* DML/queries — analyze, physically compile, run the job DAG on the
+  session's engine, register CTAS outputs, clean temp directories;
+* bookkeeping — per-statement :class:`QueryResult` with the engine's job
+  timings plus the (modeled) query-compile time that the paper's Fig 10
+  breakdown reports as the "compile" section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.config import Configuration, HIVE_FILE_FORMAT
+from repro.common.errors import SemanticError
+from repro.common.rows import Schema, Column, DataType
+from repro.engines.base import Engine, PlanResult
+from repro.plan.analyzer import Analyzer
+from repro.plan.optimizer import prune_columns
+from repro.plan.physical import PhysicalCompiler, PhysicalPlan
+from repro.sql import ast, parse_script
+from repro.storage.hdfs import HDFS
+from repro.storage.metastore import Metastore
+
+# modeled HiveQL compile latency (identical for both engines: the
+# compiler is shared; §IV-A principle 1)
+COMPILE_BASE_SECONDS = 0.6
+COMPILE_PER_JOB_SECONDS = 0.15
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one statement."""
+
+    statement: str  # 'select' | 'create' | 'ctas' | 'insert' | 'drop' | 'set'
+    rows: List[tuple] = field(default_factory=list)
+    schema: Optional[Schema] = None
+    plan: Optional[PhysicalPlan] = None
+    execution: Optional[PlanResult] = None
+    compile_seconds: float = 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        run = self.execution.total_seconds if self.execution else 0.0
+        return self.compile_seconds + run
+
+
+def _append_constant_items(query, values):
+    """Wrap/extend a SELECT so it also emits the given constant columns
+    (used to widen INSERT ... PARTITION queries to full-width rows)."""
+    import dataclasses
+
+    extra = [ast.SelectItem(ast.Literal(value)) for value in values]
+    if isinstance(query, ast.Select):
+        return dataclasses.replace(query, items=list(query.items) + extra)
+    if isinstance(query, ast.UnionAll):
+        return ast.UnionAll(
+            [_append_constant_items(branch, values) for branch in query.branches]
+        )
+    raise SemanticError("INSERT source must be a SELECT")
+
+
+def make_warehouse(
+    num_workers: int = 7, block_size: Optional[float] = None
+) -> tuple:
+    """Convenience: a fresh (hdfs, metastore) pair for the default testbed."""
+    hdfs = HDFS(num_workers=num_workers) if block_size is None else HDFS(
+        num_workers=num_workers, block_size=block_size
+    )
+    return hdfs, Metastore(hdfs)
+
+
+class Driver:
+    """One Hive session bound to an execution engine."""
+
+    def __init__(
+        self,
+        hdfs: HDFS,
+        metastore: Metastore,
+        engine: Engine,
+        conf: Optional[Configuration] = None,
+    ):
+        self.hdfs = hdfs
+        self.metastore = metastore
+        self.engine = engine
+        self.conf = conf or Configuration()
+        self.analyzer = Analyzer(metastore)
+        self._query_counter = 0
+
+    # -- public API ---------------------------------------------------------
+    def execute(self, sql: str, with_metrics: bool = False) -> List[QueryResult]:
+        """Run a (possibly multi-statement) HiveQL script."""
+        results = []
+        for statement in parse_script(sql):
+            results.append(self._execute_statement(statement, with_metrics))
+        return results
+
+    def query(self, sql: str, with_metrics: bool = False) -> QueryResult:
+        """Run a script and return the last result that produced rows
+        (or the last result overall)."""
+        results = self.execute(sql, with_metrics)
+        for result in reversed(results):
+            if result.statement in ("select",):
+                return result
+        return results[-1]
+
+    # -- statement dispatch ------------------------------------------------------
+    def _execute_statement(
+        self, statement: ast.Statement, with_metrics: bool
+    ) -> QueryResult:
+        if isinstance(statement, ast.SetOption):
+            self.conf.set(statement.key, statement.value.strip())
+            return QueryResult(statement="set")
+
+        if isinstance(statement, ast.DropTable):
+            self.metastore.drop_table(statement.name, if_exists=statement.if_exists)
+            return QueryResult(statement="drop")
+
+        if isinstance(statement, ast.CreateTable):
+            if statement.if_not_exists and self.metastore.has_table(statement.name):
+                return QueryResult(statement="create")
+            schema = Schema(
+                [
+                    Column(col.name, DataType.from_name(col.type_name))
+                    for col in statement.columns
+                ]
+            )
+            partition_columns = [
+                Column(col.name, DataType.from_name(col.type_name))
+                for col in statement.partition_columns
+            ]
+            fmt = statement.format_name or self._default_format()
+            self.metastore.create_table(
+                statement.name, schema, format_name=fmt,
+                partition_columns=partition_columns,
+            )
+            return QueryResult(statement="create")
+
+        if isinstance(statement, ast.CreateTableAsSelect):
+            return self._run_ctas(statement, with_metrics)
+
+        if isinstance(statement, ast.InsertOverwrite):
+            return self._run_insert(statement, with_metrics)
+
+        if isinstance(statement, (ast.Select, ast.UnionAll)):
+            return self._run_select(statement, with_metrics)
+
+        if isinstance(statement, ast.Explain):
+            return self._run_explain(statement)
+
+        raise SemanticError(f"unsupported statement {type(statement).__name__}")
+
+    # -- helpers ------------------------------------------------------------------
+    def _default_format(self) -> str:
+        return self.conf.get(HIVE_FILE_FORMAT, "text") or "text"
+
+    def _next_query_id(self) -> str:
+        self._query_counter += 1
+        return f"{self.engine.name}-q{self._query_counter}"
+
+    def _compile(self, select: ast.Select, output_location: str,
+                 output_format: str, query_id: str) -> PhysicalPlan:
+        logical = self.analyzer.analyze(select)
+        logical = prune_columns(logical)
+        compiler = PhysicalCompiler(
+            self.metastore, self.hdfs, self.conf, query_id=query_id
+        )
+        return compiler.compile(logical, output_location, output_format)
+
+    def _run_plan(self, plan: PhysicalPlan, query_id: str,
+                  with_metrics: bool, clear_output: bool = True) -> PlanResult:
+        if clear_output:  # INSERT OVERWRITE / fresh result dir semantics
+            self.hdfs.delete(plan.output_location)
+        execution = self.engine.run_plan(plan, self.conf, with_metrics=with_metrics)
+        self.hdfs.delete(f"/tmp/hive/{query_id}")  # intermediate job outputs
+        return execution
+
+    @staticmethod
+    def _compile_seconds(plan: PhysicalPlan) -> float:
+        return COMPILE_BASE_SECONDS + COMPILE_PER_JOB_SECONDS * plan.num_jobs
+
+    def _run_ctas(self, statement: ast.CreateTableAsSelect,
+                  with_metrics: bool) -> QueryResult:
+        if self.metastore.has_table(statement.name):
+            raise SemanticError(f"table already exists: {statement.name}")
+        query_id = self._next_query_id()
+        fmt = statement.format_name or self._default_format()
+        location = f"/warehouse/{statement.name.lower()}"
+        plan = self._compile(statement.query, location, fmt, query_id)
+        execution = self._run_plan(plan, query_id, with_metrics)
+        self.metastore.create_table(
+            statement.name, plan.output_schema, format_name=fmt, location=location
+        )
+        return QueryResult(
+            statement="ctas",
+            schema=plan.output_schema,
+            plan=plan,
+            execution=execution,
+            compile_seconds=self._compile_seconds(plan),
+        )
+
+    def _run_insert(self, statement: ast.InsertOverwrite,
+                    with_metrics: bool) -> QueryResult:
+        table = self.metastore.get_table(statement.table)
+        query_id = self._next_query_id()
+
+        query = statement.query
+        location = table.location
+        target_schema = table.schema
+        partition_values = None
+        if table.is_partitioned:
+            if not statement.partition:
+                raise SemanticError(
+                    f"table {table.name} is partitioned; use "
+                    "INSERT ... PARTITION (col=value, ...)"
+                )
+            spec = {name.lower(): value for name, value in statement.partition}
+            expected = [column.name.lower() for column in table.partition_columns]
+            if sorted(spec) != sorted(expected):
+                raise SemanticError(
+                    f"PARTITION spec must name exactly {expected}, got {sorted(spec)}"
+                )
+            values = tuple(spec[name] for name in expected)
+            location = table.add_partition(values)
+            partition_values = dict(zip(expected, values))
+            # stored rows carry the partition values (full-width files);
+            # the constant columns are appended to the query output
+            query = _append_constant_items(query, list(values))
+            target_schema = table.full_schema
+        elif statement.partition:
+            raise SemanticError(f"table {table.name} is not partitioned")
+
+        plan = self._compile(query, location, table.format_name, query_id)
+        if len(plan.output_schema) != len(target_schema):
+            raise SemanticError(
+                f"INSERT column count mismatch: query produces "
+                f"{len(plan.output_schema)}, table {table.name} expects "
+                f"{len(target_schema)}"
+            )
+        # positional insert: the table's declared schema wins (Hive semantics)
+        plan.jobs[-1].output_schema = target_schema
+        plan.jobs[-1].output_partition_values = partition_values
+        plan.output_schema = target_schema
+        execution = self._run_plan(
+            plan, query_id, with_metrics, clear_output=statement.overwrite
+        )
+        return QueryResult(
+            statement="insert",
+            schema=target_schema,
+            plan=plan,
+            execution=execution,
+            compile_seconds=self._compile_seconds(plan),
+        )
+
+    def _run_explain(self, statement: ast.Explain) -> QueryResult:
+        """EXPLAIN: compile the target and render its physical plan
+        without executing anything."""
+        from repro.plan.physical import explain_plan
+
+        target = statement.target
+        query_id = self._next_query_id()
+        if isinstance(target, ast.CreateTableAsSelect):
+            fmt = target.format_name or self._default_format()
+            plan = self._compile(
+                target.query, f"/warehouse/{target.name.lower()}", fmt, query_id
+            )
+        elif isinstance(target, ast.InsertOverwrite):
+            table = self.metastore.get_table(target.table)
+            plan = self._compile(
+                target.query, table.location, table.format_name, query_id
+            )
+        elif isinstance(target, (ast.Select, ast.UnionAll)):
+            plan = self._compile(target, f"/tmp/results/{query_id}", "text", query_id)
+        else:
+            raise SemanticError("EXPLAIN supports SELECT / CTAS / INSERT")
+        lines = explain_plan(plan).splitlines()
+        return QueryResult(
+            statement="explain",
+            rows=[(line,) for line in lines],
+            schema=Schema([Column("plan", DataType.STRING)]),
+            plan=plan,
+        )
+
+    def _run_select(self, statement, with_metrics: bool) -> QueryResult:
+        query_id = self._next_query_id()
+        location = f"/tmp/results/{query_id}"
+        plan = self._compile(statement, location, "text", query_id)
+        execution = self._run_plan(plan, query_id, with_metrics)
+        self.hdfs.delete(location)
+        return QueryResult(
+            statement="select",
+            rows=execution.rows,
+            schema=plan.output_schema,
+            plan=plan,
+            execution=execution,
+            compile_seconds=self._compile_seconds(plan),
+        )

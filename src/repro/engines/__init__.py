@@ -1,0 +1,29 @@
+"""Execution engines.
+
+* :mod:`repro.engines.base` — engine interface, shared functional job
+  machinery (splits, broadcasts, reducer policy, output writing) and the
+  timing record model every benchmark consumes.
+* :mod:`repro.engines.local` — in-process reference executor (no cluster
+  simulation); the correctness oracle for both real engines.
+* :mod:`repro.engines.hadoop` — simulated Hadoop 1.x MapReduce engine.
+* :mod:`repro.engines.datampi` — the paper's contribution: the DataMPI
+  engine with bipartite O/A communicators and the optimized shuffle.
+"""
+
+from repro.engines.base import (
+    Engine,
+    JobTiming,
+    TaskTiming,
+    PlanResult,
+    decide_num_reducers,
+)
+from repro.engines.local import LocalEngine
+
+__all__ = [
+    "Engine",
+    "JobTiming",
+    "TaskTiming",
+    "PlanResult",
+    "decide_num_reducers",
+    "LocalEngine",
+]

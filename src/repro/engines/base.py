@@ -1,0 +1,396 @@
+"""Engine interface + machinery shared by all engines.
+
+The functional side of running an :class:`~repro.plan.physical.MRJob`
+(expanding splits, loading broadcast tables, partition/sort/group, output
+writing) is identical across engines; what differs is *when* things
+happen and *what they cost*.  This module holds the shared functional
+pieces and the timing record model the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import (
+    Configuration,
+    HIVE_DATAMPI_PARALLELISM,
+)
+from repro.common.errors import ExecutionError
+from repro.common.kv import KeyValue
+from repro.common.rows import Schema
+from repro.common.units import GB
+from repro.exec.mapper import ExecMapper, ExecReducer
+from repro.exec.operators import FileSinkDesc, ListCollector
+from repro.exec.reduce import group_sorted_pairs, key_comparator, sort_pairs
+from repro.plan.physical import MapInput, MRJob, PhysicalPlan
+from repro.storage.hdfs import HDFS, FileSplit
+
+Row = Tuple[object, ...]
+
+BYTES_PER_REDUCER_DEFAULT = 1 * GB  # hive.exec.reducers.bytes.per.reducer
+
+
+# ---------------------------------------------------------------------------
+# timing records (what the paper's breakdowns are made of)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaskTiming:
+    """One task's lifecycle; times are simulated seconds from query start."""
+
+    task_id: str
+    kind: str  # 'map' | 'reduce' | 'o' | 'a'
+    node: int = -1
+    scheduled: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    rows_read: int = 0
+    kv_pairs: int = 0
+    kv_bytes: float = 0.0  # logical (scaled) shuffle bytes produced/consumed
+    # instrumentation for Figs 2 and 6
+    collect_samples: List[Tuple[float, int]] = field(default_factory=list)
+    send_events: List[float] = field(default_factory=list)
+
+
+@dataclass
+class JobTiming:
+    """Per-job phase breakdown matching the paper's methodology (§V-B):
+
+    * ``startup`` — job submitted until the first map/O task is invoked;
+    * ``map_shuffle`` — first map start until shuffle data is fully
+      available on the reduce side (covers Hadoop's copy phase and
+      DataMPI's O phase);
+    * ``others`` — the rest (merge/reduce/output/synchronization).
+    """
+
+    job_id: str
+    submitted: float = 0.0
+    first_task_started: float = 0.0
+    shuffle_done: float = 0.0
+    finished: float = 0.0
+    num_maps: int = 0
+    num_reducers: int = 0
+    shuffle_logical_bytes: float = 0.0
+    tasks: List[TaskTiming] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return self.finished - self.submitted
+
+    @property
+    def startup(self) -> float:
+        return self.first_task_started - self.submitted
+
+    @property
+    def map_shuffle(self) -> float:
+        return max(0.0, self.shuffle_done - self.first_task_started)
+
+    @property
+    def others(self) -> float:
+        return max(0.0, self.total - self.startup - self.map_shuffle)
+
+
+@dataclass
+class PlanResult:
+    """Outcome of executing a physical plan on one engine."""
+
+    rows: List[Row]
+    schema: Schema
+    jobs: List[JobTiming] = field(default_factory=list)
+    compile_seconds: float = 0.0
+    total_seconds: float = 0.0
+    engine: str = "local"
+    metrics: List[object] = field(default_factory=list)  # ResourceSamples
+
+    @property
+    def job_seconds(self) -> float:
+        return sum(job.total for job in self.jobs)
+
+
+# ---------------------------------------------------------------------------
+# reducer-count policy (paper §IV-D)
+# ---------------------------------------------------------------------------
+
+def decide_num_reducers(
+    job: MRJob,
+    num_maps: int,
+    total_input_bytes: float,
+    conf: Configuration,
+    is_last_job: bool,
+    max_slots: int,
+) -> int:
+    """Hive's reducer heuristic, plus the paper's *enhanced* mode.
+
+    default  : ceil(input bytes / bytes-per-reducer), clamped to the slot
+               count — Hive's ``hive.exec.reducers.bytes.per.reducer``;
+    enhanced : #A = #O, and 1 for the query's last stage (paper §IV-D).
+    Explicit plan hints (ORDER BY's single reducer, cross joins) win.
+    """
+    if job.is_map_only:
+        return 0
+    if job.num_reducers_hint is not None:
+        return job.num_reducers_hint
+    mode = (conf.get(HIVE_DATAMPI_PARALLELISM, "default") or "default").lower()
+    if mode == "enhanced":
+        if is_last_job:
+            return 1
+        return max(1, min(num_maps, max_slots))
+    bytes_per_reducer = conf.get_float(
+        "hive.exec.reducers.bytes.per.reducer", BYTES_PER_REDUCER_DEFAULT
+    )
+    estimate = int(total_input_bytes / bytes_per_reducer) + 1
+    return max(1, min(estimate, max_slots))
+
+
+# ---------------------------------------------------------------------------
+# functional job pieces
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TaggedSplit:
+    """A file split plus the map chain that will consume it."""
+
+    split: FileSplit
+    tag: int
+    operators: List[object]
+    map_input: MapInput
+
+    @property
+    def logical_bytes(self) -> float:
+        return self.split.logical_bytes
+
+
+def _partition_pruned(split: FileSplit, conjuncts) -> bool:
+    """True if the file's Hive partition values contradict a pushed-down
+    conjunct — the whole partition directory is skipped (no task, no I/O)."""
+    if not split.partition_values or not conjuncts:
+        return False
+    for column, op, literal in conjuncts:
+        if column not in split.partition_values:
+            continue
+        value = split.partition_values[column]
+        if value is None or literal is None:
+            continue
+        try:
+            satisfied = {
+                "=": value == literal,
+                "<": value < literal,
+                "<=": value <= literal,
+                ">": value > literal,
+                ">=": value >= literal,
+            }.get(op, True)
+        except TypeError:
+            satisfied = True
+        if not satisfied:
+            return True
+    return False
+
+
+def expand_job_splits(job: MRJob, hdfs: HDFS) -> List[TaggedSplit]:
+    """All input splits of a job, each carrying its operator chain.
+
+    Splits from partitions whose values contradict the input's pushed-down
+    conjuncts are pruned here (Hive's partition pruning).
+    """
+    tagged: List[TaggedSplit] = []
+    for map_input in job.inputs:
+        conjuncts = map_input.hints.stats_conjuncts
+        for split in hdfs.dir_splits(map_input.location):
+            if _partition_pruned(split, conjuncts):
+                continue
+            tagged.append(
+                TaggedSplit(
+                    split=split,
+                    tag=map_input.tag,
+                    operators=map_input.operators,
+                    map_input=map_input,
+                )
+            )
+    return tagged
+
+
+def scan_split(tagged: TaggedSplit) -> Tuple[List[Row], float]:
+    """Read a split's rows, honoring ORC pruning hints.
+
+    Returns (rows, logical bytes actually read).
+    """
+    hints = tagged.map_input.hints
+    result = tagged.split.stored.scan(
+        tagged.split.row_start,
+        tagged.split.row_count,
+        columns=hints.columns,
+        stats_conjuncts=hints.stats_conjuncts or None,
+    )
+    return result.rows, result.bytes_read * tagged.split.scale
+
+
+def load_broadcast_tables(job: MRJob, hdfs: HDFS) -> Dict[str, List[Row]]:
+    """Load + preprocess every broadcast (map-join) table of a job."""
+    small: Dict[str, List[Row]] = {}
+    for spec in job.broadcasts:
+        rows = hdfs.dir_rows(spec.location)
+        if spec.operators:
+            mapper = ExecMapper(
+                list(spec.operators) + [FileSinkDesc()], collector=None, num_partitions=1
+            )
+            mapper.process_batch(rows)
+            rows = mapper.close().output_rows
+        small[spec.location] = rows
+    return small
+
+
+def job_input_scale(job: MRJob, hdfs: HDFS) -> float:
+    """Bytes-weighted average scale of a job's inputs (used to scale the
+    job's outputs so downstream cost accounting stays consistent)."""
+    total_actual = 0.0
+    total_logical = 0.0
+    for map_input in job.inputs:
+        for data_file in hdfs.list_dir(map_input.location):
+            total_actual += data_file.stored.total_bytes
+            total_logical += data_file.logical_bytes
+    if total_actual <= 0:
+        return 1.0
+    return total_logical / total_actual
+
+
+def run_reducer_functionally(
+    job: MRJob,
+    partition_pairs: List[KeyValue],
+    small_tables: Optional[Dict[str, List[Row]]] = None,
+) -> List[Row]:
+    """Sort, group and reduce one partition's pairs; returns output rows."""
+    from repro.exec.reduce import ReduceAggregateDesc
+
+    ordered = sort_pairs(partition_pairs, job.sort_directions)
+    reducer = ExecReducer(
+        job.reduce_logic,
+        job.reduce_operators,
+        small_tables=small_tables,
+    )
+    saw_group = False
+    for key, values in group_sorted_pairs(ordered):
+        saw_group = True
+        reducer.reduce_group(key, values)
+    if (
+        not saw_group
+        and isinstance(job.reduce_logic, ReduceAggregateDesc)
+        and job.reduce_logic.key_arity == 0
+    ):
+        # SQL: a global aggregate over zero rows still yields one row
+        # (COUNT(*) = 0, SUM = NULL)
+        reducer.reduce_group((), [])
+    return reducer.close().output_rows
+
+
+def write_task_output(
+    job: MRJob,
+    hdfs: HDFS,
+    task_index: int,
+    rows: Sequence[Row],
+    scale: float,
+    writer_node: Optional[int] = None,
+):
+    """Write one task's output part-file under the job's output dir.
+
+    The job id participates in the file name so INSERT INTO (append)
+    never collides with files from earlier jobs in the same directory.
+    """
+    path = f"{job.output_location}/{job.job_id}-part-{task_index:05d}"
+    return hdfs.write(
+        path,
+        job.output_schema,
+        rows,
+        format_name=job.output_format,
+        scale=scale,
+        writer_node=writer_node,
+        partition_values=job.output_partition_values,
+    )
+
+
+def final_sorted_rows(plan: PhysicalPlan, hdfs: HDFS) -> List[Row]:
+    """Assemble the query's final row set from the plan's output dir.
+
+    When the last job was a total ORDER BY, its single part-file is
+    already ordered; otherwise part-file order is used (Hive semantics:
+    unordered).  ``final_limit`` is applied exactly here.
+    """
+    rows: List[Row] = []
+    for data_file in hdfs.list_dir(plan.output_location):
+        rows.extend(data_file.rows)
+    last_job = plan.jobs[-1]
+    if last_job.sort_directions is not None and last_job.num_reducers_hint == 1:
+        pass  # already globally sorted by the single reducer
+    if plan.final_limit is not None:
+        rows = rows[: plan.final_limit]
+    return rows
+
+
+def hdfs_write_pipeline(cluster, node, data_file):
+    """Coroutine charging a replicated HDFS write of *data_file* from
+    *node*: the full file hits the local disk; each remote replica gets
+    its blocks over the network plus a remote disk write."""
+    total = data_file.logical_bytes
+    if total <= 0:
+        return
+    num_workers = len(cluster.workers)
+    local_index = node.node_id - 1
+    remote_bytes = {}
+    for block in data_file.blocks:
+        for location in block.locations[1:]:
+            replica = location % num_workers
+            if replica != local_index:
+                remote_bytes[replica] = remote_bytes.get(replica, 0.0) + block.logical_bytes
+    yield from node.disk_write(total)
+    for replica_index, nbytes in sorted(remote_bytes.items()):
+        replica = cluster.workers[replica_index]
+        yield from cluster.network_transfer(node, replica, nbytes)
+        yield from replica.disk_write(nbytes)
+
+
+def assign_splits_locality(splits: Sequence[TaggedSplit], num_workers: int) -> List[int]:
+    """Greedy locality-aware task placement shared by both engines: each
+    split goes to its least-loaded replica host unless that host is far
+    behind the global minimum (then go remote for balance)."""
+    load = [0] * num_workers
+    assignment: List[int] = []
+    for tagged in splits:
+        hosts = [h % num_workers for h in tagged.split.hosts] or list(range(num_workers))
+        chosen = min(hosts, key=lambda h: (load[h], h))
+        if load[chosen] > min(load) + 2:
+            chosen = min(range(num_workers), key=lambda h: (load[h], h))
+        load[chosen] += 1
+        assignment.append(chosen)
+    return assignment
+
+
+class Engine:
+    """Interface every engine implements."""
+
+    name = "abstract"
+
+    def run_plan(self, plan: PhysicalPlan, conf: Optional[Configuration] = None) -> PlanResult:
+        raise NotImplementedError
+
+
+def compare_result_rows(left: List[Row], right: List[Row], ordered: bool) -> bool:
+    """Row-set equality check used by cross-engine integration tests."""
+    if ordered:
+        return _normalize_rows(left) == _normalize_rows(right)
+    key = functools.cmp_to_key(key_comparator())
+    return sorted(_normalize_rows(left), key=key) == sorted(
+        _normalize_rows(right), key=key
+    )
+
+
+def _normalize_rows(rows: List[Row]) -> List[Row]:
+    """Round floats so accumulation-order differences don't fail equality."""
+    normalized = []
+    for row in rows:
+        normalized.append(
+            tuple(
+                round(value, 6) if isinstance(value, float) else value for value in row
+            )
+        )
+    return normalized

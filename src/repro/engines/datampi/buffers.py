@@ -1,0 +1,189 @@
+"""DataMPI buffer manager (paper §IV-C, Fig 7).
+
+Three cooperating pieces:
+
+* :class:`SendPartitionList` — per-O-task partition buffers.  Each
+  partition accumulates key-value pairs for one A task; a full partition
+  becomes a :class:`SendBuffer` and is pushed toward the shuffle engine.
+* :class:`SendQueue` — the bounded queue between the computing thread
+  and the communication thread(s).  Its capacity is the
+  ``hive.datampi.sendqueue`` knob (Fig 8 right): a full queue blocks the
+  O task (computation waits for communication).
+* :class:`ReceiveManager` — A-side: delivered buffers are cached in
+  memory up to the ``hive.datampi.memusedpercent`` budget and spilled to
+  local disk beyond it (Fig 8 left).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.common.kv import KeyValue
+from repro.simulate.cluster import Node
+from repro.simulate.events import Event, Simulator
+
+
+@dataclass
+class SendBuffer:
+    """One full send partition: the unit the shuffle engine transmits."""
+
+    partition: int
+    pairs: List[KeyValue] = field(default_factory=list)
+    actual_bytes: int = 0
+    scale: float = 1.0  # stamped by the O task when the buffer is emitted
+
+    @property
+    def logical_bytes(self) -> float:
+        return self.actual_bytes * self.scale
+
+
+class SendPartitionList:
+    """Partition-indexed accumulation buffers (the SPL of Fig 7)."""
+
+    def __init__(self, num_partitions: int, partition_capacity_bytes: float):
+        if num_partitions < 1:
+            raise ExecutionError("SPL needs at least one partition")
+        self.num_partitions = num_partitions
+        self.capacity = partition_capacity_bytes
+        self._buffers: List[SendBuffer] = [
+            SendBuffer(partition=i) for i in range(num_partitions)
+        ]
+        self.pairs_added = 0
+        self.bytes_added = 0
+
+    def add(self, partition: int, pair: KeyValue) -> Optional[SendBuffer]:
+        """Append a pair; returns the filled buffer when the partition
+        crosses its capacity (caller pushes it to the send queue)."""
+        buffer = self._buffers[partition]
+        size = pair.serialized_size()
+        buffer.pairs.append(pair)
+        buffer.actual_bytes += size
+        self.pairs_added += 1
+        self.bytes_added += size
+        if buffer.actual_bytes >= self.capacity:
+            self._buffers[partition] = SendBuffer(partition=partition)
+            return buffer
+        return None
+
+    def drain(self) -> List[SendBuffer]:
+        """Remaining non-empty partial buffers (task close)."""
+        out = [buffer for buffer in self._buffers if buffer.pairs]
+        self._buffers = [SendBuffer(partition=i) for i in range(self.num_partitions)]
+        return out
+
+    @property
+    def buffered_bytes(self) -> int:
+        return sum(buffer.actual_bytes for buffer in self._buffers)
+
+
+class SendQueue:
+    """Bounded FIFO between computation and communication threads.
+
+    ``put`` returns an event that triggers once the buffer is admitted;
+    a slot frees when the shuffle engine reports the transfer finished.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int):
+        if capacity < 1:
+            raise ExecutionError("send queue capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[SendBuffer] = deque()
+        self.in_flight = 0
+        self._put_waiters: Deque[Tuple[Event, SendBuffer]] = deque()
+        self._get_waiters: Deque[Event] = deque()
+        self.total_put_wait = 0.0  # accumulated producer blocking time
+
+    def put(self, buffer: SendBuffer) -> Event:
+        event = Event(self.sim)
+        if self.in_flight + len(self.items) < self.capacity:
+            self._admit(buffer)
+            event.trigger(None)
+        else:
+            self._put_waiters.append((event, buffer))
+        return event
+
+    def get(self) -> Event:
+        """Event that yields the next buffer (for the sender thread)."""
+        event = Event(self.sim)
+        if self.items:
+            event.trigger(self.items.popleft())
+        else:
+            self._get_waiters.append(event)
+        return event
+
+    def transfer_started(self) -> None:
+        self.in_flight += 1
+
+    def transfer_finished(self) -> None:
+        """A buffer left the pipeline; admit a blocked producer if any."""
+        if self.in_flight <= 0:
+            raise ExecutionError("transfer_finished without transfer_started")
+        self.in_flight -= 1
+        if self._put_waiters:
+            event, buffer = self._put_waiters.popleft()
+            self._admit(buffer)
+            event.trigger(None)
+
+    def _admit(self, buffer: SendBuffer) -> None:
+        if self._get_waiters:
+            self._get_waiters.popleft().trigger(buffer)
+        else:
+            self.items.append(buffer)
+
+    @property
+    def backlog(self) -> int:
+        return len(self.items) + self.in_flight
+
+
+class ReceiveManager:
+    """A-side buffer cache with memory accounting and disk spill.
+
+    One instance per job.  Buffers delivered for partition *p* land on
+    the node hosting A task *p*; received bytes beyond the node's cache
+    budget are spilled (the A task later reads them back).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        partition_nodes: List[Node],
+        cache_budget_per_node: float,
+    ):
+        self.sim = sim
+        self.partition_nodes = partition_nodes
+        self.cache_budget = cache_budget_per_node
+        self.pairs: List[List[KeyValue]] = [[] for _ in partition_nodes]
+        self.cached_bytes: Dict[Node, float] = {}
+        self.spilled_bytes: List[float] = [0.0] * len(partition_nodes)
+        self.received_bytes: List[float] = [0.0] * len(partition_nodes)
+
+    def node_for(self, partition: int) -> Node:
+        return self.partition_nodes[partition]
+
+    def deliver(self, partition: int, buffer: SendBuffer):
+        """Coroutine: account a delivered buffer; spill when over budget.
+
+        The network transfer has already happened (shuffle engine); this
+        charges only the A-side memory/disk consequences.
+        """
+        node = self.partition_nodes[partition]
+        logical = buffer.logical_bytes
+        self.pairs[partition].extend(buffer.pairs)
+        self.received_bytes[partition] += logical
+        used = self.cached_bytes.get(node, 0.0)
+        if used + logical <= self.cache_budget:
+            self.cached_bytes[node] = used + logical
+        else:
+            self.spilled_bytes[partition] += logical
+            yield from node.disk_write(logical)
+
+    def release_partition(self, partition: int) -> None:
+        """A task consumed its data: free the cached buffer space."""
+        node = self.partition_nodes[partition]
+        cached = self.received_bytes[partition] - self.spilled_bytes[partition]
+        if cached > 0:
+            self.cached_bytes[node] = max(0.0, self.cached_bytes.get(node, 0.0) - cached)

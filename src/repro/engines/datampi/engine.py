@@ -1,0 +1,614 @@
+"""The DataMPI execution engine (paper §IV).
+
+Differences from the Hadoop engine, each mapped to a paper claim:
+
+* **Light-weight startup** — one ``mpidrun`` spawn brings up
+  CommonProcesses on every node; scheduled O/A tasks dispatch into the
+  *existing* processes (no per-task JVM), so startup is ~30 % shorter
+  and multi-wave jobs avoid per-wave process costs (§V-B).
+* **Overlapped, partition-based shuffle** — the DataMPICollector fills
+  Send Partition List buffers *while the O task computes*; full buffers
+  flow through a bounded send queue to the shuffle engine, which
+  transmits them with non-blocking ``MPI_Isend`` and caches the request
+  handles (Fig 7).  By the time all O tasks finish, the intermediate
+  data already sits in A-side memory (§IV-B "overlapped computation and
+  communication").
+* **Blocking vs non-blocking styles** — the blocking style synchronizes
+  every participant per communication round (``MPI_Waitall``); skewed
+  tasks then stall the whole communicator (Fig 6).
+* **Tuning knobs** — ``hive.datampi.memusedpercent`` splits the heap
+  between DataMPI's buffers and the application (low → A-side spill,
+  high → GC pressure: Fig 8 left); ``hive.datampi.sendqueue`` bounds the
+  send queue (small → computation blocks on communication: Fig 8
+  right); ``hive.datampi.parallelism=enhanced`` sets #A = #O (§IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.config import (
+    Configuration,
+    DATAMPI_NONBLOCKING,
+    DATAMPI_OVERLAP,
+    FAILURE_RATE,
+    HIVE_DATAMPI_DAG,
+    HIVE_DATAMPI_MEM_USED_PERCENT,
+    HIVE_DATAMPI_SEND_QUEUE,
+)
+from repro.common.kv import KeyValue
+from repro.common.units import MB
+from repro.engines.base import (
+    Engine,
+    JobTiming,
+    PlanResult,
+    TaggedSplit,
+    TaskTiming,
+    assign_splits_locality,
+    hdfs_write_pipeline,
+    decide_num_reducers,
+    expand_job_splits,
+    final_sorted_rows,
+    job_input_scale,
+    load_broadcast_tables,
+    run_reducer_functionally,
+    scan_split,
+    write_task_output,
+)
+from repro.engines.datampi.buffers import (
+    ReceiveManager,
+    SendBuffer,
+    SendPartitionList,
+    SendQueue,
+)
+from repro.engines.datampi.mpi import DynamicBarrier, SimulatedMPI
+from repro.exec.mapper import ExecMapper
+from repro.exec.operators import Collector
+from repro.plan.physical import MRJob, PhysicalPlan
+from repro.simulate import Cluster, ClusterSpec, MetricsSampler, Simulator, SlotPool
+from repro.storage.hdfs import HDFS
+
+
+@dataclass
+class DataMPICosts:
+    """Calibrated latencies/rates for the DataMPI engine."""
+
+    mpidrun_spawn: float = 1.2  # mpidrun + hostfile + plan/conf staging
+    process_launch: float = 1.6  # CommonProcess bring-up across the nodes
+    task_setup: float = 0.35  # dispatch a scheduled task into a live process
+    job_cleanup: float = 0.5
+    cpu_map_ms_per_mb: float = 35.0  # identical functional work to Hadoop
+    cpu_reduce_ms_per_mb: float = 14.0
+    cpu_sort_ms_per_mb: float = 7.0  # per merge pass
+    cpu_orc_decode_ms_per_mb: float = 14.0
+    batch_target_mb: float = 8.0
+    min_batch_rows: int = 200
+    partition_buffer_bytes: float = 512 * 1024  # SPL send-partition size (logical)
+    gc_coefficient: float = 0.55  # GC-pressure shaping (Fig 8 left)
+    default_mem_used_percent: float = 0.4
+    default_send_queue: int = 6
+    send_setup_seconds: float = 0.004  # per-message request setup in the engine
+    blocking_round_buffers: int = 10  # sends per synchronized round (blocking style)
+
+
+class DataMPICollector(Collector):
+    """Replaces Hadoop's MapOutputCollector: pairs go straight into the
+    Send Partition Lists; full partitions are handed to the shuffle
+    engine between row batches (paper §IV-B: DataMPICollector.collect()
+    uses MPI_D_send())."""
+
+    def __init__(self, spl: SendPartitionList):
+        self.spl = spl
+        self.full_buffers: List[SendBuffer] = []
+
+    def collect(self, partition: int, pair: KeyValue) -> None:
+        filled = self.spl.add(partition, pair)
+        if filled is not None:
+            self.full_buffers.append(filled)
+
+    def take_full(self) -> List[SendBuffer]:
+        out, self.full_buffers = self.full_buffers, []
+        return out
+
+
+class DataMPIEngine(Engine):
+    name = "datampi"
+
+    def __init__(
+        self,
+        hdfs: HDFS,
+        spec: Optional[ClusterSpec] = None,
+        costs: Optional[DataMPICosts] = None,
+    ):
+        self.hdfs = hdfs
+        self.spec = spec or ClusterSpec()
+        self.costs = costs or DataMPICosts()
+
+    # -- public API ---------------------------------------------------------
+    def run_plan(
+        self,
+        plan: PhysicalPlan,
+        conf: Optional[Configuration] = None,
+        with_metrics: bool = False,
+    ) -> PlanResult:
+        conf = conf or Configuration()
+        sim = Simulator()
+        cluster = Cluster(sim, self.spec)
+        mpi = SimulatedMPI(cluster)
+        a_slots = [
+            SlotPool(sim, self.spec.slots_per_node, f"{node.name}.aslots")
+            for node in cluster.workers
+        ]
+        sampler = MetricsSampler(cluster) if with_metrics else None
+        if sampler:
+            sampler.start()
+        timings: List[JobTiming] = []
+
+        # DAG mode (paper §VII future work 3): consecutive stages whose only
+        # dependency is the previous stage's temp directory are pipelined —
+        # no HDFS materialization, no re-spawned processes
+        dag = conf.get_bool(HIVE_DATAMPI_DAG, False)
+        pipelined_in = set()
+        if dag:
+            for index in range(1, len(plan.jobs)):
+                job = plan.jobs[index]
+                previous = plan.jobs[index - 1]
+                if (
+                    len(job.inputs) == 1
+                    and job.inputs[0].location == previous.output_location
+                    and not previous.is_final
+                ):
+                    pipelined_in.add(index)
+
+        def driver():
+            for index, job in enumerate(plan.jobs):
+                is_last = index == len(plan.jobs) - 1
+                timing = yield from self._run_job(
+                    sim, cluster, mpi, a_slots, job, conf, is_last,
+                    pipe_in=index in pipelined_in,
+                    pipe_out=(index + 1) in pipelined_in,
+                )
+                timings.append(timing)
+
+        sim.spawn(driver(), "hive-driver")
+        sim.run()
+        if sampler:
+            sampler.stop()
+        rows = final_sorted_rows(plan, self.hdfs)
+        return PlanResult(
+            rows=rows,
+            schema=plan.output_schema,
+            jobs=timings,
+            total_seconds=sim.now,
+            engine=self.name,
+            metrics=sampler.samples if sampler else [],
+        )
+
+    # -- knobs ------------------------------------------------------------------
+    def _mem_used_percent(self, conf: Configuration) -> float:
+        value = conf.get_float(
+            HIVE_DATAMPI_MEM_USED_PERCENT, self.costs.default_mem_used_percent
+        )
+        return min(0.98, max(0.02, value))
+
+    def _gc_factor(self, mem_used_percent: float) -> float:
+        """CPU inflation from Java GC when the application is squeezed
+        (percent -> 1 leaves little heap for row processing: Fig 8)."""
+        pressure = mem_used_percent * mem_used_percent / (1.0 - mem_used_percent + 0.05)
+        return min(2.5, 1.0 + self.costs.gc_coefficient * pressure)
+
+    def _partition_buffer_bytes(self, mem_used_percent: float) -> float:
+        """SPL send-partition size: the library's buffer pool grows with
+        its heap share; a starved pool means tiny partitions and many
+        more, higher-overhead sends (the left edge of Fig 8)."""
+        scaled = self.costs.partition_buffer_bytes * (
+            mem_used_percent / self.costs.default_mem_used_percent
+        )
+        return min(2.0 * 1024 * 1024, max(64.0 * 1024, scaled))
+
+    # -- job execution -------------------------------------------------------------
+    def _run_job(self, sim: Simulator, cluster: Cluster, mpi: SimulatedMPI,
+                 a_slots: List[SlotPool], job: MRJob, conf: Configuration,
+                 is_last: bool, pipe_in: bool = False, pipe_out: bool = False):
+        costs = self.costs
+        hdfs = self.hdfs
+        workers = cluster.workers
+        splits = expand_job_splits(job, hdfs)
+        small_tables = load_broadcast_tables(job, hdfs)
+        scale = job_input_scale(job, hdfs)
+        total_bytes = sum(s.logical_bytes for s in splits)
+        timing = JobTiming(
+            job_id=job.job_id,
+            submitted=sim.now,
+            num_maps=len(splits),
+            num_reducers=0,
+        )
+        mem_used = self._mem_used_percent(conf)
+        gc_factor = self._gc_factor(mem_used)
+        queue_capacity = conf.get_int(HIVE_DATAMPI_SEND_QUEUE, costs.default_send_queue)
+        nonblocking = conf.get_bool(DATAMPI_NONBLOCKING, True)
+        overlap = conf.get_bool(DATAMPI_OVERLAP, True)
+
+        # mpidrun spawns the CommonProcesses (once per job); their heaps
+        # appear on every node at once — this is why the paper's Fig 13(c)
+        # shows DataMPI reaching its memory ceiling sooner than Hadoop.
+        # A pipelined DAG stage reuses the previous stage's live processes.
+        if not pipe_in:
+            yield sim.timeout(costs.mpidrun_spawn)
+            yield sim.timeout(costs.process_launch)
+        # O and A communicators each get slots_per_node processes (the
+        # testbed's 4 + 4), all resident from spawn time
+        process_heap = 2 * self.spec.heap_per_task * self.spec.slots_per_node
+        for worker in workers:
+            worker.memory.allocate(process_heap)
+
+        if not splits:
+            write_task_output(job, hdfs, 0, [], scale)
+            timing.first_task_started = sim.now
+            timing.shuffle_done = sim.now
+            yield sim.timeout(costs.job_cleanup)
+            for worker in workers:
+                worker.memory.free(process_heap)
+            timing.finished = sim.now
+            return timing
+
+        # DataMPI schedules at most one O task per slot (paper §IV-D:
+        # "the number of O tasks is based on the number of input splits
+        # and less than the maximum number of executing slots"); each O
+        # task consumes several splits, so there are no task waves.
+        groups = _group_splits(splits, len(workers), self.spec.slots_per_node)
+        num_o = len(groups)
+        timing.num_maps = num_o
+        num_reducers = decide_num_reducers(
+            job, num_o, total_bytes, conf, is_last, self.spec.total_slots
+        )
+        timing.num_reducers = num_reducers
+        partition_nodes = [workers[p % len(workers)] for p in range(num_reducers)]
+        # the A-side processes' share of the heap caches received
+        # partitions; beyond it, buffers spill to local disk (Fig 8 left)
+        cache_budget = (
+            mem_used * self.spec.heap_per_task * self.spec.slots_per_node
+        )
+        receive = ReceiveManager(sim, partition_nodes, cache_budget)
+        barrier = DynamicBarrier(sim)
+        pending_deliveries: List = []
+        first_start_event = sim.event()
+
+        o_processes = []
+        for index, (node_index, group) in enumerate(groups):
+            if not nonblocking:
+                barrier.register()
+            o_processes.append(
+                sim.spawn(
+                    self._o_task(
+                        sim, cluster, mpi, job, timing, index, group,
+                        node_index, small_tables, num_reducers,
+                        receive, barrier, queue_capacity, nonblocking,
+                        gc_factor, mem_used, first_start_event,
+                        pending_deliveries, scale, overlap, pipe_in, pipe_out,
+                    ),
+                    f"{job.job_id}-o{index}",
+                )
+            )
+
+        yield sim.all_of(o_processes)
+        if pending_deliveries:
+            yield sim.all_of(pending_deliveries)
+        timing.shuffle_done = sim.now  # O phase over: data resident on A side
+        timing.first_task_started = (
+            first_start_event.value if first_start_event.triggered else sim.now
+        )
+        timing.shuffle_logical_bytes = sum(receive.received_bytes)
+
+        if not job.is_map_only:
+            a_processes = [
+                sim.spawn(
+                    self._a_task(
+                        sim, cluster, a_slots, job, timing, partition,
+                        partition_nodes[partition].node_id - 1, small_tables,
+                        receive, gc_factor, scale, pipe_out,
+                    ),
+                    f"{job.job_id}-a{partition}",
+                )
+                for partition in range(num_reducers)
+            ]
+            yield sim.all_of(a_processes)
+
+        # fault injection: unlike MapReduce's per-task retry, a failed task
+        # aborts the whole MPI communicator — mpidrun re-runs the job (the
+        # fault-tolerance cost of the MPI substrate)
+        failure_rate = conf.get_float(FAILURE_RATE, 0.0)
+        if failure_rate > 0:
+            import random
+
+            rng = random.Random(f"fail:{job.job_id}")
+            job_fail_probability = 1.0 - (1.0 - failure_rate) ** (num_o + num_reducers)
+            if rng.random() < job_fail_probability:
+                wasted_fraction = rng.uniform(0.2, 0.8)
+                elapsed = sim.now - timing.submitted
+                yield sim.timeout(
+                    wasted_fraction * elapsed
+                    + costs.mpidrun_spawn
+                    + costs.process_launch
+                )
+
+        yield sim.timeout(costs.job_cleanup)
+        for worker in workers:
+            worker.memory.free(process_heap)
+        timing.finished = sim.now
+        return timing
+
+    # -- O task ----------------------------------------------------------------------
+    def _o_task(self, sim: Simulator, cluster: Cluster, mpi: SimulatedMPI,
+                job: MRJob, timing: JobTiming, index: int,
+                group: List[TaggedSplit], node_index: int, small_tables,
+                num_reducers: int, receive: ReceiveManager,
+                barrier: DynamicBarrier, queue_capacity: int, nonblocking: bool,
+                gc_factor: float, mem_used: float, first_start_event,
+                pending_deliveries: List, job_scale: float,
+                overlap: bool = True, pipe_in: bool = False,
+                pipe_out: bool = False):
+        costs = self.costs
+        node = cluster.workers[node_index]
+        task = TaskTiming(task_id=f"o{index}", kind="o", node=node_index,
+                          scheduled=sim.now)
+        timing.tasks.append(task)
+
+        yield node.slots.acquire()
+        queue = SendQueue(sim, queue_capacity)
+        sender_done = None
+        sender_started = False
+        output_rows: List = []
+        try:
+            yield from node.compute(costs.task_setup)
+            task.started = sim.now
+            if not first_start_event.triggered:
+                first_start_event.trigger(sim.now)
+
+            held: List[SendBuffer] = []  # overlap disabled: defer all sends
+            for tagged in group:
+                scale = tagged.split.scale
+                if nonblocking and not job.is_map_only and not sender_started:
+                    sender_done = sim.spawn(
+                        self._sender_thread(
+                            sim, mpi, node, queue, receive, pending_deliveries, task,
+                        ),
+                        f"{job.job_id}-o{index}-send",
+                    )
+                    sender_started = True
+
+                rows, bytes_to_read = scan_split(tagged)
+                local = node_index in [
+                    h % len(cluster.workers) for h in tagged.split.hosts
+                ]
+                spl = SendPartitionList(
+                    max(1, num_reducers),
+                    self._partition_buffer_bytes(mem_used) / max(scale, 1e-9),
+                )
+                collector = DataMPICollector(spl)
+                mapper = ExecMapper(
+                    tagged.operators,
+                    collector=collector if not job.is_map_only else None,
+                    num_partitions=num_reducers,
+                    small_tables=small_tables,
+                )
+
+                orc = tagged.split.stored.__class__.__name__.startswith("Orc")
+                for batch_rows, batch_bytes in _make_batches(rows, bytes_to_read, costs):
+                    if pipe_in:
+                        pass  # DAG stage: input is already resident in memory
+                    elif local:
+                        yield from node.disk_read(batch_bytes)
+                    else:
+                        source = cluster.workers[
+                            tagged.split.hosts[0] % len(cluster.workers)
+                        ]
+                        yield from source.disk_read(batch_bytes)
+                        yield from cluster.network_transfer(source, node, batch_bytes)
+                    cpu_ms = batch_bytes / MB * costs.cpu_map_ms_per_mb
+                    if orc:
+                        cpu_ms += batch_bytes / MB * costs.cpu_orc_decode_ms_per_mb
+                    yield from node.compute(cpu_ms * gc_factor / 1000.0)
+                    mapper.process_batch(batch_rows)
+                    task.collect_samples.append((sim.now, spl.bytes_added))
+                    fresh = _stamp(collector.take_full(), scale)
+                    if overlap:
+                        yield from self._emit_buffers(
+                            sim, mpi, node, fresh, queue, receive,
+                            barrier, nonblocking, pending_deliveries, task,
+                        )
+                    else:
+                        held.extend(fresh)
+
+                result = mapper.close()
+                fresh = _stamp(collector.take_full() + spl.drain(), scale)
+                if overlap:
+                    yield from self._emit_buffers(
+                        sim, mpi, node, fresh, queue, receive,
+                        barrier, nonblocking, pending_deliveries, task,
+                    )
+                else:
+                    held.extend(fresh)
+                output_rows.extend(result.output_rows)
+                task.rows_read += result.rows_read
+                task.kv_pairs += result.kv_pairs
+                task.kv_bytes += result.kv_bytes * scale
+
+            if held:
+                # no-overlap ablation: everything ships after computation
+                yield from self._emit_buffers(
+                    sim, mpi, node, held, queue, receive,
+                    barrier, nonblocking, pending_deliveries, task,
+                )
+
+            if job.is_map_only:
+                data_file = write_task_output(
+                    job, self.hdfs, index, output_rows, job_scale,
+                    writer_node=node_index,
+                )
+                if not pipe_out:
+                    yield from self._hdfs_write(cluster, node, data_file)
+        finally:
+            if not nonblocking:
+                barrier.deregister()
+            if sender_started:
+                queue.put(_SENTINEL)  # stop the sender thread
+            node.slots.release()
+        if sender_done is not None:
+            yield sender_done
+        task.finished = sim.now
+
+    def _emit_buffers(self, sim, mpi, node, buffers: List[SendBuffer],
+                      queue: SendQueue, receive: ReceiveManager,
+                      barrier: DynamicBarrier, nonblocking: bool,
+                      pending_deliveries: List, task: TaskTiming):
+        """Route filled (already scale-stamped) send partitions to the
+        shuffle engine."""
+        if not buffers:
+            return
+        if nonblocking:
+            for buffer in buffers:
+                yield queue.put(buffer)  # blocks when the send queue is full
+                task.send_events.append(sim.now)
+        else:
+            # blocking style: synchronized relaxed all-to-all rounds — every
+            # participant must reach the round, then every send of the round
+            # must complete (MPI_Waitall) before anyone proceeds
+            chunk = max(1, self.costs.blocking_round_buffers)
+            for start in range(0, len(buffers), chunk):
+                round_buffers = buffers[start : start + chunk]
+                yield barrier.arrive()
+                requests = []
+                for buffer in round_buffers:
+                    task.send_events.append(sim.now)
+                    destination = receive.node_for(buffer.partition)
+                    requests.append(mpi.isend(node, destination, buffer.logical_bytes))
+                yield mpi.waitall(requests)
+                for buffer in round_buffers:
+                    yield from receive.deliver(buffer.partition, buffer)
+                yield barrier.arrive()  # completion round
+
+    def _sender_thread(self, sim, mpi, node, queue: SendQueue,
+                       receive: ReceiveManager, pending_deliveries: List,
+                       task: TaskTiming):
+        """Non-blocking shuffle engine: drains the send queue, issues
+        MPI_Isend per buffer and tracks the cached requests."""
+        while True:
+            buffer = yield queue.get()
+            if buffer is _SENTINEL:
+                return
+            queue.transfer_started()
+            yield sim.timeout(self.costs.send_setup_seconds)  # request setup
+            destination = receive.node_for(buffer.partition)
+            request = mpi.isend(node, destination, buffer.logical_bytes)
+            delivery = sim.spawn(
+                self._deliver_after(request, queue, receive, buffer),
+                f"{task.task_id}-dlv",
+            )
+            pending_deliveries.append(delivery)
+
+    @staticmethod
+    def _deliver_after(request, queue: SendQueue, receive: ReceiveManager,
+                       buffer: SendBuffer):
+        yield request.event
+        yield from receive.deliver(buffer.partition, buffer)
+        queue.transfer_finished()
+
+    # -- A task ---------------------------------------------------------------------
+    def _a_task(self, sim: Simulator, cluster: Cluster, a_slots: List[SlotPool],
+                job: MRJob, timing: JobTiming, partition: int, node_index: int,
+                small_tables, receive: ReceiveManager, gc_factor: float,
+                scale: float, pipe_out: bool = False):
+        costs = self.costs
+        node = cluster.workers[node_index]
+        task = TaskTiming(task_id=f"a{partition}", kind="a", node=node_index,
+                          scheduled=sim.now)
+        timing.tasks.append(task)
+
+        yield a_slots[node_index].acquire()
+        try:
+            yield from node.compute(costs.task_setup)
+            task.started = sim.now
+
+            received = receive.received_bytes[partition]
+            spilled = receive.spilled_bytes[partition]
+            if spilled > 0:
+                yield from node.disk_read(spilled)  # read back spilled runs
+            if received > 0:
+                yield from node.compute(
+                    received / MB * costs.cpu_sort_ms_per_mb * gc_factor / 1000.0
+                )
+            output_rows = run_reducer_functionally(
+                job, receive.pairs[partition], small_tables
+            )
+            yield from node.compute(
+                received / MB * costs.cpu_reduce_ms_per_mb * gc_factor / 1000.0
+            )
+            data_file = write_task_output(
+                job, self.hdfs, partition, output_rows, scale,
+                writer_node=node_index,
+            )
+            if not pipe_out:
+                # DAG mode skips materializing the stage boundary to HDFS:
+                # the next stage's O tasks consume these rows in memory
+                yield from self._hdfs_write(cluster, node, data_file)
+            receive.release_partition(partition)
+            task.kv_bytes = received
+        finally:
+            a_slots[node_index].release()
+        task.finished = sim.now
+
+    # -- HDFS write pipeline -------------------------------------------------------
+    def _hdfs_write(self, cluster: Cluster, node, data_file):
+        yield from hdfs_write_pipeline(cluster, node, data_file)
+
+
+
+_SENTINEL = SendBuffer(partition=-1)
+
+
+def _stamp(buffers: List[SendBuffer], scale: float) -> List[SendBuffer]:
+    """Stamp the producing split's byte-scale onto freshly filled buffers."""
+    for buffer in buffers:
+        buffer.scale = scale
+    return buffers
+
+
+def _group_splits(
+    splits: List[TaggedSplit], num_workers: int, slots_per_node: int
+) -> List[tuple]:
+    """Pack splits into at most ``num_workers * slots_per_node`` O tasks.
+
+    Locality-aware: splits go to a replica node first, then are divided
+    among that node's slots round-robin.  Returns [(node_index, [splits])].
+    """
+    placement = assign_splits_locality(splits, num_workers)
+    per_node: Dict[int, List[TaggedSplit]] = {}
+    for tagged, node_index in zip(splits, placement):
+        per_node.setdefault(node_index, []).append(tagged)
+    groups: List[tuple] = []
+    for node_index in sorted(per_node):
+        node_splits = per_node[node_index]
+        num_tasks = min(slots_per_node, len(node_splits))
+        buckets: List[List[TaggedSplit]] = [[] for _ in range(num_tasks)]
+        for position, tagged in enumerate(node_splits):
+            buckets[position % num_tasks].append(tagged)
+        for bucket in buckets:
+            groups.append((node_index, bucket))
+    return groups
+
+
+def _make_batches(rows, total_bytes: float, costs: DataMPICosts):
+    if not rows:
+        if total_bytes > 0:
+            return [([], total_bytes)]
+        return []
+    target = costs.batch_target_mb * MB
+    num_batches = max(1, int(total_bytes / target))
+    batch_rows = max(costs.min_batch_rows, (len(rows) + num_batches - 1) // num_batches)
+    batches = []
+    for start in range(0, len(rows), batch_rows):
+        chunk = rows[start : start + batch_rows]
+        batches.append((chunk, total_bytes * len(chunk) / len(rows)))
+    return batches

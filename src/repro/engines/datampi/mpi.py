@@ -1,0 +1,106 @@
+"""Simulated MPI point-to-point layer.
+
+Provides what DataMPI's shuffle engine needs from MVAPICH2: non-blocking
+sends with testable request handles, and a barrier for the blocking
+communication style.  Transfers move through the simulated cluster's
+NICs (processor-shared), so concurrent sends contend exactly like real
+messages on a GigE fabric.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ExecutionError
+from repro.simulate.cluster import Cluster, Node
+from repro.simulate.events import Event, Simulator
+
+
+class Request:
+    """A non-blocking send handle (``MPI_Isend`` return value)."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event):
+        self.event = event
+
+    @property
+    def done(self) -> bool:
+        """``MPI_Test`` — has the transfer completed?"""
+        return self.event.triggered
+
+
+class SimulatedMPI:
+    """Point-to-point message transport over the simulated cluster."""
+
+    def __init__(self, cluster: Cluster, eager_limit: float = 64 * 1024):
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.eager_limit = eager_limit
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def isend(self, source: Node, destination: Node, nbytes: float) -> Request:
+        """Start a non-blocking transfer; the request completes when the
+        bytes have crossed both NICs (same-node sends are immediate)."""
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        if source is destination or nbytes <= 0:
+            event = self.sim.event()
+            event.trigger(None)
+            return Request(event)
+        transfer = self.sim.all_of(
+            [source.nic_tx.transfer(nbytes), destination.nic_rx.transfer(nbytes)]
+        )
+        return Request(transfer)
+
+    def waitall(self, requests: List[Request]) -> Event:
+        """``MPI_Waitall`` — an event that triggers when every request
+        has completed."""
+        return self.sim.all_of([request.event for request in requests])
+
+
+class DynamicBarrier:
+    """Barrier whose membership can shrink (tasks deregister on finish).
+
+    The blocking communication style synchronizes every participant at
+    each round; a skewed task makes all others wait — this is the
+    synchronization overhead Fig 6 visualizes.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._members = 0
+        self._arrived = 0
+        self._gate: Optional[Event] = None
+
+    def register(self) -> None:
+        self._members += 1
+
+    def deregister(self) -> None:
+        """Leave the barrier; may release waiters if they were only
+        waiting for this member."""
+        if self._members <= 0:
+            raise ExecutionError("deregister on empty barrier")
+        self._members -= 1
+        self._maybe_release()
+
+    def arrive(self) -> Event:
+        """Arrive at the barrier; the returned event triggers once every
+        registered member has arrived."""
+        if self._gate is None or self._gate.triggered:
+            self._gate = self.sim.event()
+            self._arrived = 0
+        self._arrived += 1
+        gate = self._gate
+        self._maybe_release()
+        return gate
+
+    def _maybe_release(self) -> None:
+        if (
+            self._gate is not None
+            and not self._gate.triggered
+            and self._arrived >= self._members
+            and self._arrived > 0
+        ):
+            self._gate.trigger(None)

@@ -1,0 +1,499 @@
+"""The Hadoop 1.2.1 MapReduce engine, simulated.
+
+Models exactly the behaviours the paper contrasts with DataMPI:
+
+* **Heavy job control** — JobClient stages the job to the JobTracker,
+  TaskTrackers pick tasks up on heartbeats, and *every* task launch pays
+  a JVM spawn (per wave — the "process management overhead" the paper's
+  JOB3 breakdown highlights).
+* **Coarse-grained shuffle** — map tasks sort/spill their output to
+  local disk (io.sort.mb buffer), merge the spills, and reducers *copy*
+  each finished map's partition over HTTP after the map completes;
+  reducers launch after a slow-start fraction of maps are done.
+* **Separate map/reduce slots** — 4 + 4 per node, as configured on the
+  paper's testbed.
+
+The functional work (operator pipelines, partition/sort/group/reduce) is
+the shared code in :mod:`repro.engines.base`; this module adds *when*
+and *at what cost* through the discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import Configuration, FAILURE_RATE
+from repro.common.kv import KeyValue
+from repro.common.units import MB
+from repro.engines.base import (
+    Engine,
+    JobTiming,
+    PlanResult,
+    TaskTiming,
+    TaggedSplit,
+    assign_splits_locality,
+    hdfs_write_pipeline,
+    decide_num_reducers,
+    expand_job_splits,
+    final_sorted_rows,
+    job_input_scale,
+    load_broadcast_tables,
+    run_reducer_functionally,
+    scan_split,
+    write_task_output,
+)
+from repro.exec.mapper import ExecMapper
+from repro.exec.operators import Collector
+from repro.plan.physical import MRJob, PhysicalPlan
+from repro.simulate import Cluster, ClusterSpec, MetricsSampler, Simulator, SlotPool
+from repro.storage.hdfs import HDFS
+
+
+@dataclass
+class HadoopCosts:
+    """Calibrated latencies/rates for the Hadoop engine (testbed §V-A)."""
+
+    job_submit: float = 2.2  # JobClient staging + JobTracker admission
+    schedule_delay: float = 1.4  # TaskTracker heartbeat pickup, per wave start
+    task_jvm_start: float = 1.3  # child JVM spawn per task attempt
+    job_cleanup: float = 0.8  # commit + JobTracker retirement
+    cpu_map_ms_per_mb: float = 35.0  # deserialize + operator pipeline, text-rate
+    cpu_reduce_ms_per_mb: float = 14.0
+    cpu_sort_ms_per_mb: float = 7.0  # per merge pass
+    cpu_orc_decode_ms_per_mb: float = 14.0  # extra per encoded MB (decompression)
+    io_sort_mb: float = 100.0  # map-output buffer before spill (logical MB)
+    shuffle_memory_mb: float = 450.0  # reducer in-memory shuffle budget (logical MB)
+    slowstart_fraction: float = 0.05  # maps done before reducers launch
+    batch_target_mb: float = 8.0  # compute/I-O interleave granularity
+    min_batch_rows: int = 200
+    # mapred.compress.map.output=true: intermediate data shrinks to this
+    # fraction on disk/wire at a CPU cost per (uncompressed) MB
+    compress_ratio: float = 0.40
+    cpu_compress_ms_per_mb: float = 4.0
+    cpu_decompress_ms_per_mb: float = 1.5
+    parallel_copies: int = 5  # mapred.reduce.parallel.copies
+
+
+class _MapOutputCollector(Collector):
+    """Per-map collector bucketing pairs by reduce partition."""
+
+    def __init__(self, num_partitions: int):
+        self.partitions: List[List[KeyValue]] = [[] for _ in range(num_partitions)]
+        self.partition_bytes: List[int] = [0] * num_partitions
+        self.total_bytes = 0
+
+    def collect(self, partition: int, pair: KeyValue) -> None:
+        self.partitions[partition].append(pair)
+        size = pair.serialized_size()
+        self.partition_bytes[partition] += size
+        self.total_bytes += size
+
+
+class _JobState:
+    """Mutable coordination state shared by a job's task processes."""
+
+    def __init__(self, sim: Simulator, num_maps: int, num_reducers: int):
+        self.sim = sim
+        self.maps_done = 0
+        self.num_maps = num_maps
+        self.num_reducers = num_reducers
+        # map_index -> (node, collector, scale); filled as maps finish
+        self.map_outputs: Dict[int, Tuple[int, _MapOutputCollector, float]] = {}
+        self.map_completion_events: List = []  # one Event per map
+        self.slowstart_event = sim.event()
+        self.all_maps_event = sim.event()
+        self.last_copy_done = 0.0
+        self.compress_ratio = 1.0  # <1 when mapred.compress.map.output
+
+    def map_finished(self, map_index: int, node: int,
+                     collector: _MapOutputCollector, scale: float) -> None:
+        self.map_outputs[map_index] = (node, collector, scale)
+        self.maps_done += 1
+        self.map_completion_events[map_index].trigger(None)
+        if not self.slowstart_event.triggered:
+            self.slowstart_event.trigger(None)
+        if self.maps_done == self.num_maps and not self.all_maps_event.triggered:
+            self.all_maps_event.trigger(None)
+
+
+class HadoopEngine(Engine):
+    name = "hadoop"
+
+    def __init__(
+        self,
+        hdfs: HDFS,
+        spec: Optional[ClusterSpec] = None,
+        costs: Optional[HadoopCosts] = None,
+    ):
+        self.hdfs = hdfs
+        self.spec = spec or ClusterSpec()
+        self.costs = costs or HadoopCosts()
+
+    # -- public API ---------------------------------------------------------
+    def run_plan(
+        self,
+        plan: PhysicalPlan,
+        conf: Optional[Configuration] = None,
+        with_metrics: bool = False,
+    ) -> PlanResult:
+        conf = conf or Configuration()
+        sim = Simulator()
+        cluster = Cluster(sim, self.spec)
+        reduce_slots = [
+            SlotPool(sim, self.spec.slots_per_node, f"{node.name}.rslots")
+            for node in cluster.workers
+        ]
+        sampler = MetricsSampler(cluster) if with_metrics else None
+        if sampler:
+            sampler.start()
+        timings: List[JobTiming] = []
+
+        def driver():
+            for index, job in enumerate(plan.jobs):
+                is_last = index == len(plan.jobs) - 1
+                timing = yield from self._run_job(
+                    sim, cluster, reduce_slots, job, conf, is_last
+                )
+                timings.append(timing)
+
+        sim.spawn(driver(), "hive-driver")
+        sim.run()
+        if sampler:
+            sampler.stop()
+        rows = final_sorted_rows(plan, self.hdfs)
+        return PlanResult(
+            rows=rows,
+            schema=plan.output_schema,
+            jobs=timings,
+            total_seconds=sim.now,
+            engine=self.name,
+            metrics=sampler.samples if sampler else [],
+        )
+
+    # -- job execution -----------------------------------------------------------
+    def _run_job(self, sim: Simulator, cluster: Cluster,
+                 reduce_slots: List[SlotPool], job: MRJob,
+                 conf: Configuration, is_last: bool):
+        costs = self.costs
+        hdfs = self.hdfs
+        workers = cluster.workers
+        splits = expand_job_splits(job, hdfs)
+        small_tables = load_broadcast_tables(job, hdfs)
+        scale = job_input_scale(job, hdfs)
+        total_bytes = sum(s.logical_bytes for s in splits)
+        num_reducers = decide_num_reducers(
+            job, len(splits), total_bytes, conf, is_last, self.spec.total_slots
+        )
+        timing = JobTiming(
+            job_id=job.job_id,
+            submitted=sim.now,
+            num_maps=len(splits),
+            num_reducers=num_reducers,
+        )
+
+        # JobClient -> JobTracker staging
+        yield sim.timeout(costs.job_submit)
+
+        if not splits:
+            write_task_output(job, hdfs, 0, [], scale)
+            timing.first_task_started = sim.now
+            timing.shuffle_done = sim.now
+            yield sim.timeout(costs.job_cleanup)
+            timing.finished = sim.now
+            return timing
+
+        state = _JobState(sim, len(splits), num_reducers)
+        state.map_completion_events = [sim.event() for _ in splits]
+        assignment = assign_splits_locality(splits, len(workers))
+        first_start_event = sim.event()
+
+        failure_rate = conf.get_float(FAILURE_RATE, 0.0)
+        compress = conf.get_bool("mapred.compress.map.output", False)
+        state.compress_ratio = self.costs.compress_ratio if compress else 1.0
+        map_processes = [
+            sim.spawn(
+                self._map_task(
+                    sim, cluster, job, state, timing, index, tagged,
+                    assignment[index], small_tables, num_reducers,
+                    first_start_event, scale, failure_rate,
+                ),
+                f"{job.job_id}-m{index}",
+            )
+            for index, tagged in enumerate(splits)
+        ]
+
+        reduce_processes = []
+        if not job.is_map_only:
+            for partition in range(num_reducers):
+                node_index = partition % len(workers)
+                reduce_processes.append(
+                    sim.spawn(
+                        self._reduce_task(
+                            sim, cluster, reduce_slots, job, state, timing,
+                            partition, node_index, small_tables, scale,
+                        ),
+                        f"{job.job_id}-r{partition}",
+                    )
+                )
+
+        yield sim.all_of(map_processes + reduce_processes)
+        if job.is_map_only:
+            timing.shuffle_done = sim.now
+        else:
+            timing.shuffle_done = max(timing.shuffle_done, state.last_copy_done)
+        yield sim.timeout(costs.job_cleanup)
+        timing.finished = sim.now
+        timing.shuffle_logical_bytes = sum(
+            collector.total_bytes * map_scale
+            for _node, collector, map_scale in state.map_outputs.values()
+        )
+        yield first_start_event  # already triggered by the first map
+        timing.first_task_started = first_start_event.value
+        return timing
+
+    # -- map task -------------------------------------------------------------------
+    def _map_task(self, sim: Simulator, cluster: Cluster, job: MRJob,
+                  state: _JobState, timing: JobTiming, index: int,
+                  tagged: TaggedSplit, node_index: int, small_tables,
+                  num_reducers: int, first_start_event, job_scale: float,
+                  failure_rate: float = 0.0):
+        costs = self.costs
+        node = cluster.workers[node_index]
+        task = TaskTiming(task_id=f"m{index}", kind="map", node=node_index,
+                          scheduled=sim.now)
+        timing.tasks.append(task)
+
+        yield node.slots.acquire()
+        node.memory.allocate(self.spec.heap_per_task)  # child JVM footprint
+        try:
+            # heartbeat pickup + JVM spawn
+            yield sim.timeout(costs.schedule_delay)
+            yield from node.compute(costs.task_jvm_start)
+            task.started = sim.now
+            if not first_start_event.triggered:
+                first_start_event.trigger(sim.now)
+
+            rows, bytes_to_read = scan_split(tagged)
+            local = node_index in [h % len(cluster.workers) for h in tagged.split.hosts]
+
+            # fault injection: failed attempts burn real (partial) work and
+            # pay the re-launch machinery; MapReduce retries per task (its
+            # fault-tolerance advantage over plain MPI jobs)
+            for fraction in _failed_attempt_fractions(
+                failure_rate, f"{job.job_id}-m{index}"
+            ):
+                partial = bytes_to_read * fraction
+                if local:
+                    yield from node.disk_read(partial)
+                else:
+                    source = cluster.workers[
+                        tagged.split.hosts[0] % len(cluster.workers)
+                    ]
+                    yield from source.disk_read(partial)
+                    yield from cluster.network_transfer(source, node, partial)
+                yield from node.compute(
+                    partial / MB * costs.cpu_map_ms_per_mb / 1000.0
+                )
+                yield sim.timeout(costs.schedule_delay)  # TaskTracker re-run
+                yield from node.compute(costs.task_jvm_start)
+            collector = _MapOutputCollector(num_reducers)
+            mapper = ExecMapper(
+                tagged.operators,
+                collector=collector if not job.is_map_only else None,
+                num_partitions=num_reducers,
+                small_tables=small_tables,
+            )
+
+            scale = tagged.split.scale
+            orc = tagged.split.stored.__class__.__name__.startswith("Orc")
+            batches = _make_batches(rows, bytes_to_read, costs)
+            spilled_mark = 0.0
+            spills = 0
+            for batch_rows, batch_bytes in batches:
+                # read this chunk (locally or from a replica over the net)
+                if local:
+                    yield from node.disk_read(batch_bytes)
+                else:
+                    source = cluster.workers[tagged.split.hosts[0] % len(cluster.workers)]
+                    yield from source.disk_read(batch_bytes)
+                    yield from cluster.network_transfer(source, node, batch_bytes)
+                cpu_ms = batch_bytes / MB * costs.cpu_map_ms_per_mb
+                if orc:
+                    cpu_ms += batch_bytes / MB * costs.cpu_orc_decode_ms_per_mb
+                yield from node.compute(cpu_ms / 1000.0)
+                mapper.process_batch(batch_rows)
+                emitted = collector.total_bytes * scale
+                task.collect_samples.append((sim.now, collector.total_bytes))
+                # spill when the in-memory map-output buffer overflows
+                while emitted - spilled_mark > costs.io_sort_mb * MB:
+                    spill_bytes = costs.io_sort_mb * MB
+                    spilled_mark += spill_bytes
+                    spills += 1
+                    cpu_ms = spill_bytes / MB * costs.cpu_sort_ms_per_mb
+                    if state.compress_ratio < 1.0:
+                        cpu_ms += spill_bytes / MB * costs.cpu_compress_ms_per_mb
+                    yield from node.compute(cpu_ms / 1000.0)
+                    yield from node.disk_write(spill_bytes * state.compress_ratio)
+
+            result = mapper.close()
+            emitted = collector.total_bytes * scale
+            ratio = state.compress_ratio
+            final_spill = emitted - spilled_mark
+            if final_spill > 0 and not job.is_map_only:
+                cpu_ms = final_spill / MB * costs.cpu_sort_ms_per_mb
+                if ratio < 1.0:
+                    cpu_ms += final_spill / MB * costs.cpu_compress_ms_per_mb
+                yield from node.compute(cpu_ms / 1000.0)
+                yield from node.disk_write(final_spill * ratio)
+            if spills > 0 and not job.is_map_only:
+                # merge the spill files into the final map output
+                yield from node.disk_read(emitted * ratio)
+                yield from node.compute(emitted / MB * costs.cpu_sort_ms_per_mb / 1000.0)
+                yield from node.disk_write(emitted * ratio)
+
+            if job.is_map_only:
+                data_file = write_task_output(
+                    job, self.hdfs, index, result.output_rows, job_scale,
+                    writer_node=node_index,
+                )
+                yield from self._hdfs_write(cluster, node, data_file)
+
+            task.rows_read = result.rows_read
+            task.kv_pairs = result.kv_pairs
+            task.kv_bytes = result.kv_bytes * scale
+        finally:
+            node.memory.free(self.spec.heap_per_task)
+            node.slots.release()
+        task.finished = sim.now
+        state.map_finished(index, node_index, collector, tagged.split.scale)
+
+    # -- reduce task -----------------------------------------------------------------
+    def _reduce_task(self, sim: Simulator, cluster: Cluster,
+                     reduce_slots: List[SlotPool], job: MRJob, state: _JobState,
+                     timing: JobTiming, partition: int, node_index: int,
+                     small_tables, scale: float):
+        costs = self.costs
+        node = cluster.workers[node_index]
+        task = TaskTiming(task_id=f"r{partition}", kind="reduce", node=node_index,
+                          scheduled=sim.now)
+        timing.tasks.append(task)
+
+        yield state.slowstart_event  # launch after the first maps complete
+        yield reduce_slots[node_index].acquire()
+        node.memory.allocate(self.spec.heap_per_task)  # reduce JVM footprint
+        try:
+            yield sim.timeout(costs.schedule_delay)
+            yield from node.compute(costs.task_jvm_start)
+            task.started = sim.now
+
+            # copy phase: mapred.reduce.parallel.copies concurrent fetcher
+            # threads pull each map's partition as the map completes
+            fetch_slots = SlotPool(sim, costs.parallel_copies,
+                                   f"{task.task_id}.fetchers")
+            copied_cell = [0.0]
+            fetchers = [
+                sim.spawn(
+                    self._fetch_map_output(
+                        sim, cluster, state, node, partition, map_index,
+                        fetch_slots, copied_cell,
+                    ),
+                    f"{task.task_id}-f{map_index}",
+                )
+                for map_index in range(state.num_maps)
+            ]
+            yield sim.all_of(fetchers)
+            copied = copied_cell[0]
+            state.last_copy_done = max(state.last_copy_done, sim.now)
+            task.kv_bytes = copied
+
+            # merge-sort phase
+            if copied > 0:
+                yield from node.compute(copied / MB * costs.cpu_sort_ms_per_mb / 1000.0)
+                if copied > costs.shuffle_memory_mb * MB:
+                    # read back spilled (compressed) runs
+                    yield from node.disk_read(copied * state.compress_ratio)
+
+            pairs: List[KeyValue] = []
+            for map_index in range(state.num_maps):
+                _node, collector, _scale = state.map_outputs[map_index]
+                pairs.extend(collector.partitions[partition])
+            output_rows = run_reducer_functionally(job, pairs, small_tables)
+
+            yield from node.compute(copied / MB * costs.cpu_reduce_ms_per_mb / 1000.0)
+            data_file = write_task_output(
+                job, self.hdfs, partition, output_rows, scale, writer_node=node_index
+            )
+            yield from self._hdfs_write(cluster, node, data_file)
+        finally:
+            node.memory.free(self.spec.heap_per_task)
+            reduce_slots[node_index].release()
+        task.finished = sim.now
+
+    def _fetch_map_output(self, sim: Simulator, cluster: Cluster,
+                          state: _JobState, node, partition: int,
+                          map_index: int, fetch_slots: SlotPool,
+                          copied_cell: List[float]):
+        """One fetcher: wait for the map, grab a copier slot, pull the
+        partition (disk at the source, network, decompress), spill past
+        the in-memory shuffle budget."""
+        costs = self.costs
+        yield state.map_completion_events[map_index]
+        source_index, collector, map_scale = state.map_outputs[map_index]
+        raw_chunk = collector.partition_bytes[partition] * map_scale
+        chunk = raw_chunk * state.compress_ratio
+        if chunk <= 0:
+            return
+        yield fetch_slots.acquire()
+        try:
+            source = cluster.workers[source_index]
+            yield from source.disk_read(chunk)
+            yield from cluster.network_transfer(source, node, chunk)
+            if state.compress_ratio < 1.0:
+                yield from node.compute(
+                    raw_chunk / MB * costs.cpu_decompress_ms_per_mb / 1000.0
+                )
+            copied_cell[0] += raw_chunk
+            if copied_cell[0] > costs.shuffle_memory_mb * MB:
+                yield from node.disk_write(chunk)  # overflow to disk
+        finally:
+            fetch_slots.release()
+
+    # -- HDFS write pipeline -------------------------------------------------------
+    def _hdfs_write(self, cluster: Cluster, node, data_file):
+        yield from hdfs_write_pipeline(cluster, node, data_file)
+
+
+
+_MAX_TASK_ATTEMPTS = 4  # mapred.map.max.attempts
+
+
+def _failed_attempt_fractions(rate: float, seed: str):
+    """Deterministic per-task failure draw: the fractions of work done
+    before each failed attempt died (empty list when nothing fails)."""
+    if rate <= 0:
+        return []
+    import random
+
+    rng = random.Random(f"fail:{seed}")
+    fractions = []
+    while len(fractions) < _MAX_TASK_ATTEMPTS - 1 and rng.random() < rate:
+        fractions.append(rng.uniform(0.1, 0.9))
+    return fractions
+
+
+def _make_batches(rows, total_bytes: float, costs: HadoopCosts):
+    """Chunk a split's rows into (rows, bytes) batches for interleaved
+    read/compute; byte budget follows the batch target."""
+    if not rows:
+        if total_bytes > 0:
+            return [([], total_bytes)]
+        return []
+    target = costs.batch_target_mb * MB
+    num_batches = max(1, int(total_bytes / target))
+    batch_rows = max(costs.min_batch_rows, (len(rows) + num_batches - 1) // num_batches)
+    batches = []
+    for start in range(0, len(rows), batch_rows):
+        chunk = rows[start : start + batch_rows]
+        batches.append((chunk, total_bytes * len(chunk) / len(rows)))
+    return batches

@@ -1,0 +1,111 @@
+"""Reference executor: runs a physical plan functionally, no simulation.
+
+Used as the correctness oracle — integration tests assert that the
+Hadoop and DataMPI engines produce exactly the rows this engine produces
+— and by unit tests that only care about query semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.config import Configuration
+from repro.common.kv import KeyValue
+from repro.engines.base import (
+    Engine,
+    JobTiming,
+    PlanResult,
+    decide_num_reducers,
+    expand_job_splits,
+    final_sorted_rows,
+    job_input_scale,
+    load_broadcast_tables,
+    run_reducer_functionally,
+    scan_split,
+    write_task_output,
+)
+from repro.exec.mapper import ExecMapper
+from repro.exec.operators import Collector
+from repro.plan.physical import PhysicalPlan
+from repro.storage.hdfs import HDFS
+
+
+class _PartitionedCollector(Collector):
+    def __init__(self, num_partitions: int):
+        self.partitions: List[List[KeyValue]] = [[] for _ in range(num_partitions)]
+
+    def collect(self, partition: int, pair: KeyValue) -> None:
+        self.partitions[partition].append(pair)
+
+
+class LocalEngine(Engine):
+    """Single-process, zero-latency execution of a physical plan."""
+
+    name = "local"
+
+    def __init__(self, hdfs: HDFS, max_slots: int = 28):
+        self.hdfs = hdfs
+        self.max_slots = max_slots
+
+    def run_plan(
+        self,
+        plan: PhysicalPlan,
+        conf: Optional[Configuration] = None,
+        with_metrics: bool = False,
+    ) -> PlanResult:
+        conf = conf or Configuration()
+        timings: List[JobTiming] = []
+        for index, job in enumerate(plan.jobs):
+            is_last = index == len(plan.jobs) - 1
+            timings.append(self._run_job(job, conf, is_last))
+        rows = final_sorted_rows(plan, self.hdfs)
+        return PlanResult(
+            rows=rows,
+            schema=plan.output_schema,
+            jobs=timings,
+            engine=self.name,
+        )
+
+    def _run_job(self, job, conf: Configuration, is_last: bool) -> JobTiming:
+        hdfs = self.hdfs
+        splits = expand_job_splits(job, hdfs)
+        small_tables: Dict[str, list] = load_broadcast_tables(job, hdfs)
+        scale = job_input_scale(job, hdfs)
+        total_bytes = sum(split.logical_bytes for split in splits)
+        num_reducers = decide_num_reducers(
+            job, len(splits), total_bytes, conf, is_last, self.max_slots
+        )
+        timing = JobTiming(job_id=job.job_id, num_maps=len(splits), num_reducers=num_reducers)
+
+        if job.is_map_only:
+            for task_index, tagged in enumerate(splits):
+                rows, _bytes = scan_split(tagged)
+                mapper = ExecMapper(
+                    tagged.operators, collector=None, num_partitions=1,
+                    small_tables=small_tables,
+                )
+                mapper.process_batch(rows)
+                result = mapper.close()
+                write_task_output(job, hdfs, task_index, result.output_rows, scale)
+            if not splits:
+                write_task_output(job, hdfs, 0, [], scale)
+            return timing
+
+        collector = _PartitionedCollector(num_reducers)
+        for tagged in splits:
+            rows, _bytes = scan_split(tagged)
+            mapper = ExecMapper(
+                tagged.operators,
+                collector=collector,
+                num_partitions=num_reducers,
+                small_tables=small_tables,
+            )
+            mapper.process_batch(rows)
+            mapper.close()
+
+        for partition in range(num_reducers):
+            output_rows = run_reducer_functionally(
+                job, collector.partitions[partition], small_tables
+            )
+            write_task_output(job, hdfs, partition, output_rows, scale)
+        return timing

@@ -1,0 +1,33 @@
+"""Runtime execution layer shared by both engines.
+
+* :mod:`repro.exec.expressions` — bound (index-resolved) expressions
+  compiled to closures, with Hive's three-valued NULL logic.
+* :mod:`repro.exec.operators` — push-style map-side operators
+  (Filter/Select/ReduceSink/FileSink/map GroupBy/MapJoin) mirroring
+  Hive's physical operators.
+* :mod:`repro.exec.reduce` — reduce-side logics (aggregate, join, sort,
+  identity) consuming grouped key/values.
+* :mod:`repro.exec.mapper` — ExecMapper/ExecReducer drivers: the
+  engine-independent task bodies (paper §IV-B keeps these identical
+  between Hadoop and DataMPI).
+"""
+
+from repro.exec.expressions import (
+    BoundExpression,
+    InputRef,
+    Const,
+    compile_expression,
+    stable_hash,
+)
+from repro.exec.mapper import ExecMapper, ExecReducer, MapTaskResult
+
+__all__ = [
+    "BoundExpression",
+    "InputRef",
+    "Const",
+    "compile_expression",
+    "stable_hash",
+    "ExecMapper",
+    "ExecReducer",
+    "MapTaskResult",
+]

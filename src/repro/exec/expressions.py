@@ -1,0 +1,349 @@
+"""Bound expressions: index-resolved, NULL-aware, compiled to closures.
+
+The analyzer turns parser AST (names) into these nodes (row positions);
+``compile_expression`` then produces a plain ``row -> value`` closure so
+the per-row hot path has no interpretive dispatch.
+
+Semantics follow Hive:
+
+* three-valued logic — comparisons with NULL yield NULL; ``AND``/``OR``
+  propagate unknowns; filters keep a row only when the predicate is
+  exactly TRUE;
+* ``int / int`` is double division; ``%`` keeps integer semantics;
+* ``LIKE`` supports ``%`` and ``_``.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import ExecutionError, SemanticError
+from repro.common.kv import KeyValue, serialize_kv
+from repro.common.rows import DataType
+from repro.sql.functions import ScalarFunction
+
+Row = Tuple[object, ...]
+Evaluator = Callable[[Row], object]
+
+
+class BoundExpression:
+    """Base class; every node knows its result type."""
+
+    dtype: DataType = DataType.STRING
+
+    def compile(self) -> Evaluator:
+        raise NotImplementedError
+
+
+@dataclass
+class InputRef(BoundExpression):
+    index: int
+    dtype: DataType = DataType.STRING
+
+    def compile(self) -> Evaluator:
+        index = self.index
+        return lambda row: row[index]
+
+
+@dataclass
+class Const(BoundExpression):
+    value: object
+    dtype: DataType = DataType.STRING
+
+    def compile(self) -> Evaluator:
+        value = self.value
+        return lambda row: value
+
+
+@dataclass
+class Arithmetic(BoundExpression):
+    op: str
+    left: BoundExpression
+    right: BoundExpression
+    dtype: DataType = DataType.DOUBLE
+
+    def compile(self) -> Evaluator:
+        left, right = self.left.compile(), self.right.compile()
+        op = self.op
+
+        if op == "+":
+            def evaluate(row):
+                a, b = left(row), right(row)
+                return None if a is None or b is None else a + b
+        elif op == "-":
+            def evaluate(row):
+                a, b = left(row), right(row)
+                return None if a is None or b is None else a - b
+        elif op == "*":
+            def evaluate(row):
+                a, b = left(row), right(row)
+                return None if a is None or b is None else a * b
+        elif op == "/":
+            def evaluate(row):
+                a, b = left(row), right(row)
+                if a is None or b is None or b == 0:
+                    return None  # Hive yields NULL on division by zero
+                return a / b
+        elif op == "%":
+            def evaluate(row):
+                a, b = left(row), right(row)
+                if a is None or b is None or b == 0:
+                    return None
+                return a % b
+        else:
+            raise ExecutionError(f"unknown arithmetic op {op!r}")
+        return evaluate
+
+
+@dataclass
+class Comparison(BoundExpression):
+    op: str  # '=', '<>', '<', '<=', '>', '>='
+    left: BoundExpression
+    right: BoundExpression
+    dtype: DataType = DataType.BOOLEAN
+
+    def compile(self) -> Evaluator:
+        left, right = self.left.compile(), self.right.compile()
+        op = self.op
+        if op == "=":
+            compare = lambda a, b: a == b
+        elif op == "<>":
+            compare = lambda a, b: a != b
+        elif op == "<":
+            compare = lambda a, b: a < b
+        elif op == "<=":
+            compare = lambda a, b: a <= b
+        elif op == ">":
+            compare = lambda a, b: a > b
+        elif op == ">=":
+            compare = lambda a, b: a >= b
+        else:
+            raise ExecutionError(f"unknown comparison {op!r}")
+
+        def evaluate(row):
+            a, b = left(row), right(row)
+            if a is None or b is None:
+                return None
+            return compare(a, b)
+
+        return evaluate
+
+
+@dataclass
+class LogicalAnd(BoundExpression):
+    operands: List[BoundExpression] = field(default_factory=list)
+    dtype: DataType = DataType.BOOLEAN
+
+    def compile(self) -> Evaluator:
+        compiled = [operand.compile() for operand in self.operands]
+
+        def evaluate(row):
+            saw_null = False
+            for evaluator in compiled:
+                value = evaluator(row)
+                if value is None:
+                    saw_null = True
+                elif not value:
+                    return False
+            return None if saw_null else True
+
+        return evaluate
+
+
+@dataclass
+class LogicalOr(BoundExpression):
+    operands: List[BoundExpression] = field(default_factory=list)
+    dtype: DataType = DataType.BOOLEAN
+
+    def compile(self) -> Evaluator:
+        compiled = [operand.compile() for operand in self.operands]
+
+        def evaluate(row):
+            saw_null = False
+            for evaluator in compiled:
+                value = evaluator(row)
+                if value is None:
+                    saw_null = True
+                elif value:
+                    return True
+            return None if saw_null else False
+
+        return evaluate
+
+
+@dataclass
+class LogicalNot(BoundExpression):
+    operand: BoundExpression = None
+    dtype: DataType = DataType.BOOLEAN
+
+    def compile(self) -> Evaluator:
+        inner = self.operand.compile()
+
+        def evaluate(row):
+            value = inner(row)
+            return None if value is None else not value
+
+        return evaluate
+
+
+@dataclass
+class ScalarCall(BoundExpression):
+    function: ScalarFunction = None
+    args: List[BoundExpression] = field(default_factory=list)
+    dtype: DataType = DataType.STRING
+
+    def compile(self) -> Evaluator:
+        impl = self.function.impl
+        compiled = [arg.compile() for arg in self.args]
+        if len(compiled) == 1:
+            only = compiled[0]
+            return lambda row: impl(only(row))
+        if len(compiled) == 2:
+            first, second = compiled
+            return lambda row: impl(first(row), second(row))
+        return lambda row: impl(*[evaluator(row) for evaluator in compiled])
+
+
+@dataclass
+class CaseExpr(BoundExpression):
+    branches: List[Tuple[BoundExpression, BoundExpression]] = field(default_factory=list)
+    else_value: Optional[BoundExpression] = None
+    dtype: DataType = DataType.STRING
+
+    def compile(self) -> Evaluator:
+        compiled = [(cond.compile(), value.compile()) for cond, value in self.branches]
+        otherwise = self.else_value.compile() if self.else_value else (lambda row: None)
+
+        def evaluate(row):
+            for condition, value in compiled:
+                if condition(row):
+                    return value(row)
+            return otherwise(row)
+
+        return evaluate
+
+
+@dataclass
+class LikeExpr(BoundExpression):
+    operand: BoundExpression = None
+    pattern: str = ""
+    negated: bool = False
+    dtype: DataType = DataType.BOOLEAN
+
+    def compile(self) -> Evaluator:
+        regex = re.compile(_like_to_regex(self.pattern), re.DOTALL)
+        inner = self.operand.compile()
+        negated = self.negated
+
+        def evaluate(row):
+            value = inner(row)
+            if value is None:
+                return None
+            matched = regex.fullmatch(str(value)) is not None
+            return not matched if negated else matched
+
+        return evaluate
+
+
+@dataclass
+class InSet(BoundExpression):
+    """Membership test against a literal set (the common TPC-H shape)."""
+
+    operand: BoundExpression = None
+    values: frozenset = frozenset()
+    negated: bool = False
+    dtype: DataType = DataType.BOOLEAN
+
+    def compile(self) -> Evaluator:
+        inner = self.operand.compile()
+        values = self.values
+        negated = self.negated
+
+        def evaluate(row):
+            value = inner(row)
+            if value is None:
+                return None
+            contained = value in values
+            return not contained if negated else contained
+
+        return evaluate
+
+
+@dataclass
+class IsNullExpr(BoundExpression):
+    operand: BoundExpression = None
+    negated: bool = False
+    dtype: DataType = DataType.BOOLEAN
+
+    def compile(self) -> Evaluator:
+        inner = self.operand.compile()
+        negated = self.negated
+        if negated:
+            return lambda row: inner(row) is not None
+        return lambda row: inner(row) is None
+
+
+@dataclass
+class CastExpr(BoundExpression):
+    operand: BoundExpression = None
+    dtype: DataType = DataType.STRING
+
+    def compile(self) -> Evaluator:
+        inner = self.operand.compile()
+        target = self.dtype
+
+        def evaluate(row):
+            value = inner(row)
+            if value is None:
+                return None
+            try:
+                if target in (DataType.INT, DataType.BIGINT):
+                    return int(float(value))
+                if target is DataType.DOUBLE:
+                    return float(value)
+                if target is DataType.BOOLEAN:
+                    return bool(value)
+                return str(value)
+            except (TypeError, ValueError):
+                return None  # Hive casts malformed values to NULL
+
+        return evaluate
+
+
+def _like_to_regex(pattern: str) -> str:
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return "".join(out)
+
+
+def compile_expression(expression: BoundExpression) -> Evaluator:
+    """Compile a bound expression tree into a ``row -> value`` closure."""
+    return expression.compile()
+
+
+def compile_many(expressions: List[BoundExpression]) -> Callable[[Row], Row]:
+    """Compile a projection list into a ``row -> tuple`` closure."""
+    compiled = [expression.compile() for expression in expressions]
+    return lambda row: tuple(evaluator(row) for evaluator in compiled)
+
+
+def stable_hash(fields: Tuple[object, ...]) -> int:
+    """Deterministic cross-process hash of a key tuple (CRC32 of the wire
+    encoding) — Python's builtin ``hash`` is salted per process, which
+    would make the two engines partition differently."""
+    return zlib.crc32(serialize_kv(KeyValue(fields, ()))) & 0x7FFFFFFF
+
+
+def require_boolean(expression: BoundExpression, context: str) -> BoundExpression:
+    if expression.dtype is not DataType.BOOLEAN:
+        raise SemanticError(f"{context} must be boolean, got {expression.dtype}")
+    return expression

@@ -1,0 +1,110 @@
+"""ExecMapper / ExecReducer: engine-independent task bodies.
+
+The paper's design keeps Hive's ExecMapper/ExecReducer intact and swaps
+only the surrounding engine (job control + shuffle).  Likewise here: both
+engines instantiate these drivers, feed them rows/groups, and own the
+collector the pipeline emits into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.kv import KeyValue
+from repro.exec.operators import (
+    Collector,
+    MapOperator,
+    OperatorContext,
+    build_pipeline,
+)
+from repro.exec.reduce import ReduceLogic, build_reduce_logic
+
+Row = Tuple[object, ...]
+
+
+@dataclass
+class MapTaskResult:
+    """Functional products of one map task."""
+
+    output_rows: List[Row]  # non-empty only for map-only jobs
+    rows_read: int
+    kv_pairs: int
+    kv_bytes: int
+
+
+class ExecMapper:
+    """Drives one map task's operator pipeline over input row batches."""
+
+    def __init__(
+        self,
+        descriptors: List[object],
+        collector: Optional[Collector],
+        num_partitions: int,
+        small_tables: Optional[Dict[str, List[Row]]] = None,
+    ):
+        self.context = OperatorContext(
+            collector=collector,
+            num_partitions=num_partitions,
+            small_tables=small_tables,
+        )
+        self.pipeline: MapOperator = build_pipeline(descriptors, self.context)
+        self._closed = False
+
+    def process_batch(self, rows: Iterable[Row]) -> int:
+        """Push a batch through the pipeline; returns rows consumed."""
+        pipeline = self.pipeline
+        count = 0
+        for row in rows:
+            pipeline.process(row)
+            count += 1
+        self.context.rows_read += count
+        return count
+
+    def close(self) -> MapTaskResult:
+        if not self._closed:
+            self.pipeline.close()
+            self._closed = True
+        context = self.context
+        return MapTaskResult(
+            output_rows=context.output_rows,
+            rows_read=context.rows_read,
+            kv_pairs=context.kv_pairs_out,
+            kv_bytes=context.kv_bytes_out,
+        )
+
+
+class ExecReducer:
+    """Drives one reduce task: grouped pairs -> reduce logic -> pipeline."""
+
+    def __init__(
+        self,
+        logic_desc: object,
+        downstream_descriptors: List[object],
+        collector: Optional[Collector] = None,
+        num_partitions: int = 1,
+        small_tables: Optional[Dict[str, List[Row]]] = None,
+    ):
+        self.context = OperatorContext(
+            collector=collector,
+            num_partitions=num_partitions,
+            small_tables=small_tables,
+        )
+        downstream = build_pipeline(downstream_descriptors, self.context)
+        self.logic: ReduceLogic = build_reduce_logic(logic_desc, downstream)
+        self._closed = False
+
+    def reduce_group(self, key: Row, values: Sequence[Tuple]) -> None:
+        self.logic.reduce(key, values)
+
+    def close(self) -> MapTaskResult:
+        if not self._closed:
+            self.logic.close()
+            self._closed = True
+        context = self.context
+        return MapTaskResult(
+            output_rows=context.output_rows,
+            rows_read=context.rows_read,
+            kv_pairs=context.kv_pairs_out,
+            kv_bytes=context.kv_bytes_out,
+        )

@@ -1,0 +1,324 @@
+"""Map-side physical operators (Hive's operator tree, push style).
+
+The physical plan stores *descriptors* (plain dataclasses); each task
+instantiates fresh runtime operators from them, compiling the bound
+expressions into closures.  Rows are pushed down the pipeline one batch
+at a time by :class:`repro.exec.mapper.ExecMapper`; the pipeline ends in
+either a :class:`ReduceSinkOperator` (emitting shuffle pairs through the
+engine's collector — Hadoop's spill buffer or the DataMPICollector) or a
+:class:`FileSinkOperator` (buffering output rows for HDFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.common.kv import KeyValue, kv_size
+from repro.exec.expressions import BoundExpression, compile_many, stable_hash
+
+Row = Tuple[object, ...]
+
+
+# ---------------------------------------------------------------------------
+# descriptors (what the physical plan serializes)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FilterDesc:
+    predicate: BoundExpression
+
+
+@dataclass
+class SelectDesc:
+    expressions: List[BoundExpression]
+
+
+@dataclass
+class MapGroupByDesc:
+    """Map-side partial aggregation (hash in memory, flush on pressure)."""
+
+    key_expressions: List[BoundExpression]
+    # (aggregate object, argument expression or None for COUNT(*))
+    aggregates: List[Tuple[object, Optional[BoundExpression]]]
+    max_groups_in_memory: int = 100_000
+
+
+@dataclass
+class ReduceSinkDesc:
+    key_expressions: List[BoundExpression]
+    value_expressions: List[BoundExpression]
+    tag: int = 0
+    # number of reduce partitions is decided by the engine at job start
+
+
+@dataclass
+class MapJoinDesc:
+    """Broadcast hash join executed entirely map-side.
+
+    ``small_location`` names the HDFS directory of the small table; the
+    engine loads its rows (running the broadcast chain) and hands them to
+    the operator at init.  When ``swap_output`` is set the build side is
+    the logical *left* input, so output rows are ``small + big`` to keep
+    the plan's column order.
+    """
+
+    small_location: str
+    probe_key_expressions: List[BoundExpression]  # over the big (streamed) side
+    build_key_expressions: List[BoundExpression]  # over the small side's rows
+    join_type: str = "inner"  # 'inner' | 'left'
+    small_width: int = 0  # columns in the small side (for outer-join nulls)
+    swap_output: bool = False
+
+
+@dataclass
+class LimitDesc:
+    limit: int
+
+
+@dataclass
+class FileSinkDesc:
+    column_names: List[str] = field(default_factory=list)
+
+
+MapOperatorDesc = object  # union of the dataclasses above
+
+
+# ---------------------------------------------------------------------------
+# runtime context + collector protocol
+# ---------------------------------------------------------------------------
+
+class Collector:
+    """Engine-provided sink for shuffle pairs (partition pre-computed)."""
+
+    def collect(self, partition: int, pair: KeyValue) -> None:
+        raise NotImplementedError
+
+
+class ListCollector(Collector):
+    """Test/reference collector: buffers everything."""
+
+    def __init__(self):
+        self.pairs: List[Tuple[int, KeyValue]] = []
+
+    def collect(self, partition: int, pair: KeyValue) -> None:
+        self.pairs.append((partition, pair))
+
+
+class OperatorContext:
+    """Per-task runtime services shared by the operator pipeline."""
+
+    def __init__(
+        self,
+        collector: Optional[Collector] = None,
+        num_partitions: int = 1,
+        small_tables: Optional[Dict[str, List[Row]]] = None,
+    ):
+        self.collector = collector
+        self.num_partitions = max(1, num_partitions)
+        self.small_tables = small_tables or {}
+        self.output_rows: List[Row] = []
+        # counters
+        self.rows_read = 0
+        self.rows_emitted = 0
+        self.kv_pairs_out = 0
+        self.kv_bytes_out = 0
+        # serialized size -> pair count (Fig 2(c)/(d) instrumentation)
+        self.kv_size_histogram: Dict[int, int] = {}
+
+
+# ---------------------------------------------------------------------------
+# runtime operators
+# ---------------------------------------------------------------------------
+
+class MapOperator:
+    def __init__(self, child: Optional["MapOperator"]):
+        self.child = child
+
+    def process(self, row: Row) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if self.child is not None:
+            self.child.close()
+
+
+class FilterOperator(MapOperator):
+    def __init__(self, desc: FilterDesc, child: MapOperator):
+        super().__init__(child)
+        self._predicate = desc.predicate.compile()
+
+    def process(self, row: Row) -> None:
+        if self._predicate(row) is True:
+            self.child.process(row)
+
+
+class SelectOperator(MapOperator):
+    def __init__(self, desc: SelectDesc, child: MapOperator):
+        super().__init__(child)
+        self._project = compile_many(desc.expressions)
+
+    def process(self, row: Row) -> None:
+        self.child.process(self._project(row))
+
+
+class MapGroupByOperator(MapOperator):
+    """Hash-based partial aggregation; flushes when the table grows past
+    the configured bound (Hive's map-side GroupBy with memory pressure)."""
+
+    def __init__(self, desc: MapGroupByDesc, child: MapOperator):
+        super().__init__(child)
+        self._key = compile_many(desc.key_expressions)
+        self._aggregates = [
+            (aggregate, arg.compile() if arg is not None else None)
+            for aggregate, arg in desc.aggregates
+        ]
+        self._max_groups = desc.max_groups_in_memory
+        self._table: Dict[Row, list] = {}
+        self.flushes = 0
+
+    def process(self, row: Row) -> None:
+        key = self._key(row)
+        accumulators = self._table.get(key)
+        if accumulators is None:
+            if len(self._table) >= self._max_groups:
+                self._flush()
+            accumulators = [aggregate.create() for aggregate, _arg in self._aggregates]
+            self._table[key] = accumulators
+        for position, (aggregate, arg) in enumerate(self._aggregates):
+            value = True if arg is None else arg(row)  # COUNT(*) sentinel
+            accumulators[position] = aggregate.update(accumulators[position], value)
+
+    def _flush(self) -> None:
+        self.flushes += 1
+        for key, accumulators in self._table.items():
+            flat: List[object] = list(key)
+            for (aggregate, _arg), accumulator in zip(self._aggregates, accumulators):
+                flat.extend(aggregate.partial(accumulator))
+            self.child.process(tuple(flat))
+        self._table.clear()
+
+    def close(self) -> None:
+        self._flush()
+        super().close()
+
+
+class MapJoinOperator(MapOperator):
+    """Broadcast hash join: build side loaded at init, probe side streamed."""
+
+    def __init__(self, desc: MapJoinDesc, child: MapOperator, context: OperatorContext):
+        super().__init__(child)
+        self._probe_key = compile_many(desc.probe_key_expressions)
+        self._join_type = desc.join_type
+        self._small_width = desc.small_width
+        self._swap = desc.swap_output
+        try:
+            small_rows = context.small_tables[desc.small_location]
+        except KeyError:
+            raise ExecutionError(
+                f"map-join small table not loaded: {desc.small_location}"
+            ) from None
+        build_key = compile_many(desc.build_key_expressions)
+        self._hash: Dict[Row, List[Row]] = {}
+        for row in small_rows:
+            key = build_key(row)
+            if any(part is None for part in key):
+                continue  # NULL never matches an equi-join key
+            self._hash.setdefault(key, []).append(row)
+
+    def process(self, row: Row) -> None:
+        key = self._probe_key(row)
+        matches = None
+        if not any(part is None for part in key):
+            matches = self._hash.get(key)
+        if matches:
+            for small_row in matches:
+                if self._swap:
+                    self.child.process(small_row + row)
+                else:
+                    self.child.process(row + small_row)
+        elif self._join_type == "left":
+            self.child.process(row + (None,) * self._small_width)
+
+
+class LimitOperator(MapOperator):
+    def __init__(self, desc: LimitDesc, child: MapOperator):
+        super().__init__(child)
+        self._remaining = desc.limit
+
+    def process(self, row: Row) -> None:
+        if self._remaining > 0:
+            self._remaining -= 1
+            self.child.process(row)
+
+
+class ReduceSinkOperator(MapOperator):
+    """Terminal: computes (key, value), partitions, hands to the collector."""
+
+    def __init__(self, desc: ReduceSinkDesc, context: OperatorContext):
+        super().__init__(None)
+        self._key = compile_many(desc.key_expressions)
+        self._value = compile_many(desc.value_expressions)
+        self._tag = desc.tag
+        self._context = context
+
+    def process(self, row: Row) -> None:
+        key = self._key(row)
+        value = (self._tag,) + self._value(row)
+        pair = KeyValue(key, value)
+        partition = stable_hash(key) % self._context.num_partitions
+        context = self._context
+        size = kv_size(pair)
+        context.kv_pairs_out += 1
+        context.kv_bytes_out += size
+        histogram = context.kv_size_histogram
+        histogram[size] = histogram.get(size, 0) + 1
+        context.collector.collect(partition, pair)
+
+    def close(self) -> None:
+        pass
+
+
+class FileSinkOperator(MapOperator):
+    """Terminal: buffers final output rows (the task writes them to HDFS)."""
+
+    def __init__(self, desc: FileSinkDesc, context: OperatorContext):
+        super().__init__(None)
+        self._context = context
+
+    def process(self, row: Row) -> None:
+        self._context.rows_emitted += 1
+        self._context.output_rows.append(row)
+
+    def close(self) -> None:
+        pass
+
+
+def build_pipeline(
+    descriptors: List[MapOperatorDesc], context: OperatorContext
+) -> MapOperator:
+    """Instantiate a runtime pipeline from descriptors (sink must be last)."""
+    if not descriptors:
+        raise ExecutionError("empty operator pipeline")
+    tail = descriptors[-1]
+    if isinstance(tail, ReduceSinkDesc):
+        operator: MapOperator = ReduceSinkOperator(tail, context)
+    elif isinstance(tail, FileSinkDesc):
+        operator = FileSinkOperator(tail, context)
+    else:
+        raise ExecutionError(f"pipeline must end in a sink, got {type(tail).__name__}")
+    for descriptor in reversed(descriptors[:-1]):
+        if isinstance(descriptor, FilterDesc):
+            operator = FilterOperator(descriptor, operator)
+        elif isinstance(descriptor, SelectDesc):
+            operator = SelectOperator(descriptor, operator)
+        elif isinstance(descriptor, MapGroupByDesc):
+            operator = MapGroupByOperator(descriptor, operator)
+        elif isinstance(descriptor, MapJoinDesc):
+            operator = MapJoinOperator(descriptor, operator, context)
+        elif isinstance(descriptor, LimitDesc):
+            operator = LimitOperator(descriptor, operator)
+        else:
+            raise ExecutionError(f"unknown operator descriptor {type(descriptor).__name__}")
+    return operator

@@ -1,0 +1,207 @@
+"""Reduce-side logics: aggregate finalization, reduce-side join, sort.
+
+A reduce task receives groups of ``(key, [values])`` where each value is
+``(tag, field, field, ...)``; the logic transforms a group into output
+rows and pushes them into a downstream map-operator pipeline (having
+filters, projections, limits, file sink) — mirroring Hive's reduce-side
+operator tree rooted at a GroupBy/Join operator.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.common.kv import KeyValue
+from repro.common.rows import compare_values
+from repro.exec.operators import MapOperator
+
+Row = Tuple[object, ...]
+Value = Tuple[object, ...]  # (tag, *fields)
+
+
+# ---------------------------------------------------------------------------
+# descriptors
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ReduceAggregateDesc:
+    """Finalize GROUP BY: merge map-side partials (or update raw values)."""
+
+    key_arity: int
+    aggregates: List[object]  # Aggregate instances, in select order
+    inputs_are_partials: bool = True
+    partial_arities: List[int] = field(default_factory=list)
+
+
+@dataclass
+class ReduceJoinDesc:
+    """Reduce-side (common) join of two tagged inputs on the group key."""
+
+    join_type: str  # 'inner' | 'left'
+    left_width: int
+    right_width: int
+
+
+@dataclass
+class ReduceSortDesc:
+    """Identity pass: the framework's key sort provides the order."""
+
+
+@dataclass
+class ReduceDistinctDesc:
+    """Emit each distinct key once (SELECT DISTINCT / dedup stages)."""
+
+    key_arity: int
+
+
+ReduceLogicDesc = object
+
+
+# ---------------------------------------------------------------------------
+# runtime logics
+# ---------------------------------------------------------------------------
+
+class ReduceLogic:
+    def __init__(self, desc: ReduceLogicDesc, downstream: MapOperator):
+        self.desc = desc
+        self.downstream = downstream
+
+    def reduce(self, key: Row, values: Sequence[Value]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self.downstream.close()
+
+
+class AggregateReduceLogic(ReduceLogic):
+    def __init__(self, desc: ReduceAggregateDesc, downstream: MapOperator):
+        super().__init__(desc, downstream)
+        if desc.inputs_are_partials and len(desc.partial_arities) != len(desc.aggregates):
+            raise ExecutionError("partial_arities must match aggregates")
+
+    def reduce(self, key: Row, values: Sequence[Value]) -> None:
+        desc = self.desc
+        accumulators = [aggregate.create() for aggregate in desc.aggregates]
+        if desc.inputs_are_partials:
+            for value in values:
+                fields = value[1:]  # strip tag
+                offset = 0
+                for position, aggregate in enumerate(desc.aggregates):
+                    arity = desc.partial_arities[position]
+                    partial = fields[offset : offset + arity]
+                    accumulators[position] = aggregate.merge(accumulators[position], partial)
+                    offset += arity
+        else:
+            for value in values:
+                fields = value[1:]
+                for position, aggregate in enumerate(desc.aggregates):
+                    accumulators[position] = aggregate.update(
+                        accumulators[position], fields[position]
+                    )
+        results = tuple(
+            aggregate.result(accumulator)
+            for aggregate, accumulator in zip(desc.aggregates, accumulators)
+        )
+        self.downstream.process(tuple(key) + results)
+
+
+class JoinReduceLogic(ReduceLogic):
+    """Buffers the left (tag 0) rows, streams the right (tag 1) rows."""
+
+    def reduce(self, key: Row, values: Sequence[Value]) -> None:
+        desc = self.desc
+        left_rows: List[Row] = []
+        right_rows: List[Row] = []
+        for value in values:
+            (left_rows if value[0] == 0 else right_rows).append(value[1:])
+        if right_rows:
+            for left in left_rows:
+                for right in right_rows:
+                    self.downstream.process(left + right)
+        elif desc.join_type == "left":
+            nulls = (None,) * desc.right_width
+            for left in left_rows:
+                self.downstream.process(left + nulls)
+
+
+class SortReduceLogic(ReduceLogic):
+    def reduce(self, key: Row, values: Sequence[Value]) -> None:
+        for value in values:
+            self.downstream.process(value[1:])
+
+
+class DistinctReduceLogic(ReduceLogic):
+    def reduce(self, key: Row, values: Sequence[Value]) -> None:
+        self.downstream.process(tuple(key))
+
+
+def build_reduce_logic(desc: ReduceLogicDesc, downstream: MapOperator) -> ReduceLogic:
+    if isinstance(desc, ReduceAggregateDesc):
+        return AggregateReduceLogic(desc, downstream)
+    if isinstance(desc, ReduceJoinDesc):
+        return JoinReduceLogic(desc, downstream)
+    if isinstance(desc, ReduceSortDesc):
+        return SortReduceLogic(desc, downstream)
+    if isinstance(desc, ReduceDistinctDesc):
+        return DistinctReduceLogic(desc, downstream)
+    raise ExecutionError(f"unknown reduce logic {type(desc).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# framework-side sort & group helpers (shared by both engines)
+# ---------------------------------------------------------------------------
+
+def key_comparator(directions: Optional[Sequence[bool]] = None):
+    """cmp function over key tuples honoring per-field ASC/DESC flags."""
+
+    def compare(left: Row, right: Row) -> int:
+        for position in range(min(len(left), len(right))):
+            outcome = compare_values(left[position], right[position])
+            if outcome != 0:
+                if directions is not None and position < len(directions):
+                    return outcome if directions[position] else -outcome
+                return outcome
+        return len(left) - len(right)
+
+    return compare
+
+
+def sort_pairs(
+    pairs: List[KeyValue], directions: Optional[Sequence[bool]] = None
+) -> List[KeyValue]:
+    """Sort shuffle pairs by key (stable, direction-aware)."""
+    compare = key_comparator(directions)
+    return sorted(pairs, key=functools.cmp_to_key(lambda a, b: compare(a.key, b.key)))
+
+
+def group_sorted_pairs(
+    pairs: Iterable[KeyValue],
+) -> Iterable[Tuple[Row, List[Value]]]:
+    """Group consecutive equal keys of an already-sorted pair stream."""
+    current_key: Optional[Row] = None
+    bucket: List[Value] = []
+    for pair in pairs:
+        if current_key is None or pair.key != current_key:
+            if current_key is not None:
+                yield current_key, bucket
+            current_key = pair.key
+            bucket = []
+        bucket.append(pair.value)
+    if current_key is not None:
+        yield current_key, bucket
+
+
+def merge_sorted_runs(
+    runs: List[List[KeyValue]], directions: Optional[Sequence[bool]] = None
+) -> List[KeyValue]:
+    """K-way merge of sorted runs (Hadoop's on-disk merge, DataMPI's
+    in-memory merge both use this)."""
+    import heapq
+
+    compare = key_comparator(directions)
+    key_fn = functools.cmp_to_key(compare)
+    merged = heapq.merge(*runs, key=lambda pair: key_fn(pair.key))
+    return list(merged)

@@ -1,0 +1,50 @@
+"""Query planning: semantic analysis, logical tree, physical MR DAG.
+
+Pipeline (paper Fig 3): HiveQL text -> AST (:mod:`repro.sql`) -> bound
+logical operator tree (:mod:`repro.plan.analyzer`) -> optimized
+(:mod:`repro.plan.optimizer`, pushdown happens during analysis) ->
+physical plan: a DAG of MapReduce jobs (:mod:`repro.plan.physical`)
+shared *verbatim* by the Hadoop and DataMPI engines.
+"""
+
+from repro.plan.logical import (
+    LogicalNode,
+    Scan,
+    Filter,
+    Project,
+    JoinNode,
+    AggregateNode,
+    SortNode,
+    LimitNode,
+    DistinctNode,
+    RowSignature,
+    FieldInfo,
+)
+from repro.plan.analyzer import Analyzer
+from repro.plan.physical import (
+    PhysicalPlan,
+    MRJob,
+    MapInput,
+    PhysicalCompiler,
+    explain_plan,
+)
+
+__all__ = [
+    "LogicalNode",
+    "Scan",
+    "Filter",
+    "Project",
+    "JoinNode",
+    "AggregateNode",
+    "SortNode",
+    "LimitNode",
+    "DistinctNode",
+    "RowSignature",
+    "FieldInfo",
+    "Analyzer",
+    "PhysicalPlan",
+    "MRJob",
+    "MapInput",
+    "PhysicalCompiler",
+    "explain_plan",
+]

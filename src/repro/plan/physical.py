@@ -1,0 +1,631 @@
+"""Physical planning: bound logical tree -> DAG of MapReduce jobs.
+
+The physical plan is engine-neutral (paper §IV-B: *"we continue to share
+the query plan optimized for Hadoop"*): the Hadoop engine and the DataMPI
+engine execute the **same** :class:`MRJob` objects; only job control,
+startup and shuffle differ.
+
+Shuffle-requiring logical nodes (Aggregate, common Join, Sort, Distinct)
+each open a new job; Filters/Projects/Limits fuse into the enclosing map
+or reduce chain; intermediate results go to temp directories in sequence
+format.  Map-join converts a join against a small base table into a
+broadcast hash join fused into the consuming chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import (
+    Configuration,
+    HIVE_MAPJOIN_SMALLTABLE_BYTES,
+)
+from repro.common.errors import PlanError
+from repro.common.rows import DataType, Schema
+from repro.common.units import MB
+from repro.exec import expressions as bexpr
+from repro.exec.expressions import BoundExpression, Const, InputRef
+from repro.exec.operators import (
+    FileSinkDesc,
+    FilterDesc,
+    LimitDesc,
+    MapGroupByDesc,
+    MapJoinDesc,
+    ReduceSinkDesc,
+    SelectDesc,
+)
+from repro.exec.reduce import (
+    ReduceAggregateDesc,
+    ReduceDistinctDesc,
+    ReduceJoinDesc,
+    ReduceSortDesc,
+)
+from repro.plan.analyzer import collect_input_refs, split_conjuncts
+from repro.plan.logical import (
+    AggregateNode,
+    DistinctNode,
+    Filter,
+    JoinNode,
+    LimitNode,
+    LogicalNode,
+    Project,
+    RowSignature,
+    Scan,
+    SortNode,
+    UnionNode,
+)
+from repro.storage.hdfs import HDFS
+from repro.storage.metastore import Metastore
+
+DEFAULT_MAPJOIN_THRESHOLD = 25 * MB  # Hive 0.13 hive.mapjoin.smalltable.filesize
+
+
+# ---------------------------------------------------------------------------
+# plan data model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScanHints:
+    """ORC reader hints derived from the map chain (pruning + pushdown)."""
+
+    columns: Optional[List[str]] = None  # None = all columns
+    stats_conjuncts: List[Tuple[str, str, object]] = field(default_factory=list)
+
+
+@dataclass
+class MapInput:
+    """One input relation of a job with its per-record operator chain."""
+
+    location: str
+    tag: int
+    operators: List[object]  # descriptors; a shuffle job's chain ends in ReduceSinkDesc
+    hints: ScanHints = field(default_factory=ScanHints)
+
+
+@dataclass
+class BroadcastSpec:
+    """A small table to load and preprocess on every map task (map join)."""
+
+    location: str
+    operators: List[object]  # Filter/Select chain applied to the loaded rows
+    width: int
+
+
+@dataclass
+class MRJob:
+    job_id: str
+    inputs: List[MapInput]
+    reduce_logic: Optional[object]  # None -> map-only job
+    reduce_operators: List[object] = field(default_factory=list)  # ends FileSinkDesc
+    output_location: str = ""
+    output_schema: Optional[Schema] = None
+    output_format: str = "sequence"
+    output_partition_values: Optional[Dict[str, object]] = None
+    sort_directions: Optional[List[bool]] = None
+    num_reducers_hint: Optional[int] = None
+    broadcasts: List[BroadcastSpec] = field(default_factory=list)
+    is_final: bool = False
+
+    @property
+    def is_map_only(self) -> bool:
+        return self.reduce_logic is None
+
+
+@dataclass
+class PhysicalPlan:
+    jobs: List[MRJob]
+    output_location: str
+    output_schema: Schema
+    final_limit: Optional[int] = None
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+
+# ---------------------------------------------------------------------------
+# compiler
+# ---------------------------------------------------------------------------
+
+class _MapStream:
+    """Un-materialized map-side stream: per-file-input operator chains."""
+
+    def __init__(self, inputs: List[MapInput], signature: RowSignature,
+                 broadcasts: Optional[List[BroadcastSpec]] = None,
+                 base_table: Optional[str] = None):
+        self.inputs = inputs
+        self.signature = signature
+        self.broadcasts = broadcasts or []
+        self.base_table = base_table  # table name when chain is over one base table
+
+    def append(self, descriptor: object) -> None:
+        for map_input in self.inputs:
+            map_input.operators.append(descriptor)
+
+
+class _ReduceStream:
+    """An open job whose reduce-side chain is still growing."""
+
+    def __init__(self, job: MRJob, signature: RowSignature):
+        self.job = job
+        self.signature = signature
+
+    def append(self, descriptor: object) -> None:
+        self.job.reduce_operators.append(descriptor)
+
+
+class PhysicalCompiler:
+    def __init__(self, metastore: Metastore, hdfs: HDFS, conf: Optional[Configuration] = None,
+                 query_id: str = "q"):
+        self.metastore = metastore
+        self.hdfs = hdfs
+        self.conf = conf or Configuration()
+        self.query_id = query_id
+        self._job_counter = 0
+        self._temp_counter = 0
+        self.jobs: List[MRJob] = []
+
+    # -- public API ---------------------------------------------------------
+    def compile(
+        self,
+        root: LogicalNode,
+        output_location: str,
+        output_format: str = "text",
+    ) -> PhysicalPlan:
+        self.jobs = []
+        final_limit = root.limit if isinstance(root, LimitNode) else None
+        stream = self._compile_node(root)
+        schema = stream.signature.to_schema()
+        if isinstance(stream, _ReduceStream):
+            self._close_job(stream, output_location, output_format, final=True)
+        else:
+            job = self._new_job(stream.inputs, None, broadcasts=stream.broadcasts)
+            stream.append(FileSinkDesc(column_names=schema.names))
+            job.output_location = output_location
+            job.output_schema = schema
+            job.output_format = output_format
+            job.is_final = True
+            self.jobs.append(job)
+        for job in self.jobs:
+            for map_input in job.inputs:
+                map_input.hints = self._compute_scan_hints(map_input)
+        return PhysicalPlan(
+            jobs=self.jobs,
+            output_location=output_location,
+            output_schema=schema,
+            final_limit=final_limit,
+        )
+
+    # -- helpers ----------------------------------------------------------------
+    def _next_temp(self) -> str:
+        self._temp_counter += 1
+        return f"/tmp/hive/{self.query_id}/inter-{self._temp_counter}"
+
+    def _new_job(self, inputs: List[MapInput], reduce_logic: Optional[object],
+                 broadcasts: Optional[List[BroadcastSpec]] = None) -> MRJob:
+        self._job_counter += 1
+        return MRJob(
+            job_id=f"{self.query_id}-job{self._job_counter}",
+            inputs=inputs,
+            reduce_logic=reduce_logic,
+            broadcasts=broadcasts or [],
+        )
+
+    def _close_job(
+        self,
+        stream: _ReduceStream,
+        location: str,
+        output_format: str,
+        final: bool,
+    ) -> None:
+        schema = stream.signature.to_schema()
+        stream.job.reduce_operators.append(FileSinkDesc(column_names=schema.names))
+        stream.job.output_location = location
+        stream.job.output_schema = schema
+        stream.job.output_format = output_format
+        stream.job.is_final = final
+        self.jobs.append(stream.job)
+
+    def _materialize(self, stream) -> _MapStream:
+        """Force a stream into readable files (temp dir) if it is an open
+        reduce-side job; map streams pass through."""
+        if isinstance(stream, _MapStream):
+            return stream
+        location = self._next_temp()
+        self._close_job(stream, location, "sequence", final=False)
+        return _MapStream(
+            inputs=[MapInput(location=location, tag=0, operators=[])],
+            signature=stream.signature,
+        )
+
+    # -- node dispatch --------------------------------------------------------------
+    def _compile_node(self, node: LogicalNode):
+        if isinstance(node, Scan):
+            return self._compile_scan(node)
+        if isinstance(node, Filter):
+            stream = self._compile_node(node.child)
+            stream.append(FilterDesc(node.predicate))
+            return stream
+        if isinstance(node, Project):
+            stream = self._compile_node(node.child)
+            stream.append(SelectDesc(node.expressions))
+            stream.signature = node.signature
+            return stream
+        if isinstance(node, LimitNode):
+            stream = self._compile_node(node.child)
+            stream.append(LimitDesc(node.limit))
+            return stream
+        if isinstance(node, AggregateNode):
+            return self._compile_aggregate(node)
+        if isinstance(node, DistinctNode):
+            return self._compile_distinct(node)
+        if isinstance(node, JoinNode):
+            return self._compile_join(node)
+        if isinstance(node, SortNode):
+            return self._compile_sort(node)
+        if isinstance(node, UnionNode):
+            return self._compile_union(node)
+        raise PlanError(f"cannot compile {type(node).__name__}")
+
+    def _compile_union(self, node: UnionNode) -> _MapStream:
+        """UNION ALL: the branches' map inputs merge into one stream;
+        every branch keeps its own per-input chain, later operators are
+        appended to all of them."""
+        inputs: List[MapInput] = []
+        broadcasts: List[BroadcastSpec] = []
+        for child in node.inputs:
+            stream = self._materialize(self._compile_node(child))
+            inputs.extend(stream.inputs)
+            broadcasts.extend(stream.broadcasts)
+        return _MapStream(
+            inputs=inputs,
+            signature=node.signature,
+            broadcasts=broadcasts,
+        )
+
+    def _compile_scan(self, node: Scan) -> _MapStream:
+        splits_inputs = [
+            MapInput(location=node.table.location, tag=0, operators=[])
+        ]
+        return _MapStream(
+            inputs=splits_inputs,
+            signature=node.signature,
+            base_table=node.table.name,
+        )
+
+    # -- aggregate ---------------------------------------------------------------
+    def _compile_aggregate(self, node: AggregateNode) -> _ReduceStream:
+        stream = self._materialize(self._compile_node(node.child))
+        key_count = len(node.group_expressions)
+        use_partials = not node.has_distinct
+
+        if use_partials:
+            aggregates = [(call.aggregate, call.argument) for call in node.calls]
+            stream.append(
+                MapGroupByDesc(
+                    key_expressions=list(node.group_expressions),
+                    aggregates=aggregates,
+                )
+            )
+            partial_arities = [
+                len(call.aggregate.partial(call.aggregate.create()))
+                for call in node.calls
+            ]
+            flat_width = key_count + sum(partial_arities)
+            sink = ReduceSinkDesc(
+                key_expressions=[InputRef(i) for i in range(key_count)],
+                value_expressions=[InputRef(i) for i in range(key_count, flat_width)],
+            )
+            logic = ReduceAggregateDesc(
+                key_arity=key_count,
+                aggregates=[call.aggregate for call in node.calls],
+                inputs_are_partials=True,
+                partial_arities=partial_arities,
+            )
+        else:
+            values = [
+                call.argument if call.argument is not None else Const(True, DataType.BOOLEAN)
+                for call in node.calls
+            ]
+            sink = ReduceSinkDesc(
+                key_expressions=list(node.group_expressions),
+                value_expressions=values,
+            )
+            logic = ReduceAggregateDesc(
+                key_arity=key_count,
+                aggregates=[call.aggregate for call in node.calls],
+                inputs_are_partials=False,
+            )
+        stream.append(sink)
+        job = self._new_job(stream.inputs, logic, broadcasts=stream.broadcasts)
+        if key_count == 0:
+            job.num_reducers_hint = 1  # global aggregate
+        return _ReduceStream(job, node.signature)
+
+    def _compile_distinct(self, node: DistinctNode) -> _ReduceStream:
+        stream = self._materialize(self._compile_node(node.child))
+        width = len(node.signature)
+        stream.append(
+            MapGroupByDesc(
+                key_expressions=[InputRef(i) for i in range(width)], aggregates=[]
+            )
+        )
+        stream.append(
+            ReduceSinkDesc(
+                key_expressions=[InputRef(i) for i in range(width)],
+                value_expressions=[],
+            )
+        )
+        job = self._new_job(stream.inputs, ReduceDistinctDesc(key_arity=width),
+                            broadcasts=stream.broadcasts)
+        return _ReduceStream(job, node.signature)
+
+    # -- join --------------------------------------------------------------------
+    def _table_bytes(self, stream: _MapStream) -> Optional[float]:
+        if stream.base_table is None:
+            return None
+        table = self.metastore.get_table(stream.base_table)
+        try:
+            return table.logical_bytes(self.hdfs)
+        except Exception:
+            return None
+
+    def _compile_join(self, node: JoinNode):
+        left_stream = self._compile_node(node.left)
+        right_stream = self._compile_node(node.right)
+        threshold = self.conf.get_float(
+            HIVE_MAPJOIN_SMALLTABLE_BYTES, DEFAULT_MAPJOIN_THRESHOLD
+        )
+
+        # broadcast conversion applies to equi joins and cross joins alike
+        # (a cross join's empty key matches every probe row)
+        right_small = (
+            isinstance(right_stream, _MapStream)
+            and (self._table_bytes(right_stream) or float("inf")) < threshold
+        )
+        left_small = (
+            isinstance(left_stream, _MapStream)
+            and (self._table_bytes(left_stream) or float("inf")) < threshold
+            and node.join_type == "inner"
+        )
+        if right_small:
+            return self._map_join(node, big=left_stream, small=right_stream, swap=False)
+        if left_small:
+            return self._map_join(node, big=right_stream, small=left_stream, swap=True)
+
+        return self._common_join(node, left_stream, right_stream)
+
+    def _map_join(self, node: JoinNode, big, small: _MapStream, swap: bool):
+        small_chain: List[object] = []
+        for descriptor in small.inputs[0].operators:
+            small_chain.append(descriptor)
+        location = small.inputs[0].location
+        if len(small.inputs) != 1:
+            raise PlanError("broadcast side must be a single location")
+        small_width = len(small.signature)
+        if swap:
+            probe_keys, build_keys = list(node.right_keys), list(node.left_keys)
+        else:
+            probe_keys, build_keys = list(node.left_keys), list(node.right_keys)
+        descriptor = MapJoinDesc(
+            small_location=location,
+            probe_key_expressions=probe_keys,
+            build_key_expressions=build_keys,
+            join_type=node.join_type,
+            small_width=small_width,
+            swap_output=swap,
+        )
+        big.append(descriptor)
+        broadcast = BroadcastSpec(location=location, operators=small_chain, width=small_width)
+        if isinstance(big, _MapStream):
+            big.broadcasts.append(broadcast)
+            big.base_table = None  # widths changed; no longer a pure table chain
+        else:
+            big.job.broadcasts.append(broadcast)
+        big.signature = node.signature
+        if node.residual is not None:
+            big.append(FilterDesc(node.residual))
+        return big
+
+    def _common_join(self, node: JoinNode, left_stream, right_stream) -> _ReduceStream:
+        left_stream = self._materialize(left_stream)
+        right_stream = self._materialize(right_stream)
+        left_width = len(left_stream.signature)
+        right_width = len(right_stream.signature)
+
+        cross = not node.left_keys
+        left_keys = node.left_keys or [Const(0, DataType.INT)]
+        right_keys = node.right_keys or [Const(0, DataType.INT)]
+
+        left_stream.append(
+            ReduceSinkDesc(
+                key_expressions=list(left_keys),
+                value_expressions=[InputRef(i) for i in range(left_width)],
+                tag=0,
+            )
+        )
+        right_stream.append(
+            ReduceSinkDesc(
+                key_expressions=list(right_keys),
+                value_expressions=[InputRef(i) for i in range(right_width)],
+                tag=1,
+            )
+        )
+        for map_input in right_stream.inputs:
+            map_input.tag = 1
+
+        inputs = left_stream.inputs + right_stream.inputs
+        logic = ReduceJoinDesc(
+            join_type=node.join_type,
+            left_width=left_width,
+            right_width=right_width,
+        )
+        job = self._new_job(
+            inputs, logic,
+            broadcasts=left_stream.broadcasts + right_stream.broadcasts,
+        )
+        if cross:
+            job.num_reducers_hint = 1
+        stream = _ReduceStream(job, node.signature)
+        if node.residual is not None:
+            stream.append(FilterDesc(node.residual))
+        return stream
+
+    # -- sort --------------------------------------------------------------------
+    def _compile_sort(self, node: SortNode) -> _ReduceStream:
+        stream = self._materialize(self._compile_node(node.child))
+        width = len(stream.signature)
+        stream.append(
+            ReduceSinkDesc(
+                key_expressions=list(node.sort_expressions),
+                value_expressions=[InputRef(i) for i in range(width)],
+            )
+        )
+        job = self._new_job(stream.inputs, ReduceSortDesc(), broadcasts=stream.broadcasts)
+        job.sort_directions = list(node.ascending)
+        job.num_reducers_hint = 1  # Hive: total ORDER BY -> single reducer
+        return _ReduceStream(job, node.signature)
+
+    # -- scan hints ---------------------------------------------------------------
+    def _compute_scan_hints(self, map_input: MapInput) -> ScanHints:
+        """Column pruning + stats pushdown for base-table inputs.
+
+        Walks the chain while row positions still equal scan columns;
+        stops at the first width-changing operator.  Falls back to "all
+        columns" when the chain consumes rows opaquely.
+        """
+        if not self.hdfs.list_dir(map_input.location):
+            return ScanHints()
+        sample = self.hdfs.list_dir(map_input.location)
+        schema = sample[0].schema
+        names = [column.name.lower() for column in schema.columns]
+
+        # mapping[i] = scan-column index feeding position i of the current
+        # row; pure-InputRef Selects (column pruner output) are looked
+        # through so Filters above them still yield stats conjuncts
+        mapping: List[int] = list(range(len(names)))
+
+        def map_refs(expression) -> Optional[List[int]]:
+            out = []
+            for index in collect_input_refs(expression):
+                if not 0 <= index < len(mapping):
+                    return None
+                out.append(mapping[index])
+            return out
+
+        needed: set = set()
+        conjuncts: List[Tuple[str, str, object]] = []
+        resolved = True
+        for descriptor in map_input.operators:
+            if isinstance(descriptor, FilterDesc):
+                refs = map_refs(descriptor.predicate)
+                if refs is None:
+                    resolved = False
+                    break
+                needed.update(refs)
+                conjuncts.extend(
+                    self._extract_stats_conjuncts(descriptor.predicate, names, mapping)
+                )
+            elif isinstance(descriptor, SelectDesc):
+                for expression in descriptor.expressions:
+                    refs = map_refs(expression)
+                    if refs is None:
+                        resolved = False
+                        break
+                    needed.update(refs)
+                if not resolved:
+                    break
+                if all(isinstance(e, InputRef) for e in descriptor.expressions):
+                    mapping = [mapping[e.index] for e in descriptor.expressions]
+                    continue  # keep walking: positions still map to scan columns
+                break
+            elif isinstance(descriptor, MapGroupByDesc):
+                expressions = list(descriptor.key_expressions) + [
+                    argument for _agg, argument in descriptor.aggregates
+                    if argument is not None
+                ]
+                for expression in expressions:
+                    refs = map_refs(expression)
+                    if refs is not None:
+                        needed.update(refs)
+                break
+            elif isinstance(descriptor, ReduceSinkDesc):
+                for expression in (
+                    descriptor.key_expressions + descriptor.value_expressions
+                ):
+                    refs = map_refs(expression)
+                    if refs is not None:
+                        needed.update(refs)
+                break
+            elif isinstance(descriptor, MapJoinDesc):
+                for expression in descriptor.probe_key_expressions:
+                    refs = map_refs(expression)
+                    if refs is not None:
+                        needed.update(refs)
+                resolved = False  # widths change; downstream refs unknown
+                break
+            elif isinstance(descriptor, FileSinkDesc):
+                needed.update(mapping)  # every surviving column is written
+                break
+            elif isinstance(descriptor, LimitDesc):
+                continue  # no column references
+            else:
+                resolved = False
+                break
+        if not resolved or not needed:
+            return ScanHints(columns=None, stats_conjuncts=conjuncts)
+        valid = [index for index in needed if 0 <= index < len(names)]
+        return ScanHints(
+            columns=sorted({names[index] for index in valid}),
+            stats_conjuncts=conjuncts,
+        )
+
+    @staticmethod
+    def _extract_stats_conjuncts(
+        predicate: BoundExpression,
+        names: List[str],
+        mapping: Optional[List[int]] = None,
+    ) -> List[Tuple[str, str, object]]:
+        def column_of(index: int) -> Optional[str]:
+            if mapping is not None:
+                if not 0 <= index < len(mapping):
+                    return None
+                index = mapping[index]
+            return names[index] if 0 <= index < len(names) else None
+
+        out: List[Tuple[str, str, object]] = []
+        for conjunct in split_conjuncts(predicate):
+            if not isinstance(conjunct, bexpr.Comparison):
+                continue
+            if conjunct.op == "<>":
+                continue
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, InputRef) and isinstance(right, Const):
+                column = column_of(left.index)
+                if column is not None:
+                    out.append((column, conjunct.op, right.value))
+            elif isinstance(left, Const) and isinstance(right, InputRef):
+                flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+                column = column_of(right.index)
+                if column is not None:
+                    out.append((column, flipped[conjunct.op], left.value))
+        return out
+
+
+def explain_plan(plan: PhysicalPlan) -> str:
+    """Human-readable physical plan (used in tests and EXPLAIN output)."""
+    lines = [f"physical plan: {plan.num_jobs} job(s) -> {plan.output_location}"]
+    for job in plan.jobs:
+        kind = "map-only" if job.is_map_only else type(job.reduce_logic).__name__
+        lines.append(f"  {job.job_id} [{kind}] -> {job.output_location}")
+        for map_input in job.inputs:
+            ops = ", ".join(type(op).__name__ for op in map_input.operators)
+            cols = ",".join(map_input.hints.columns) if map_input.hints.columns else "*"
+            lines.append(f"    in[{map_input.tag}] {map_input.location} cols({cols}): {ops}")
+        if job.reduce_operators:
+            ops = ", ".join(type(op).__name__ for op in job.reduce_operators)
+            lines.append(f"    reduce: {ops}")
+        for broadcast in job.broadcasts:
+            lines.append(f"    broadcast: {broadcast.location}")
+    return "\n".join(lines)

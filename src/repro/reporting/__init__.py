@@ -1,0 +1,47 @@
+"""Reporting: the paper's tables/figures rendered from engine results.
+
+* :mod:`repro.reporting.breakdown` — startup / Map-Shuffle / others
+  per-job breakdowns (Figs 1, 10, 11) from :class:`JobTiming` records.
+* :mod:`repro.reporting.figures` — ASCII/CSV series renderers shared by
+  the benchmark harness.
+* :mod:`repro.reporting.productivity` — Table III equivalent: counts
+  the code lines of the plug-in layer vs. the engine substrates.
+"""
+
+from repro.reporting.breakdown import (
+    QueryBreakdown,
+    breakdown_query,
+    format_breakdown_table,
+)
+from repro.reporting.figures import (
+    format_series_table,
+    format_comparison_table,
+    write_csv,
+    ascii_bar_chart,
+)
+from repro.reporting.productivity import (
+    count_code_lines,
+    productivity_report,
+    format_productivity_table,
+)
+from repro.reporting.timeline import (
+    render_task_timeline,
+    render_job_gantt,
+    phase_ruler,
+)
+
+__all__ = [
+    "QueryBreakdown",
+    "breakdown_query",
+    "format_breakdown_table",
+    "format_series_table",
+    "format_comparison_table",
+    "write_csv",
+    "ascii_bar_chart",
+    "count_code_lines",
+    "productivity_report",
+    "format_productivity_table",
+    "render_task_timeline",
+    "render_job_gantt",
+    "phase_ruler",
+]

@@ -1,0 +1,94 @@
+"""Per-query execution breakdowns (paper Figs 1, 10, 11 methodology).
+
+A query's time decomposes into *compile* + per-job sections, each job
+into *startup* (submit -> first task invoked), *Map-Shuffle* (first task
+-> shuffle data available) and *others* (merge/reduce/output/sync).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.driver import QueryResult
+from repro.engines.base import JobTiming
+
+
+@dataclass
+class JobBreakdown:
+    job_id: str
+    startup: float
+    map_shuffle: float
+    others: float
+
+    @property
+    def total(self) -> float:
+        return self.startup + self.map_shuffle + self.others
+
+
+@dataclass
+class QueryBreakdown:
+    """Aggregated breakdown over every statement of one query script."""
+
+    label: str
+    compile_seconds: float = 0.0
+    jobs: List[JobBreakdown] = field(default_factory=list)
+
+    @property
+    def startup(self) -> float:
+        return sum(job.startup for job in self.jobs)
+
+    @property
+    def map_shuffle(self) -> float:
+        return sum(job.map_shuffle for job in self.jobs)
+
+    @property
+    def others(self) -> float:
+        return sum(job.others for job in self.jobs)
+
+    @property
+    def job_total(self) -> float:
+        return sum(job.total for job in self.jobs)
+
+    @property
+    def total(self) -> float:
+        return self.compile_seconds + self.job_total
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+
+def breakdown_query(label: str, results: Sequence[QueryResult]) -> QueryBreakdown:
+    """Fold the driver results of one script into a QueryBreakdown."""
+    out = QueryBreakdown(label=label)
+    for result in results:
+        out.compile_seconds += result.compile_seconds
+        if result.execution is None:
+            continue
+        for job in result.execution.jobs:
+            out.jobs.append(
+                JobBreakdown(
+                    job_id=job.job_id,
+                    startup=job.startup,
+                    map_shuffle=job.map_shuffle,
+                    others=job.others,
+                )
+            )
+    return out
+
+
+def format_breakdown_table(breakdowns: Dict[str, QueryBreakdown]) -> str:
+    """Render label -> breakdown as the paper's stacked-section table."""
+    header = (
+        f"{'query':<24} {'jobs':>4} {'compile':>8} {'startup':>8} "
+        f"{'map-shuffle':>11} {'others':>8} {'total':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, b in breakdowns.items():
+        lines.append(
+            f"{label:<24} {b.num_jobs:>4} {b.compile_seconds:>8.1f} "
+            f"{b.startup:>8.1f} {b.map_shuffle:>11.1f} {b.others:>8.1f} "
+            f"{b.total:>8.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""Text/CSV renderers used by the benchmark harness.
+
+Every benchmark prints a paper-shaped table to stdout and (optionally)
+writes the raw series as CSV under ``results/`` so the numbers can be
+re-plotted.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Sequence
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    unit: str = "sec",
+) -> str:
+    """Render one-line-per-x table with one column per series."""
+    names = list(series)
+    width = max(10, max((len(n) for n in names), default=10) + 2)
+    header = f"{x_label:<14}" + "".join(f"{name:>{width}}" for name in names)
+    lines = [f"== {title} ({unit}) ==", header, "-" * len(header)]
+    for index, x in enumerate(x_values):
+        row = f"{str(x):<14}"
+        for name in names:
+            values = series[name]
+            value = values[index] if index < len(values) else float("nan")
+            row += f"{value:>{width}.2f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    title: str,
+    row_labels: Sequence[str],
+    columns: Dict[str, Sequence[float]],
+    improvement_of: Optional[tuple] = None,
+) -> str:
+    """Render rows x columns; optionally append an improvement column
+    ``(baseline_name, contender_name)`` as the paper reports (% faster)."""
+    names = list(columns)
+    width = max(11, max((len(n) for n in names), default=11) + 2)
+    header = f"{'case':<22}" + "".join(f"{name:>{width}}" for name in names)
+    if improvement_of:
+        header += f"{'improve%':>10}"
+    lines = [f"== {title} ==", header, "-" * len(header)]
+    for index, label in enumerate(row_labels):
+        row = f"{label:<22}"
+        for name in names:
+            values = columns[name]
+            value = values[index] if index < len(values) else float("nan")
+            row += f"{value:>{width}.2f}"
+        if improvement_of:
+            base_name, new_name = improvement_of
+            base = columns[base_name][index]
+            new = columns[new_name][index]
+            improvement = 100.0 * (base - new) / base if base else 0.0
+            row += f"{improvement:>10.1f}"
+        lines.append(row)
+    if improvement_of:
+        base_name, new_name = improvement_of
+        bases = columns[base_name][: len(row_labels)]
+        news = columns[new_name][: len(row_labels)]
+        pct = [100.0 * (b - n) / b for b, n in zip(bases, news) if b]
+        if pct:
+            lines.append(
+                f"{'average improvement':<22}" + " " * (width * len(names))
+                + f"{sum(pct) / len(pct):>10.1f}"
+            )
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    title: str, labels: Sequence[str], values: Sequence[float], width: int = 50
+) -> str:
+    """Quick horizontal bar chart for time-series-free figures."""
+    peak = max(values) if values else 1.0
+    lines = [f"== {title} =="]
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(width * value / peak)) if peak > 0 else ""
+        lines.append(f"{label:<20} {value:>10.2f} |{bar}")
+    return "\n".join(lines)
+
+
+def write_csv(path: str, header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Write rows under ``results/`` (created if missing); returns path."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path

@@ -1,0 +1,82 @@
+"""ASCII task-timeline renderer (terminal Gantt charts).
+
+Renders the :class:`~repro.engines.base.TaskTiming` records of a job as
+one bar per task — the textual equivalent of the paper's per-task
+time-sequence plots (Figs 2(a), 6).  Send events can be overlaid as
+markers on top of the bars.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.engines.base import JobTiming, TaskTiming
+
+BAR = "="
+MARKER = "*"
+IDLE = "."
+
+
+def render_task_timeline(
+    tasks: Sequence[TaskTiming],
+    width: int = 72,
+    show_sends: bool = False,
+    max_tasks: int = 40,
+) -> str:
+    """One line per task: ``[task] |..====*==*===....|``.
+
+    * ``=`` task running, ``.`` not running, ``*`` a send event
+      (``show_sends``).
+    * Time axis spans min(start) .. max(end) across the given tasks.
+    """
+    tasks = [task for task in tasks if task.finished > task.started]
+    if not tasks:
+        return "(no tasks)"
+    tasks = sorted(tasks, key=lambda t: (t.started, t.task_id))[:max_tasks]
+    t0 = min(task.started for task in tasks)
+    t1 = max(task.finished for task in tasks)
+    span = max(1e-9, t1 - t0)
+
+    def col(when: float) -> int:
+        return min(width - 1, max(0, int((when - t0) / span * width)))
+
+    label_width = max(len(task.task_id) for task in tasks) + 1
+    lines = [
+        f"{'task':<{label_width}} {t0:8.1f}s{' ' * (width - 16)}{t1:8.1f}s"
+    ]
+    for task in tasks:
+        cells = [IDLE] * width
+        for position in range(col(task.started), col(task.finished) + 1):
+            cells[position] = BAR
+        if show_sends:
+            for when in task.send_events:
+                cells[col(when)] = MARKER
+        lines.append(f"{task.task_id:<{label_width}} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def render_job_gantt(job: JobTiming, width: int = 72, kinds: Optional[set] = None) -> str:
+    """Timeline of one job's tasks, optionally filtered by task kind."""
+    tasks = job.tasks
+    if kinds:
+        tasks = [task for task in tasks if task.kind in kinds]
+    header = (
+        f"== {job.job_id}: {job.num_maps} map/O, {job.num_reducers} reduce/A, "
+        f"{job.total:.1f}s (startup {job.startup:.1f} | MS {job.map_shuffle:.1f} "
+        f"| others {job.others:.1f}) =="
+    )
+    return header + "\n" + render_task_timeline(tasks, width=width)
+
+
+def phase_ruler(job: JobTiming, width: int = 72) -> str:
+    """A one-line ruler marking the startup/MS/others phase boundaries."""
+    span = max(1e-9, job.total)
+
+    def col(when: float) -> int:
+        return min(width - 1, max(0, int((when - job.submitted) / span * width)))
+
+    cells = ["-"] * width
+    cells[col(job.first_task_started)] = "S"  # first task invoked
+    cells[col(job.shuffle_done)] = "M"  # shuffle data resident
+    cells[-1] = "E"
+    return "|" + "".join(cells) + "|  S=first task  M=shuffle done  E=end"

@@ -1,0 +1,35 @@
+"""Discrete-event cluster simulator.
+
+Replaces the paper's 8-node Gigabit-Ethernet testbed.  Tasks from both
+execution engines run as coroutine processes that pay modeled costs for
+CPU, disk and network through bandwidth-shared resources, while the
+functional query work (filter/join/aggregate over real rows) happens
+eagerly in wall-clock time.
+
+Layers:
+
+* :mod:`repro.simulate.events`  — event loop, processes, timeouts, combinators
+* :mod:`repro.simulate.resources` — slot pools, processor-shared bandwidth, memory
+* :mod:`repro.simulate.cluster` — nodes and the cluster topology
+* :mod:`repro.simulate.metrics` — dstat-style 1 Hz utilization sampler
+"""
+
+from repro.simulate.events import Simulator, Event, Process, Interrupt
+from repro.simulate.resources import SlotPool, Bandwidth, MemoryAccount
+from repro.simulate.cluster import Node, Cluster, ClusterSpec
+from repro.simulate.metrics import MetricsSampler, ResourceSample
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Interrupt",
+    "SlotPool",
+    "Bandwidth",
+    "MemoryAccount",
+    "Node",
+    "Cluster",
+    "ClusterSpec",
+    "MetricsSampler",
+    "ResourceSample",
+]

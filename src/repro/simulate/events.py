@@ -1,0 +1,284 @@
+"""Minimal deterministic discrete-event kernel.
+
+A hand-rolled SimPy-like core: a binary-heap agenda of timestamped
+callbacks, :class:`Event` objects that processes can wait on, and
+:class:`Process` coroutines (plain generators) that ``yield`` events to
+block.  Everything is deterministic: ties on the clock are broken by a
+monotonically increasing sequence number, never by object identity.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def worker(sim, out):
+...     yield sim.timeout(2.0)
+...     out.append(sim.now)
+>>> collected = []
+>>> _ = sim.spawn(worker(sim, collected))
+>>> sim.run()
+>>> collected
+[2.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.common.errors import ExecutionError
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event is *triggered* at most once, carrying an optional value.
+    Callbacks added after triggering fire immediately (at the current
+    simulated instant), which makes waiting race-free.
+    """
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: List[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise ExecutionError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.call_soon(callback, value)
+        return self
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        if self.triggered:
+            self.sim.call_soon(callback, self.value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers *delay* seconds in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        super().__init__(sim)
+        if delay < 0:
+            raise ExecutionError(f"negative timeout: {delay}")
+        sim.call_at(sim.now + delay, self.trigger, value)
+
+
+class AllOf(Event):
+    """Triggers when every child event has triggered; value is their list."""
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        self._values: List[Any] = [None] * len(events)
+        if not events:
+            self.trigger([])
+            return
+        for position, event in enumerate(events):
+            event.add_callback(self._make_child_callback(position))
+
+    def _make_child_callback(self, position: int) -> Callable[[Any], None]:
+        def on_child(value: Any) -> None:
+            self._values[position] = value
+            self._pending -= 1
+            if self._pending == 0 and not self.triggered:
+                self.trigger(list(self._values))
+
+        return on_child
+
+
+class AnyOf(Event):
+    """Triggers when the first child triggers; value is (index, value)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        if not events:
+            raise ExecutionError("AnyOf requires at least one event")
+        for position, event in enumerate(events):
+            event.add_callback(self._make_child_callback(position))
+
+    def _make_child_callback(self, position: int) -> Callable[[Any], None]:
+        def on_child(value: Any) -> None:
+            if not self.triggered:
+                self.trigger((position, value))
+
+        return on_child
+
+
+class Process(Event):
+    """A coroutine driven by the simulator.
+
+    The generator yields :class:`Event` objects; the process resumes with
+    the event's value.  When the generator returns, the process (itself an
+    event) triggers with the return value, so processes can be joined by
+    yielding them.
+    """
+
+    __slots__ = ("name", "_generator", "_waiting_on", "_interrupt")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupt: Optional[Interrupt] = None
+        sim.call_soon(self._step, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if not self.alive:
+            return
+        self._interrupt = Interrupt(cause)
+        self.sim.call_soon(self._step, None)
+
+    def _step(self, value: Any) -> None:
+        if self.triggered:
+            return
+        # Ignore stale wakeups from an event we stopped waiting on (after an
+        # interrupt the old event may still fire and call back into us).
+        interrupt, self._interrupt = self._interrupt, None
+        if interrupt is None and self._waiting_on is not None:
+            waited = self._waiting_on
+            if not waited.triggered:
+                return  # spurious call
+            value = waited.value
+        self._waiting_on = None
+        try:
+            if interrupt is not None:
+                target = self._generator.throw(interrupt)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.trigger(getattr(stop, "value", None))
+            return
+        except Interrupt:
+            self.trigger(None)
+            return
+        if not isinstance(target, Event):
+            raise ExecutionError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield Event objects"
+            )
+        self._waiting_on = target
+        target.add_callback(lambda _value: self._step(None))
+
+
+class ScheduledCall:
+    """Handle for one agenda entry; supports O(1) cancellation."""
+
+    __slots__ = ("daemon", "callback", "args", "cancelled")
+
+    def __init__(self, daemon: bool, callback: Callable, args: tuple):
+        self.daemon = daemon
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of pending callbacks."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._agenda: List = []
+        self._sequence = 0
+        self._process_count = 0
+        self._pending_regular = 0
+
+    # -- scheduling primitives ----------------------------------------------
+    def call_at(
+        self, when: float, callback: Callable, *args: Any, daemon: bool = False
+    ) -> ScheduledCall:
+        """Schedule *callback(*args)* at time *when*; returns a cancellable
+        handle.
+
+        Daemon callbacks (periodic samplers, watchdogs) never keep the
+        simulation alive: :meth:`run` stops once only daemon work remains.
+        """
+        if when < self.now - 1e-12:
+            raise ExecutionError(f"cannot schedule in the past ({when} < {self.now})")
+        self._sequence += 1
+        handle = ScheduledCall(daemon, callback, args)
+        if not daemon:
+            self._pending_regular += 1
+        heapq.heappush(self._agenda, (when, self._sequence, handle))
+        return handle
+
+    def cancel(self, handle: ScheduledCall) -> None:
+        """Cancel a scheduled call; the heap entry is skipped lazily."""
+        if handle.cancelled:
+            return
+        handle.cancelled = True
+        if not handle.daemon:
+            self._pending_regular -= 1
+
+    def call_soon(self, callback: Callable, *args: Any) -> ScheduledCall:
+        return self.call_at(self.now, callback, *args)
+
+    # -- user API --------------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        self._process_count += 1
+        return Process(self, generator, name or f"proc-{self._process_count}")
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the agenda; returns the final clock value.
+
+        Stops when no *regular* (non-daemon) work remains, or — with
+        *until* — once the clock would pass it (the clock is then set
+        exactly to *until*).
+        """
+        while self._agenda and self._pending_regular > 0:
+            when, _seq, handle = self._agenda[0]
+            if handle.cancelled:
+                heapq.heappop(self._agenda)  # skip without touching the clock
+                continue
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._agenda)
+            if not handle.daemon:
+                self._pending_regular -= 1
+            if when > self.now:
+                self.now = when
+            handle.callback(*handle.args)
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now

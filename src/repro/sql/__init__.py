@@ -1,0 +1,31 @@
+"""HiveQL-subset front end: lexer, AST, parser, builtin functions.
+
+The subset covers what the paper's workloads need once TPC-H is rewritten
+HiveQL-style (multi-statement scripts, no correlated subqueries — the same
+port the paper used, cf. its reference [19]):
+
+* ``SELECT`` with expressions, ``DISTINCT``, aliases
+* ``FROM`` with multi-way ``JOIN ... ON`` (inner / left outer), derived
+  tables (``(SELECT ...) alias``)
+* ``WHERE``, ``GROUP BY``, ``HAVING``, ``ORDER BY ... ASC|DESC``, ``LIMIT``
+* aggregates (count/sum/avg/min/max, ``COUNT(DISTINCT ...)``)
+* scalar functions, ``CASE WHEN``, ``BETWEEN``, ``IN (...)``, ``LIKE``,
+  ``IS [NOT] NULL``, arithmetic, string/date helpers
+* DDL/DML: ``CREATE TABLE`` (with ``STORED AS``), ``CREATE TABLE AS
+  SELECT``, ``DROP TABLE``, ``INSERT OVERWRITE TABLE ... SELECT``
+"""
+
+from repro.sql.lexer import Lexer, Token, TokenType
+from repro.sql.parser import Parser, parse_script, parse_statement, parse_expression
+from repro.sql import ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "Parser",
+    "parse_script",
+    "parse_statement",
+    "parse_expression",
+    "ast",
+]

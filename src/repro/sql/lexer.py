@@ -1,0 +1,182 @@
+"""Tokenizer for the HiveQL subset.
+
+Hand-rolled single-pass scanner producing a flat token list; tracks
+line/column for error messages.  Keywords are case-insensitive;
+identifiers keep their original spelling but compare lowercased.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "as", "and", "or", "not", "in", "like", "between", "is", "null",
+    "case", "when", "then", "else", "end", "cast", "distinct",
+    "join", "inner", "left", "right", "full", "outer", "on", "cross",
+    "create", "table", "drop", "insert", "overwrite", "into", "if",
+    "exists", "stored", "set", "asc", "desc", "union", "all", "true",
+    "false", "interval", "explain", "partitioned", "partition",
+}
+
+_OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCT = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str  # keywords/identifiers lowercased except IDENT keeps .raw
+    raw: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text in names
+
+    def __str__(self) -> str:
+        return self.raw if self.type is not TokenType.EOF else "<eof>"
+
+
+class Lexer:
+    """Scan HiveQL text into tokens (skips whitespace and ``--`` comments)."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.text):
+                tokens.append(Token(TokenType.EOF, "", "", self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals --------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        return self.text[index] if index < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        piece = self.text[self.pos : self.pos + count]
+        for char in piece:
+            if char == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return piece
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise ParseError("unterminated comment", self.line, self.column)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        char = self._peek()
+
+        if char.isalpha() or char == "_":
+            raw = self._read_while(lambda c: c.isalnum() or c == "_")
+            lowered = raw.lower()
+            kind = TokenType.KEYWORD if lowered in KEYWORDS else TokenType.IDENT
+            return Token(kind, lowered, raw, line, column)
+
+        if char.isdigit() or (char == "." and self._peek(1).isdigit()):
+            raw = self._read_while(lambda c: c.isdigit())
+            if self._peek() == "." and self._peek(1).isdigit():
+                raw += self._advance()
+                raw += self._read_while(lambda c: c.isdigit())
+            if self._peek() in "eE" and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in "+-" and self._peek(2).isdigit())
+            ):
+                raw += self._advance()
+                if self._peek() in "+-":
+                    raw += self._advance()
+                raw += self._read_while(lambda c: c.isdigit())
+            return Token(TokenType.NUMBER, raw, raw, line, column)
+
+        if char in "'\"":
+            quote = self._advance()
+            chunks: List[str] = []
+            while True:
+                if self.pos >= len(self.text):
+                    raise ParseError("unterminated string literal", line, column)
+                piece = self._advance()
+                if piece == "\\" and self.pos < len(self.text):
+                    escaped = self._advance()
+                    chunks.append({"n": "\n", "t": "\t"}.get(escaped, escaped))
+                elif piece == quote:
+                    if self._peek() == quote:  # doubled quote escapes itself
+                        chunks.append(self._advance())
+                    else:
+                        break
+                else:
+                    chunks.append(piece)
+            value = "".join(chunks)
+            return Token(TokenType.STRING, value, value, line, column)
+
+        if char == "`":
+            self._advance()
+            raw = self._read_while(lambda c: c != "`")
+            if self._peek() != "`":
+                raise ParseError("unterminated backtick identifier", line, column)
+            self._advance()
+            return Token(TokenType.IDENT, raw.lower(), raw, line, column)
+
+        for operator in _OPERATORS:
+            if self.text.startswith(operator, self.pos):
+                self._advance(len(operator))
+                return Token(TokenType.OPERATOR, operator, operator, line, column)
+
+        if char in _PUNCT:
+            self._advance()
+            return Token(TokenType.PUNCT, char, char, line, column)
+
+        if char == ";":
+            self._advance()
+            return Token(TokenType.PUNCT, ";", ";", line, column)
+
+        raise ParseError(f"unexpected character {char!r}", line, column)
+
+    def _read_while(self, predicate) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and predicate(self._peek()):
+            self._advance()
+        return self.text[start : self.pos]

@@ -1,0 +1,5 @@
+"""File formats: Text (delimited), Sequence (binary KV) and ORCFile."""
+
+from repro.storage.formats.base import FileFormat, StoredFile, ScanResult, get_format
+
+__all__ = ["FileFormat", "StoredFile", "ScanResult", "get_format"]

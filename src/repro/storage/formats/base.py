@@ -1,0 +1,127 @@
+"""Format-neutral interfaces for stored tables.
+
+A :class:`StoredFile` owns the rows of one HDFS file plus everything the
+cost model needs: the *encoded* byte size (computed by really encoding the
+rows) and, for columnar formats, per-stripe/per-column sub-sizes so that
+column pruning and predicate pushdown translate into fewer bytes read.
+
+``ScanResult`` is what a table-scan operator gets back: the surviving rows
+(possibly a superset that still needs residual filtering) and the number of
+encoded bytes a real reader would have pulled off the disk for them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import StorageError
+from repro.common.rows import Schema
+
+Row = Tuple[object, ...]
+Predicate = Callable[[Row], bool]
+
+#: Conjunctive comparison usable against stripe min/max statistics:
+#: (column_name, op, literal) with op in {'=', '<', '<=', '>', '>=' }.
+StatsConjunct = Tuple[str, str, object]
+
+
+@dataclass
+class ScanResult:
+    """Rows surviving a (possibly pushed-down) scan plus bytes charged."""
+
+    rows: List[Row]
+    bytes_read: int
+    rows_skipped: int = 0  # rows eliminated before deserialization (ORC)
+
+
+class StoredFile(abc.ABC):
+    """Encoded representation of a row block inside one HDFS file."""
+
+    def __init__(self, schema: Schema, rows: List[Row]):
+        self.schema = schema
+        self.rows = rows
+
+    @property
+    @abc.abstractmethod
+    def total_bytes(self) -> int:
+        """Encoded size of the whole file in bytes (un-scaled)."""
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    @abc.abstractmethod
+    def scan(
+        self,
+        row_start: int,
+        row_count: int,
+        columns: Optional[Sequence[str]] = None,
+        stats_conjuncts: Optional[Sequence[StatsConjunct]] = None,
+    ) -> ScanResult:
+        """Read a row range.
+
+        *columns* lists the columns the query needs (None = all); columnar
+        formats charge only those streams.  *stats_conjuncts* allow
+        stripe-level elimination via min/max statistics.  Returned rows are
+        always **full-width** (the engine's residual filter/project runs on
+        top) — pruning affects only the byte charge and skipped stripes.
+        """
+
+    @abc.abstractmethod
+    def bytes_for_range(self, row_start: int, row_count: int) -> int:
+        """Encoded bytes covering a row range (used to size input splits)."""
+
+
+class FileFormat(abc.ABC):
+    """Factory turning rows into a :class:`StoredFile`."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def build(self, schema: Schema, rows: List[Row]) -> StoredFile:
+        """Encode *rows* and return the stored representation."""
+
+
+_REGISTRY: Dict[str, FileFormat] = {}
+
+
+def register_format(fmt: FileFormat) -> None:
+    _REGISTRY[fmt.name] = fmt
+
+
+def get_format(name: str) -> FileFormat:
+    """Look up a registered format by name ('text', 'sequence', 'orc')."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise StorageError(f"unknown file format {name!r} (known: {known})") from None
+
+
+def evaluate_stats_conjunct(
+    conjunct: StatsConjunct, minimum: object, maximum: object
+) -> bool:
+    """Can any row in [minimum, maximum] satisfy the conjunct?
+
+    Conservative: returns True (cannot skip) when stats are missing or
+    types are not comparable.
+    """
+    _column, op, literal = conjunct
+    if minimum is None or maximum is None or literal is None:
+        return True
+    try:
+        if op == "=":
+            return minimum <= literal <= maximum
+        if op == "<":
+            return minimum < literal
+        if op == "<=":
+            return minimum <= literal
+        if op == ">":
+            return maximum > literal
+        if op == ">=":
+            return maximum >= literal
+    except TypeError:
+        return True
+    return True

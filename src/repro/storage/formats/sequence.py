@@ -1,0 +1,70 @@
+"""Hadoop SequenceFile-style binary row format.
+
+HiBench's Hive workloads use sequence files by default (paper §V-B).  The
+encoding is the tagged binary serde from :mod:`repro.common.kv` applied to
+each row (empty key, row as value) plus a small per-record header —
+the same ballpark overhead a real ``SequenceFile<NullWritable, Text>``
+carries.  Like Text it is row-oriented: no pruning, no pushdown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.common.kv import KeyValue, kv_size
+from repro.common.rows import Schema
+from repro.storage.formats.base import (
+    FileFormat,
+    Row,
+    ScanResult,
+    StatsConjunct,
+    StoredFile,
+    register_format,
+)
+
+_RECORD_HEADER_BYTES = 8  # record length + key length words
+
+
+def record_size(row: Row) -> int:
+    """Encoded size of one row as a sequence-file record."""
+    return _RECORD_HEADER_BYTES + kv_size(KeyValue((), tuple(row)))
+
+
+class SequenceStoredFile(StoredFile):
+    def __init__(self, schema: Schema, rows: List[Row]):
+        super().__init__(schema, rows)
+        self._offsets = [0]
+        running = 0
+        for row in rows:
+            running += record_size(row)
+            self._offsets.append(running)
+
+    @property
+    def total_bytes(self) -> int:
+        return self._offsets[-1]
+
+    def bytes_for_range(self, row_start: int, row_count: int) -> int:
+        row_end = min(row_start + row_count, self.row_count)
+        row_start = min(row_start, self.row_count)
+        return self._offsets[row_end] - self._offsets[row_start]
+
+    def scan(
+        self,
+        row_start: int,
+        row_count: int,
+        columns: Optional[Sequence[str]] = None,
+        stats_conjuncts: Optional[Sequence[StatsConjunct]] = None,
+    ) -> ScanResult:
+        row_end = min(row_start + row_count, self.row_count)
+        rows = self.rows[row_start:row_end]
+        return ScanResult(rows=rows, bytes_read=self.bytes_for_range(row_start, row_count))
+
+
+class SequenceFormat(FileFormat):
+    name = "sequence"
+
+    def build(self, schema: Schema, rows: List[Row]) -> SequenceStoredFile:
+        return SequenceStoredFile(schema, rows)
+
+
+register_format(SequenceFormat())

@@ -1,0 +1,137 @@
+"""Hive Metastore: table name -> schema, warehouse location, format.
+
+Hive tables are directories under ``/warehouse``; each part-file inside
+belongs to the table.  ``CREATE TABLE``, ``DROP TABLE`` and ``INSERT
+OVERWRITE`` in the driver manipulate this catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SemanticError
+from repro.common.rows import Column, Schema
+from repro.storage.hdfs import HDFS, FileSplit
+
+WAREHOUSE_ROOT = "/warehouse"
+
+
+@dataclass
+class TableDescriptor:
+    """Catalog entry for one Hive table.
+
+    Partitioned tables (``PARTITIONED BY``) keep their partition columns
+    separate from the data schema; each partition is a subdirectory
+    ``col=value[/col=value...]`` under the table location (Hive's
+    warehouse layout).  Part-files of a partition store full-width rows
+    (data + partition values) so scans stay format-agnostic, while the
+    partition registry enables directory-level pruning.
+    """
+
+    name: str
+    schema: Schema
+    location: str
+    format_name: str = "text"
+    partition_columns: List[Column] = field(default_factory=list)
+    # partition value tuple -> directory
+    partitions: Dict[Tuple[object, ...], str] = field(default_factory=dict)
+
+    @property
+    def is_partitioned(self) -> bool:
+        return bool(self.partition_columns)
+
+    @property
+    def full_schema(self) -> Schema:
+        """Data columns followed by partition columns (query-visible)."""
+        if not self.partition_columns:
+            return self.schema
+        return Schema(list(self.schema.columns) + list(self.partition_columns))
+
+    def partition_location(self, values: Tuple[object, ...]) -> str:
+        pieces = [
+            f"{column.name.lower()}={value}"
+            for column, value in zip(self.partition_columns, values)
+        ]
+        return "/".join([self.location] + pieces)
+
+    def add_partition(self, values: Tuple[object, ...]) -> str:
+        if len(values) != len(self.partition_columns):
+            raise SemanticError(
+                f"table {self.name} has {len(self.partition_columns)} partition "
+                f"column(s), got {len(values)} value(s)"
+            )
+        location = self.partition_location(values)
+        self.partitions[tuple(values)] = location
+        return location
+
+    def splits(self, hdfs: HDFS) -> List[FileSplit]:
+        return hdfs.dir_splits(self.location)
+
+    def row_count(self, hdfs: HDFS) -> int:
+        return sum(f.row_count for f in hdfs.list_dir(self.location))
+
+    def logical_bytes(self, hdfs: HDFS) -> float:
+        return hdfs.dir_logical_bytes(self.location)
+
+
+class Metastore:
+    """In-memory catalog mapping lowercase table names to descriptors."""
+
+    def __init__(self, hdfs: HDFS):
+        self.hdfs = hdfs
+        self._tables: Dict[str, TableDescriptor] = {}
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        format_name: str = "text",
+        location: Optional[str] = None,
+        partition_columns: Optional[List[Column]] = None,
+    ) -> TableDescriptor:
+        key = name.lower()
+        if key in self._tables:
+            raise SemanticError(f"table already exists: {name}")
+        partition_columns = list(partition_columns or [])
+        for column in partition_columns:
+            if schema.has(column.name):
+                raise SemanticError(
+                    f"partition column {column.name} duplicates a data column"
+                )
+        descriptor = TableDescriptor(
+            name=key,
+            schema=schema,
+            location=location or f"{WAREHOUSE_ROOT}/{key}",
+            format_name=format_name,
+            partition_columns=partition_columns,
+        )
+        self._tables[key] = descriptor
+        return descriptor
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise SemanticError(f"no such table: {name}")
+        descriptor = self._tables.pop(key)
+        self.hdfs.delete(descriptor.location)
+
+    def truncate_table(self, name: str) -> None:
+        """Remove a table's data files but keep the catalog entry
+        (INSERT OVERWRITE semantics)."""
+        descriptor = self.get_table(name)
+        self.hdfs.delete(descriptor.location)
+
+    def get_table(self, name: str) -> TableDescriptor:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SemanticError(f"no such table: {name}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return sorted(self._tables)

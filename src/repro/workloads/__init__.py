@@ -1,0 +1,23 @@
+"""Workloads: Intel HiBench (hivebench), TPC-H, TeraSort.
+
+Each workload module knows how to (a) generate its tables into a
+simulated HDFS at *sampled* scale with the paper's logical sizes
+(Table I), and (b) produce the HiveQL scripts the paper ran.
+"""
+
+from repro.workloads.hibench import (
+    load_hibench,
+    HIBENCH_AGGREGATE,
+    HIBENCH_JOIN,
+    hibench_ddl,
+)
+from repro.workloads.terasort import load_teragen, terasort_job
+
+__all__ = [
+    "load_hibench",
+    "HIBENCH_AGGREGATE",
+    "HIBENCH_JOIN",
+    "hibench_ddl",
+    "load_teragen",
+    "terasort_job",
+]

@@ -1,0 +1,21 @@
+"""TPC-H 2.17 workload: dbgen + the 22 queries ported to HiveQL.
+
+The queries follow the public Hive port the paper used (its ref [19]):
+correlated subqueries become temp-table stages, date arithmetic is
+pre-computed, and every query remains semantically equivalent to the
+spec query for the generated data.
+"""
+
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, NATIONS, REGIONS
+from repro.workloads.tpch.dbgen import load_tpch, TpchInfo
+from repro.workloads.tpch.queries import tpch_query, TPCH_QUERY_IDS
+
+__all__ = [
+    "TPCH_SCHEMAS",
+    "NATIONS",
+    "REGIONS",
+    "load_tpch",
+    "TpchInfo",
+    "tpch_query",
+    "TPCH_QUERY_IDS",
+]

@@ -1,0 +1,471 @@
+"""The 22 TPC-H queries, ported to the HiveQL subset.
+
+Following the public TPC-H-on-Hive port the paper used (ref [19]):
+
+* correlated subqueries / EXISTS / IN-subquery become explicit temp
+  tables (CTAS stages) joined back — the plan shapes (job counts) match
+  what Hive 0.13 produced for that port;
+* date arithmetic is pre-computed into literals;
+* anti-joins are LEFT JOIN + IS NULL.
+
+``tpch_query(n, sf)`` returns the full script (including temp-table
+cleanup); ``sf`` parameterizes Q11's spec fraction 0.0001/SF.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+TPCH_QUERY_IDS: List[int] = list(range(1, 23))
+
+_QUERIES = {}
+
+_QUERIES[1] = """
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) AS sum_qty,
+       sum(l_extendedprice) AS sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       avg(l_quantity) AS avg_qty,
+       avg(l_extendedprice) AS avg_price,
+       avg(l_discount) AS avg_disc,
+       count(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus;
+"""
+
+_QUERIES[2] = """
+DROP TABLE IF EXISTS q2_min_cost;
+CREATE TABLE q2_min_cost AS
+SELECT ps_partkey AS m_partkey, min(ps_supplycost) AS m_min
+FROM partsupp
+JOIN supplier ON s_suppkey = ps_suppkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN region ON n_regionkey = r_regionkey
+WHERE r_name = 'EUROPE'
+GROUP BY ps_partkey;
+
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part
+JOIN partsupp ON p_partkey = ps_partkey
+JOIN supplier ON s_suppkey = ps_suppkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN region ON n_regionkey = r_regionkey
+JOIN q2_min_cost ON p_partkey = m_partkey AND ps_supplycost = m_min
+WHERE p_size = 15 AND p_type LIKE '%BRASS' AND r_name = 'EUROPE'
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100;
+
+DROP TABLE IF EXISTS q2_min_cost;
+"""
+
+_QUERIES[3] = """
+SELECT l_orderkey,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+WHERE c_mktsegment = 'BUILDING'
+  AND o_orderdate < '1995-03-15'
+  AND l_shipdate > '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10;
+"""
+
+_QUERIES[4] = """
+DROP TABLE IF EXISTS q4_late;
+CREATE TABLE q4_late AS
+SELECT DISTINCT l_orderkey AS late_orderkey
+FROM lineitem
+WHERE l_commitdate < l_receiptdate;
+
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+JOIN q4_late ON o_orderkey = late_orderkey
+WHERE o_orderdate >= '1993-07-01' AND o_orderdate < '1993-10-01'
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority;
+
+DROP TABLE IF EXISTS q4_late;
+"""
+
+_QUERIES[5] = """
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+JOIN supplier ON l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN region ON n_regionkey = r_regionkey
+WHERE r_name = 'ASIA'
+  AND o_orderdate >= '1994-01-01' AND o_orderdate < '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC;
+"""
+
+_QUERIES[6] = """
+SELECT sum(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24;
+"""
+
+_QUERIES[7] = """
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM (
+  SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+         year(l_shipdate) AS l_year,
+         l_extendedprice * (1 - l_discount) AS volume
+  FROM supplier
+  JOIN lineitem ON s_suppkey = l_suppkey
+  JOIN orders ON o_orderkey = l_orderkey
+  JOIN customer ON c_custkey = o_custkey
+  JOIN nation n1 ON s_nationkey = n1.n_nationkey
+  JOIN nation n2 ON c_nationkey = n2.n_nationkey
+  WHERE ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+      OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+    AND l_shipdate BETWEEN '1995-01-01' AND '1996-12-31'
+) shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year;
+"""
+
+_QUERIES[8] = """
+SELECT o_year,
+       sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0.0 END) / sum(volume) AS mkt_share
+FROM (
+  SELECT year(o_orderdate) AS o_year,
+         l_extendedprice * (1 - l_discount) AS volume,
+         n2.n_name AS nation
+  FROM part
+  JOIN lineitem ON p_partkey = l_partkey
+  JOIN supplier ON s_suppkey = l_suppkey
+  JOIN orders ON l_orderkey = o_orderkey
+  JOIN customer ON o_custkey = c_custkey
+  JOIN nation n1 ON c_nationkey = n1.n_nationkey
+  JOIN region ON n1.n_regionkey = r_regionkey
+  JOIN nation n2 ON s_nationkey = n2.n_nationkey
+  WHERE r_name = 'AMERICA'
+    AND o_orderdate BETWEEN '1995-01-01' AND '1996-12-31'
+    AND p_type = 'ECONOMY ANODIZED STEEL'
+) all_nations
+GROUP BY o_year
+ORDER BY o_year;
+"""
+
+_QUERIES[9] = """
+SELECT nation, o_year, sum(amount) AS sum_profit
+FROM (
+  SELECT n_name AS nation, year(o_orderdate) AS o_year,
+         l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity AS amount
+  FROM part
+  JOIN lineitem ON p_partkey = l_partkey
+  JOIN supplier ON s_suppkey = l_suppkey
+  JOIN partsupp ON ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+  JOIN orders ON o_orderkey = l_orderkey
+  JOIN nation ON s_nationkey = n_nationkey
+  WHERE p_name LIKE '%green%'
+) profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC;
+"""
+
+_QUERIES[10] = """
+SELECT c_custkey, c_name,
+       sum(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON l_orderkey = o_orderkey
+JOIN nation ON c_nationkey = n_nationkey
+WHERE o_orderdate >= '1993-10-01' AND o_orderdate < '1994-01-01'
+  AND l_returnflag = 'R'
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20;
+"""
+
+_QUERIES[11] = """
+DROP TABLE IF EXISTS q11_part_value;
+CREATE TABLE q11_part_value AS
+SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS part_value
+FROM partsupp
+JOIN supplier ON ps_suppkey = s_suppkey
+JOIN nation ON s_nationkey = n_nationkey
+WHERE n_name = 'GERMANY'
+GROUP BY ps_partkey;
+
+DROP TABLE IF EXISTS q11_threshold;
+CREATE TABLE q11_threshold AS
+SELECT sum(part_value) * {q11_fraction} AS threshold
+FROM q11_part_value;
+
+SELECT ps_partkey, part_value AS value
+FROM q11_part_value
+CROSS JOIN q11_threshold
+WHERE part_value > threshold
+ORDER BY value DESC;
+
+DROP TABLE IF EXISTS q11_part_value;
+DROP TABLE IF EXISTS q11_threshold;
+"""
+
+_QUERIES[12] = """
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= '1994-01-01' AND l_receiptdate < '1995-01-01'
+GROUP BY l_shipmode
+ORDER BY l_shipmode;
+"""
+
+_QUERIES[13] = """
+SELECT c_count, count(*) AS custdist
+FROM (
+  SELECT c_custkey AS custkey, count(o_orderkey) AS c_count
+  FROM customer
+  LEFT JOIN (
+    SELECT o_orderkey, o_custkey
+    FROM orders
+    WHERE o_comment NOT LIKE '%special%requests%'
+  ) filtered_orders ON c_custkey = o_custkey
+  GROUP BY c_custkey
+) c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC;
+"""
+
+_QUERIES[14] = """
+SELECT 100.0 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                        THEN l_extendedprice * (1 - l_discount)
+                        ELSE 0.0 END) / sum(l_extendedprice * (1 - l_discount))
+       AS promo_revenue
+FROM lineitem
+JOIN part ON l_partkey = p_partkey
+WHERE l_shipdate >= '1995-09-01' AND l_shipdate < '1995-10-01';
+"""
+
+_QUERIES[15] = """
+DROP TABLE IF EXISTS q15_revenue;
+CREATE TABLE q15_revenue AS
+SELECT l_suppkey AS supplier_no,
+       sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+FROM lineitem
+WHERE l_shipdate >= '1996-01-01' AND l_shipdate < '1996-04-01'
+GROUP BY l_suppkey;
+
+DROP TABLE IF EXISTS q15_max;
+CREATE TABLE q15_max AS
+SELECT max(total_revenue) AS max_revenue FROM q15_revenue;
+
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier
+JOIN q15_revenue ON s_suppkey = supplier_no
+CROSS JOIN q15_max
+WHERE total_revenue = max_revenue
+ORDER BY s_suppkey;
+
+DROP TABLE IF EXISTS q15_revenue;
+DROP TABLE IF EXISTS q15_max;
+"""
+
+_QUERIES[16] = """
+DROP TABLE IF EXISTS q16_complaints;
+CREATE TABLE q16_complaints AS
+SELECT s_suppkey AS bad_suppkey
+FROM supplier
+WHERE s_comment LIKE '%Customer%Complaints%';
+
+SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS supplier_cnt
+FROM partsupp
+JOIN part ON p_partkey = ps_partkey
+LEFT JOIN q16_complaints ON ps_suppkey = bad_suppkey
+WHERE p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND bad_suppkey IS NULL
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size;
+
+DROP TABLE IF EXISTS q16_complaints;
+"""
+
+_QUERIES[17] = """
+DROP TABLE IF EXISTS q17_avg_qty;
+CREATE TABLE q17_avg_qty AS
+SELECT l_partkey AS a_partkey, 0.2 * avg(l_quantity) AS avg_threshold
+FROM lineitem
+GROUP BY l_partkey;
+
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem
+JOIN part ON p_partkey = l_partkey
+JOIN q17_avg_qty ON l_partkey = a_partkey
+WHERE p_brand = 'Brand#23'
+  AND p_container = 'MED BOX'
+  AND l_quantity < avg_threshold;
+
+DROP TABLE IF EXISTS q17_avg_qty;
+"""
+
+_QUERIES[18] = """
+DROP TABLE IF EXISTS q18_big_orders;
+CREATE TABLE q18_big_orders AS
+SELECT l_orderkey AS big_orderkey, sum(l_quantity) AS total_quantity
+FROM lineitem
+GROUP BY l_orderkey
+HAVING sum(l_quantity) > 300;
+
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) AS order_quantity
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN q18_big_orders ON o_orderkey = big_orderkey
+JOIN lineitem ON o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100;
+
+DROP TABLE IF EXISTS q18_big_orders;
+"""
+
+_QUERIES[19] = """
+SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem
+JOIN part ON p_partkey = l_partkey
+WHERE (p_brand = 'Brand#12'
+       AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+       AND l_quantity >= 1 AND l_quantity <= 11
+       AND p_size BETWEEN 1 AND 5
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON')
+   OR (p_brand = 'Brand#23'
+       AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+       AND l_quantity >= 10 AND l_quantity <= 20
+       AND p_size BETWEEN 1 AND 10
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON')
+   OR (p_brand = 'Brand#34'
+       AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+       AND l_quantity >= 20 AND l_quantity <= 30
+       AND p_size BETWEEN 1 AND 15
+       AND l_shipmode IN ('AIR', 'REG AIR')
+       AND l_shipinstruct = 'DELIVER IN PERSON');
+"""
+
+_QUERIES[20] = """
+DROP TABLE IF EXISTS q20_shipped;
+CREATE TABLE q20_shipped AS
+SELECT l_partkey AS lp, l_suppkey AS ls, 0.5 * sum(l_quantity) AS half_quantity
+FROM lineitem
+WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+GROUP BY l_partkey, l_suppkey;
+
+DROP TABLE IF EXISTS q20_forest_parts;
+CREATE TABLE q20_forest_parts AS
+SELECT DISTINCT p_partkey AS fp
+FROM part
+WHERE p_name LIKE 'forest%';
+
+DROP TABLE IF EXISTS q20_good_suppliers;
+CREATE TABLE q20_good_suppliers AS
+SELECT DISTINCT ps_suppkey AS good_suppkey
+FROM partsupp
+JOIN q20_forest_parts ON ps_partkey = fp
+JOIN q20_shipped ON ps_partkey = lp AND ps_suppkey = ls
+WHERE ps_availqty > half_quantity;
+
+SELECT s_name, s_address
+FROM supplier
+JOIN nation ON s_nationkey = n_nationkey
+JOIN q20_good_suppliers ON s_suppkey = good_suppkey
+WHERE n_name = 'CANADA'
+ORDER BY s_name;
+
+DROP TABLE IF EXISTS q20_shipped;
+DROP TABLE IF EXISTS q20_forest_parts;
+DROP TABLE IF EXISTS q20_good_suppliers;
+"""
+
+_QUERIES[21] = """
+DROP TABLE IF EXISTS q21_suppliers_per_order;
+CREATE TABLE q21_suppliers_per_order AS
+SELECT l_orderkey AS all_orderkey, count(DISTINCT l_suppkey) AS supplier_count
+FROM lineitem
+GROUP BY l_orderkey;
+
+DROP TABLE IF EXISTS q21_late_suppliers;
+CREATE TABLE q21_late_suppliers AS
+SELECT l_orderkey AS late_orderkey, count(DISTINCT l_suppkey) AS late_count
+FROM lineitem
+WHERE l_receiptdate > l_commitdate
+GROUP BY l_orderkey;
+
+SELECT s_name, count(*) AS numwait
+FROM lineitem
+JOIN orders ON o_orderkey = l_orderkey
+JOIN supplier ON s_suppkey = l_suppkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN q21_suppliers_per_order ON l_orderkey = all_orderkey
+JOIN q21_late_suppliers ON l_orderkey = late_orderkey
+WHERE o_orderstatus = 'F'
+  AND l_receiptdate > l_commitdate
+  AND n_name = 'SAUDI ARABIA'
+  AND supplier_count > 1
+  AND late_count = 1
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100;
+
+DROP TABLE IF EXISTS q21_suppliers_per_order;
+DROP TABLE IF EXISTS q21_late_suppliers;
+"""
+
+_QUERIES[22] = """
+DROP TABLE IF EXISTS q22_avg_balance;
+CREATE TABLE q22_avg_balance AS
+SELECT avg(c_acctbal) AS avg_balance
+FROM customer
+WHERE c_acctbal > 0.00
+  AND substr(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17');
+
+DROP TABLE IF EXISTS q22_with_orders;
+CREATE TABLE q22_with_orders AS
+SELECT DISTINCT o_custkey AS ordering_custkey FROM orders;
+
+SELECT cntrycode, count(*) AS numcust, sum(acctbal) AS totacctbal
+FROM (
+  SELECT substr(c_phone, 1, 2) AS cntrycode, c_acctbal AS acctbal
+  FROM customer
+  CROSS JOIN q22_avg_balance
+  LEFT JOIN q22_with_orders ON c_custkey = ordering_custkey
+  WHERE substr(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+    AND c_acctbal > avg_balance
+    AND ordering_custkey IS NULL
+) qualified
+GROUP BY cntrycode
+ORDER BY cntrycode;
+
+DROP TABLE IF EXISTS q22_avg_balance;
+DROP TABLE IF EXISTS q22_with_orders;
+"""
+
+
+def tpch_query(number: int, sf: float = 1.0) -> str:
+    """The HiveQL script for TPC-H query *number* (1..22)."""
+    if number not in _QUERIES:
+        raise KeyError(f"TPC-H has queries 1..22, not {number}")
+    return _QUERIES[number].format(q11_fraction=0.0001 / max(sf, 1e-9)) \
+        if number == 11 else _QUERIES[number]

@@ -1,0 +1,65 @@
+"""Shared fixtures: a small warehouse and engine helpers."""
+
+import random
+
+import pytest
+
+from repro import HDFS, Metastore, hive_session
+from repro.common.rows import Schema
+
+EMP_SCHEMA = Schema.parse("emp_id int, name string, dept string, salary double, hired date")
+DEPT_SCHEMA = Schema.parse("dept string, budget double, region string")
+
+EMP_ROWS = [
+    (1, "ann", "eng", 120.0, "2001-04-01"),
+    (2, "bob", "eng", 100.0, "2003-06-15"),
+    (3, "cat", "ops", 90.0, "1999-01-20"),
+    (4, "dan", "ops", 95.0, "2005-09-09"),
+    (5, "eve", "hr", 80.0, "2002-02-02"),
+    (6, "fay", None, 70.0, "2004-12-31"),
+    (7, "gus", "eng", None, "2000-07-07"),
+]
+
+DEPT_ROWS = [
+    ("eng", 1000.0, "west"),
+    ("ops", 500.0, "east"),
+    ("fin", 800.0, "west"),  # no employees
+]
+
+
+def build_warehouse(scale: float = 5e5):
+    hdfs = HDFS(num_workers=7)
+    metastore = Metastore(hdfs)
+    emp = metastore.create_table("emp", EMP_SCHEMA, format_name="text")
+    dept = metastore.create_table("dept", DEPT_SCHEMA, format_name="text")
+    hdfs.write(f"{emp.location}/part-0", EMP_SCHEMA, EMP_ROWS, scale=scale)
+    hdfs.write(f"{dept.location}/part-0", DEPT_SCHEMA, DEPT_ROWS, scale=100.0)
+    return hdfs, metastore
+
+
+@pytest.fixture()
+def warehouse():
+    """(hdfs, metastore) with small `emp` and `dept` tables."""
+    return build_warehouse()
+
+
+@pytest.fixture()
+def local_session(warehouse):
+    hdfs, metastore = warehouse
+    return hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+
+
+@pytest.fixture()
+def big_warehouse():
+    """A larger random table for engine-level tests (deterministic)."""
+    rng = random.Random(99)
+    schema = Schema.parse("k int, grp string, val double")
+    rows = [
+        (i, f"g{rng.randrange(25)}", round(rng.uniform(0, 100), 3))
+        for i in range(4000)
+    ]
+    hdfs = HDFS(num_workers=7)
+    metastore = Metastore(hdfs)
+    table = metastore.create_table("facts", schema, format_name="text")
+    hdfs.write(f"{table.location}/part-0", schema, rows, scale=2e5)
+    return hdfs, metastore

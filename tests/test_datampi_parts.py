@@ -1,0 +1,216 @@
+"""Unit tests for the DataMPI building blocks: MPI layer, SPL, queues."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.kv import KeyValue
+from repro.common.units import MB
+from repro.engines.datampi.buffers import (
+    ReceiveManager,
+    SendBuffer,
+    SendPartitionList,
+    SendQueue,
+)
+from repro.engines.datampi.mpi import DynamicBarrier, SimulatedMPI
+from repro.simulate import Cluster, ClusterSpec, Simulator
+
+
+@pytest.fixture()
+def cluster():
+    sim = Simulator()
+    return Cluster(sim, ClusterSpec())
+
+
+class TestSimulatedMPI:
+    def test_isend_transfers_bytes(self, cluster):
+        sim = cluster.sim
+        mpi = SimulatedMPI(cluster)
+        done = []
+
+        def proc():
+            request = mpi.isend(cluster.workers[0], cluster.workers[1], 117 * MB)
+            assert not request.done
+            yield request.event
+            done.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert done[0] == pytest.approx(1.0, rel=1e-2)
+        assert mpi.messages_sent == 1
+
+    def test_same_node_send_immediate(self, cluster):
+        mpi = SimulatedMPI(cluster)
+        request = mpi.isend(cluster.workers[0], cluster.workers[0], 10 * MB)
+        assert request.done
+
+    def test_waitall(self, cluster):
+        sim = cluster.sim
+        mpi = SimulatedMPI(cluster)
+        done = []
+
+        def proc():
+            requests = [
+                mpi.isend(cluster.workers[0], cluster.workers[i], 58.5 * MB)
+                for i in (1, 2)
+            ]
+            yield mpi.waitall(requests)
+            done.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        # two transfers share the sender's TX: each 58.5 MB -> together 1s
+        assert done[0] == pytest.approx(1.0, rel=1e-2)
+
+
+class TestDynamicBarrier:
+    def test_all_members_release_together(self):
+        sim = Simulator()
+        barrier = DynamicBarrier(sim)
+        release_times = []
+
+        def member(delay):
+            yield sim.timeout(delay)
+            yield barrier.arrive()
+            release_times.append(sim.now)
+
+        for delay in (1.0, 5.0, 2.0):
+            barrier.register()
+            sim.spawn(member(delay))
+        sim.run()
+        assert release_times == [5.0, 5.0, 5.0]  # everyone waits for the slowest
+
+    def test_deregister_releases_waiters(self):
+        sim = Simulator()
+        barrier = DynamicBarrier(sim)
+        released = []
+
+        def waiter():
+            yield barrier.arrive()
+            released.append(sim.now)
+
+        def leaver():
+            yield sim.timeout(3.0)
+            barrier.deregister()
+
+        barrier.register()
+        barrier.register()
+        sim.spawn(waiter())
+        sim.spawn(leaver())
+        sim.run()
+        assert released == [3.0]
+
+    def test_deregister_empty_rejected(self):
+        with pytest.raises(ExecutionError):
+            DynamicBarrier(Simulator()).deregister()
+
+
+def kv(i):
+    return KeyValue((i,), ("payload" * 4,))
+
+
+class TestSendPartitionList:
+    def test_fills_and_rotates(self):
+        spl = SendPartitionList(num_partitions=2, partition_capacity_bytes=100)
+        filled = []
+        for i in range(12):
+            buffer = spl.add(i % 2, kv(i))
+            if buffer is not None:
+                filled.append(buffer)
+        assert filled, "partitions must fill at 100-byte capacity"
+        assert all(buffer.actual_bytes >= 100 for buffer in filled)
+        leftovers = spl.drain()
+        total_pairs = sum(len(b.pairs) for b in filled + leftovers)
+        assert total_pairs == 12
+
+    def test_drain_resets(self):
+        spl = SendPartitionList(2, 1e9)
+        spl.add(0, kv(1))
+        assert spl.drain()
+        assert spl.drain() == []
+        assert spl.buffered_bytes == 0
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(ExecutionError):
+            SendPartitionList(0, 100)
+
+
+class TestSendQueue:
+    def test_put_get_fifo(self):
+        sim = Simulator()
+        queue = SendQueue(sim, capacity=2)
+        a, b = SendBuffer(0), SendBuffer(1)
+        assert queue.put(a).triggered
+        assert queue.put(b).triggered
+        got = queue.get()
+        assert got.triggered and got.value is a
+
+    def test_backpressure_until_transfer_finished(self):
+        sim = Simulator()
+        queue = SendQueue(sim, capacity=1)
+        first = SendBuffer(0)
+        second = SendBuffer(1)
+        assert queue.put(first).triggered
+        blocked = queue.put(second)
+        assert not blocked.triggered  # queue full
+        taken = queue.get()
+        assert taken.value is first
+        queue.transfer_started()
+        assert not blocked.triggered  # still in flight
+        queue.transfer_finished()
+        sim.run()
+        assert blocked.triggered
+
+    def test_get_waits_for_item(self):
+        sim = Simulator()
+        queue = SendQueue(sim, capacity=4)
+        pending = queue.get()
+        assert not pending.triggered
+        buffer = SendBuffer(0)
+        queue.put(buffer)
+        assert pending.triggered and pending.value is buffer
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(ExecutionError):
+            SendQueue(Simulator(), 1).transfer_finished()
+
+    def test_tracks_backlog(self):
+        sim = Simulator()
+        queue = SendQueue(sim, capacity=4)
+        queue.put(SendBuffer(0))
+        queue.put(SendBuffer(1))
+        assert queue.backlog == 2
+
+
+class TestReceiveManager:
+    def run(self, generator, sim):
+        sim.spawn(generator)
+        sim.run()
+
+    def test_cache_until_budget_then_spill(self, cluster):
+        sim = cluster.sim
+        manager = ReceiveManager(sim, [cluster.workers[0]], cache_budget_per_node=100.0)
+
+        def deliver():
+            small = SendBuffer(0, pairs=[kv(1)], actual_bytes=60, scale=1.0)
+            big = SendBuffer(0, pairs=[kv(2)], actual_bytes=60, scale=1.0)
+            yield from manager.deliver(0, small)
+            yield from manager.deliver(0, big)  # over budget -> spilled
+
+        self.run(deliver(), sim)
+        assert manager.received_bytes[0] == 120
+        assert manager.spilled_bytes[0] == 60
+        assert len(manager.pairs[0]) == 2
+        assert sim.now > 0  # the spill paid disk time
+
+    def test_release_partition_frees_cache(self, cluster):
+        sim = cluster.sim
+        node = cluster.workers[0]
+        manager = ReceiveManager(sim, [node], cache_budget_per_node=1000.0)
+
+        def deliver():
+            yield from manager.deliver(0, SendBuffer(0, pairs=[kv(1)], actual_bytes=80, scale=1.0))
+
+        self.run(deliver(), sim)
+        assert manager.cached_bytes[node] == 80
+        manager.release_partition(0)
+        assert manager.cached_bytes[node] == 0

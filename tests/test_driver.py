@@ -1,0 +1,120 @@
+"""Tests for the Hive driver: DDL, CTAS, INSERT, SET, cleanup."""
+
+import pytest
+
+from repro.common.errors import SemanticError
+from repro import hive_session
+
+
+class TestDdl:
+    def test_create_and_drop(self, local_session):
+        local_session.execute("CREATE TABLE scratch (a int, b string)")
+        assert local_session.metastore.has_table("scratch")
+        local_session.execute("DROP TABLE scratch")
+        assert not local_session.metastore.has_table("scratch")
+
+    def test_create_if_not_exists(self, local_session):
+        local_session.execute("CREATE TABLE t (a int)")
+        local_session.execute("CREATE TABLE IF NOT EXISTS t (a int)")  # no raise
+
+    def test_create_stored_as(self, local_session):
+        local_session.execute("CREATE TABLE t (a int) STORED AS orc")
+        assert local_session.metastore.get_table("t").format_name == "orc"
+
+    def test_set_option(self, local_session):
+        local_session.execute("SET hive.datampi.parallelism = enhanced")
+        assert local_session.conf.get("hive.datampi.parallelism") == "enhanced"
+
+
+class TestSelect:
+    def test_simple_select(self, local_session):
+        result = local_session.query("SELECT name FROM emp WHERE dept = 'hr'")
+        assert result.rows == [("eve",)]
+
+    def test_result_schema_names(self, local_session):
+        result = local_session.query("SELECT name AS who, salary * 2 doubled FROM emp LIMIT 1")
+        assert result.schema.names == ["who", "doubled"]
+
+    def test_temp_dirs_cleaned(self, local_session):
+        local_session.query("SELECT dept, sum(salary) s FROM emp GROUP BY dept ORDER BY s")
+        hdfs = local_session.hdfs
+        leftovers = [p for p in hdfs._files if p.startswith("/tmp/")]
+        assert leftovers == []
+
+    def test_multi_statement_script(self, local_session):
+        results = local_session.execute("""
+            SET a.b = c;
+            SELECT count(*) FROM emp;
+        """)
+        assert [r.statement for r in results] == ["set", "select"]
+        assert results[1].rows == [(7,)]
+
+
+class TestCtas:
+    def test_ctas_creates_queryable_table(self, local_session):
+        local_session.execute(
+            "CREATE TABLE high_paid AS SELECT name, salary FROM emp WHERE salary >= 100"
+        )
+        result = local_session.query("SELECT count(*) FROM high_paid")
+        assert result.rows == [(2,)]
+
+    def test_ctas_format(self, local_session):
+        local_session.execute(
+            "CREATE TABLE t STORED AS orc AS SELECT dept FROM emp"
+        )
+        table = local_session.metastore.get_table("t")
+        assert table.format_name == "orc"
+        files = local_session.hdfs.list_dir(table.location)
+        assert files and all(f.format_name == "orc" for f in files)
+
+    def test_ctas_duplicate_rejected(self, local_session):
+        local_session.execute("CREATE TABLE t AS SELECT name FROM emp")
+        with pytest.raises(SemanticError):
+            local_session.execute("CREATE TABLE t AS SELECT name FROM emp")
+
+    def test_ctas_schema_from_select(self, local_session):
+        local_session.execute(
+            "CREATE TABLE t AS SELECT dept, avg(salary) avg_sal FROM emp GROUP BY dept"
+        )
+        schema = local_session.metastore.get_table("t").schema
+        assert schema.names == ["dept", "avg_sal"]
+
+
+class TestInsertOverwrite:
+    def test_insert_overwrite_replaces(self, local_session):
+        local_session.execute("CREATE TABLE sink (who string, pay double)")
+        local_session.execute(
+            "INSERT OVERWRITE TABLE sink SELECT name, salary FROM emp WHERE dept = 'eng'"
+        )
+        first = local_session.query("SELECT count(*) FROM sink").rows
+        local_session.execute(
+            "INSERT OVERWRITE TABLE sink SELECT name, salary FROM emp WHERE dept = 'hr'"
+        )
+        second = local_session.query("SELECT count(*) FROM sink").rows
+        assert first == [(3,)]
+        assert second == [(1,)]
+
+    def test_insert_arity_mismatch(self, local_session):
+        local_session.execute("CREATE TABLE sink (a string)")
+        with pytest.raises(SemanticError):
+            local_session.execute("INSERT OVERWRITE TABLE sink SELECT name, salary FROM emp")
+
+    def test_insert_into_missing_table(self, local_session):
+        with pytest.raises(SemanticError):
+            local_session.execute("INSERT OVERWRITE TABLE ghost SELECT name FROM emp")
+
+
+class TestSessionFactory:
+    def test_engine_selection(self):
+        assert hive_session(engine="mr").engine.name == "hadoop"
+        assert hive_session(engine="dm").engine.name == "datampi"
+        assert hive_session(engine="local").engine.name == "local"
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            hive_session(engine="spark")
+
+    def test_compile_seconds_accounted(self, local_session):
+        result = local_session.query("SELECT count(*) FROM emp")
+        assert result.compile_seconds > 0
+        assert result.simulated_seconds >= result.compile_seconds

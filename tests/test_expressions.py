@@ -1,0 +1,155 @@
+"""Tests for bound-expression compilation (NULL logic, operators)."""
+
+import pytest
+
+from repro.common.rows import DataType
+from repro.exec import expressions as bexpr
+from repro.exec.expressions import Const, InputRef, compile_many, stable_hash
+
+
+def ref(index, dtype=DataType.BIGINT):
+    return InputRef(index, dtype)
+
+
+def const(value):
+    return Const(value, DataType.BIGINT if isinstance(value, int) else DataType.STRING)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        row = (10, 3)
+        assert bexpr.Arithmetic("+", ref(0), ref(1)).compile()(row) == 13
+        assert bexpr.Arithmetic("-", ref(0), ref(1)).compile()(row) == 7
+        assert bexpr.Arithmetic("*", ref(0), ref(1)).compile()(row) == 30
+        assert bexpr.Arithmetic("%", ref(0), ref(1)).compile()(row) == 1
+
+    def test_division_by_zero_is_null(self):
+        assert bexpr.Arithmetic("/", ref(0), ref(1)).compile()((1, 0)) is None
+
+    def test_null_propagates(self):
+        evaluate = bexpr.Arithmetic("+", ref(0), ref(1)).compile()
+        assert evaluate((None, 1)) is None
+        assert evaluate((1, None)) is None
+
+
+class TestComparison:
+    def test_all_operators(self):
+        row = (1, 2)
+        cases = {"=": False, "<>": True, "<": True, "<=": True, ">": False, ">=": False}
+        for op, expected in cases.items():
+            assert bexpr.Comparison(op, ref(0), ref(1)).compile()(row) is expected
+
+    def test_null_comparison_unknown(self):
+        assert bexpr.Comparison("=", ref(0), ref(1)).compile()((None, 1)) is None
+
+
+class TestThreeValuedLogic:
+    def test_and_short_circuit_false(self):
+        # FALSE AND NULL -> FALSE (not NULL)
+        expr = bexpr.LogicalAnd(operands=[Const(False, DataType.BOOLEAN),
+                                          Const(None, DataType.BOOLEAN)])
+        assert expr.compile()(()) is False
+
+    def test_and_with_unknown(self):
+        expr = bexpr.LogicalAnd(operands=[Const(True, DataType.BOOLEAN),
+                                          Const(None, DataType.BOOLEAN)])
+        assert expr.compile()(()) is None
+
+    def test_or_short_circuit_true(self):
+        expr = bexpr.LogicalOr(operands=[Const(None, DataType.BOOLEAN),
+                                         Const(True, DataType.BOOLEAN)])
+        assert expr.compile()(()) is True
+
+    def test_or_with_unknown(self):
+        expr = bexpr.LogicalOr(operands=[Const(False, DataType.BOOLEAN),
+                                         Const(None, DataType.BOOLEAN)])
+        assert expr.compile()(()) is None
+
+    def test_not_null(self):
+        expr = bexpr.LogicalNot(operand=Const(None, DataType.BOOLEAN))
+        assert expr.compile()(()) is None
+
+
+class TestLike:
+    def evaluate(self, pattern, value, negated=False):
+        expr = bexpr.LikeExpr(operand=ref(0, DataType.STRING), pattern=pattern,
+                              negated=negated)
+        return expr.compile()((value,))
+
+    def test_percent(self):
+        assert self.evaluate("%green%", "dark green wheat") is True
+        assert self.evaluate("%green%", "dark red wheat") is False
+
+    def test_prefix_suffix(self):
+        assert self.evaluate("forest%", "forest green") is True
+        assert self.evaluate("%BRASS", "PROMO BRASS") is True
+
+    def test_underscore(self):
+        assert self.evaluate("a_c", "abc") is True
+        assert self.evaluate("a_c", "abbc") is False
+
+    def test_regex_chars_escaped(self):
+        assert self.evaluate("a.c", "abc") is False
+        assert self.evaluate("a.c", "a.c") is True
+
+    def test_negated(self):
+        assert self.evaluate("%special%requests%", "no such thing", negated=True) is True
+
+    def test_null_operand(self):
+        assert self.evaluate("%x%", None) is None
+
+
+class TestMisc:
+    def test_in_set(self):
+        expr = bexpr.InSet(operand=ref(0), values=frozenset({1, 2, 3}))
+        assert expr.compile()((2,)) is True
+        assert expr.compile()((9,)) is False
+        assert expr.compile()((None,)) is None
+
+    def test_in_set_negated(self):
+        expr = bexpr.InSet(operand=ref(0), values=frozenset({1}), negated=True)
+        assert expr.compile()((2,)) is True
+
+    def test_is_null(self):
+        assert bexpr.IsNullExpr(operand=ref(0)).compile()((None,)) is True
+        assert bexpr.IsNullExpr(operand=ref(0), negated=True).compile()((1,)) is True
+
+    def test_case(self):
+        expr = bexpr.CaseExpr(
+            branches=[(bexpr.Comparison(">", ref(0), const(10)), const("big"))],
+            else_value=const("small"),
+        )
+        evaluate = expr.compile()
+        assert evaluate((11,)) == "big"
+        assert evaluate((5,)) == "small"
+
+    def test_case_without_else_yields_null(self):
+        expr = bexpr.CaseExpr(
+            branches=[(bexpr.Comparison(">", ref(0), const(10)), const("big"))]
+        )
+        assert expr.compile()((1,)) is None
+
+    def test_cast(self):
+        assert bexpr.CastExpr(operand=ref(0), dtype=DataType.INT).compile()(("42",)) == 42
+        assert bexpr.CastExpr(operand=ref(0), dtype=DataType.DOUBLE).compile()((3,)) == 3.0
+        assert bexpr.CastExpr(operand=ref(0), dtype=DataType.STRING).compile()((3,)) == "3"
+
+    def test_cast_malformed_is_null(self):
+        expr = bexpr.CastExpr(operand=ref(0), dtype=DataType.INT)
+        assert expr.compile()(("abc",)) is None
+
+    def test_compile_many(self):
+        project = compile_many([ref(1), const(7), ref(0)])
+        assert project(("a", "b")) == ("b", 7, "a")
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(("key", 1)) == stable_hash(("key", 1))
+
+    def test_spreads(self):
+        buckets = {stable_hash((f"k{i}",)) % 16 for i in range(200)}
+        assert len(buckets) >= 12
+
+    def test_distinguishes(self):
+        assert stable_hash(("a",)) != stable_hash(("b",))

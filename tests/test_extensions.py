@@ -1,0 +1,160 @@
+"""Tests for the extension features: UNION ALL, EXPLAIN, DAG mode,
+overlap ablation switch."""
+
+import pytest
+
+from repro import hive_session
+from repro.common.config import Configuration
+from repro.common.errors import SemanticError
+from repro.engines.base import compare_result_rows
+from repro.sql import ast, parse_statement
+
+
+class TestUnionParsing:
+    def test_union_all_parsed(self):
+        stmt = parse_statement("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert isinstance(stmt, ast.UnionAll)
+        assert len(stmt.branches) == 2
+
+    def test_three_branches(self):
+        stmt = parse_statement(
+            "SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v"
+        )
+        assert len(stmt.branches) == 3
+
+    def test_union_in_subquery(self):
+        stmt = parse_statement(
+            "SELECT x FROM (SELECT a x FROM t UNION ALL SELECT b x FROM u) s"
+        )
+        assert isinstance(stmt.source.query, ast.UnionAll)
+
+    def test_plain_union_rejected(self):
+        from repro.common.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM t UNION SELECT a FROM u")
+
+
+class TestUnionExecution:
+    def test_union_rows(self, local_session):
+        rows = local_session.query(
+            "SELECT name FROM emp WHERE dept = 'hr' "
+            "UNION ALL SELECT name FROM emp WHERE dept = 'ops'"
+        ).rows
+        assert sorted(rows) == [("cat",), ("dan",), ("eve",)]
+
+    def test_union_keeps_duplicates(self, local_session):
+        rows = local_session.query(
+            "SELECT dept FROM emp WHERE emp_id = 1 "
+            "UNION ALL SELECT dept FROM emp WHERE emp_id = 2"
+        ).rows
+        assert rows == [("eng",), ("eng",)]
+
+    def test_union_feeding_aggregate(self, local_session):
+        rows = local_session.query(
+            "SELECT d, count(*) FROM ("
+            "  SELECT dept d FROM emp UNION ALL SELECT dept d FROM dept"
+            ") u GROUP BY d ORDER BY d"
+        ).rows
+        assert ("eng", 4) in rows  # 3 employees + 1 dept row
+
+    def test_arity_mismatch_rejected(self, local_session):
+        with pytest.raises(SemanticError):
+            local_session.query(
+                "SELECT name FROM emp UNION ALL SELECT name, salary FROM emp"
+            )
+
+    def test_union_cross_engine(self, warehouse):
+        hdfs, metastore = warehouse
+        sql = (
+            "SELECT d, sum(c) FROM ("
+            "  SELECT dept d, 1 c FROM emp UNION ALL SELECT dept d, 10 c FROM emp"
+            ") u GROUP BY d ORDER BY d"
+        )
+        rows = {}
+        for engine in ("local", "hadoop", "datampi"):
+            session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+            rows[engine] = session.query(sql).rows
+        assert compare_result_rows(rows["local"], rows["hadoop"], ordered=True)
+        assert compare_result_rows(rows["local"], rows["datampi"], ordered=True)
+
+
+class TestExplain:
+    def test_explain_select(self, local_session):
+        result = local_session.execute(
+            "EXPLAIN SELECT dept, count(*) FROM emp GROUP BY dept"
+        )[0]
+        assert result.statement == "explain"
+        text = "\n".join(row[0] for row in result.rows)
+        assert "job" in text and "ReduceSink" in text
+
+    def test_explain_does_not_execute(self, local_session):
+        hdfs = local_session.hdfs
+        before = set(hdfs._files)
+        local_session.execute("EXPLAIN SELECT name FROM emp")
+        assert set(hdfs._files) == before
+
+    def test_explain_ctas(self, local_session):
+        result = local_session.execute(
+            "EXPLAIN CREATE TABLE t2 AS SELECT name FROM emp"
+        )[0]
+        assert not local_session.metastore.has_table("t2")
+        assert result.plan is not None
+
+    def test_explain_insert(self, local_session):
+        local_session.execute("CREATE TABLE sink (a string)")
+        result = local_session.execute(
+            "EXPLAIN INSERT OVERWRITE TABLE sink SELECT name FROM emp"
+        )[0]
+        assert result.plan.output_location == "/warehouse/sink"
+
+    def test_explain_drop_rejected(self, local_session):
+        with pytest.raises(SemanticError):
+            local_session.execute("EXPLAIN DROP TABLE emp")
+
+
+class TestDagMode:
+    def _group_sql(self):
+        return (
+            "SELECT grp, sum(val) s FROM facts GROUP BY grp ORDER BY s DESC LIMIT 5"
+        )
+
+    def test_dag_faster_and_correct(self, big_warehouse):
+        hdfs, metastore = big_warehouse
+        plain = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        expected = plain.query(self._group_sql())
+        conf = Configuration({"hive.datampi.dag": "true"})
+        dag = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
+        actual = dag.query(self._group_sql())
+        assert compare_result_rows(expected.rows, actual.rows, ordered=True)
+        assert actual.execution.total_seconds < expected.execution.total_seconds
+
+    def test_dag_skips_respawn_on_pipelined_stage(self, big_warehouse):
+        hdfs, metastore = big_warehouse
+        conf = Configuration({"hive.datampi.dag": "true"})
+        session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
+        result = session.query(self._group_sql())
+        jobs = result.execution.jobs
+        assert len(jobs) == 2
+        # the pipelined second stage starts without the mpidrun+launch pause
+        assert jobs[1].startup < jobs[0].startup
+
+    def test_dag_off_by_default(self, big_warehouse):
+        hdfs, metastore = big_warehouse
+        session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        result = session.query(self._group_sql())
+        jobs = result.execution.jobs
+        assert jobs[1].startup >= 2.0  # full respawn
+
+
+class TestOverlapSwitch:
+    def test_overlap_off_not_faster(self, big_warehouse):
+        hdfs, metastore = big_warehouse
+        sql = "SELECT k, grp, val FROM facts ORDER BY val DESC LIMIT 3"
+        on = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        off_conf = Configuration({"datampi.shuffle.overlap": "false"})
+        off = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=off_conf)
+        on_result = on.query(sql)
+        off_result = off.query(sql)
+        assert compare_result_rows(on_result.rows, off_result.rows, ordered=True)
+        assert off_result.execution.total_seconds >= on_result.execution.total_seconds - 1e-6

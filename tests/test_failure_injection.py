@@ -1,0 +1,68 @@
+"""Tests for the fault-injection extension.
+
+MapReduce retries failed task attempts; an MPI job aborts and re-runs —
+the classic fault-tolerance trade-off the paper's §I alludes to (Hive on
+MapReduce "can scale out easily and tolerate faults").
+"""
+
+import pytest
+
+from repro import hive_session
+from repro.common.config import Configuration
+from repro.engines.base import compare_result_rows
+from repro.engines.hadoop.engine import _failed_attempt_fractions
+
+SQL = "SELECT grp, sum(val) FROM facts GROUP BY grp ORDER BY grp"
+
+
+class TestFailedAttemptDraws:
+    def test_zero_rate_no_failures(self):
+        assert _failed_attempt_fractions(0.0, "x") == []
+
+    def test_deterministic(self):
+        assert _failed_attempt_fractions(0.5, "seed-a") == \
+            _failed_attempt_fractions(0.5, "seed-a")
+
+    def test_bounded_attempts(self):
+        fractions = _failed_attempt_fractions(1.0, "always")
+        assert len(fractions) == 3  # max 4 attempts -> at most 3 failures
+        assert all(0.1 <= f <= 0.9 for f in fractions)
+
+    def test_rate_scales_frequency(self):
+        low = sum(bool(_failed_attempt_fractions(0.05, f"s{i}")) for i in range(300))
+        high = sum(bool(_failed_attempt_fractions(0.5, f"s{i}")) for i in range(300))
+        assert high > low
+
+
+def _run(engine, hdfs, metastore, rate):
+    conf = Configuration({"repro.failure.rate": str(rate)})
+    session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore, conf=conf)
+    return session.query(SQL)
+
+
+class TestEngineBehaviour:
+    @pytest.mark.parametrize("engine", ["hadoop", "datampi"])
+    def test_results_survive_failures(self, big_warehouse, engine):
+        hdfs, metastore = big_warehouse
+        clean = _run(engine, hdfs, metastore, 0.0)
+        faulty = _run(engine, hdfs, metastore, 0.3)
+        assert compare_result_rows(clean.rows, faulty.rows, ordered=True)
+
+    @pytest.mark.parametrize("engine", ["hadoop", "datampi"])
+    def test_failures_cost_time(self, big_warehouse, engine):
+        hdfs, metastore = big_warehouse
+        clean = _run(engine, hdfs, metastore, 0.0).execution.total_seconds
+        faulty = _run(engine, hdfs, metastore, 0.4).execution.total_seconds
+        assert faulty > clean
+
+    def test_mpi_restart_coarser_than_mapreduce_retry(self, big_warehouse):
+        """At a moderate failure rate, MapReduce's per-task retry loses a
+        smaller *fraction* of the job than DataMPI's whole-job restart."""
+        hdfs, metastore = big_warehouse
+        rate = 0.05
+        overheads = {}
+        for engine in ("hadoop", "datampi"):
+            clean = _run(engine, hdfs, metastore, 0.0).execution.total_seconds
+            faulty = _run(engine, hdfs, metastore, rate).execution.total_seconds
+            overheads[engine] = (faulty - clean) / clean
+        assert overheads["datampi"] > overheads["hadoop"]

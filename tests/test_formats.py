@@ -1,0 +1,174 @@
+"""Tests for the Text/Sequence/ORC file formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rows import DataType, Schema
+from repro.storage.formats.base import get_format
+from repro.storage.formats.orc import (
+    OrcFormat,
+    read_varint,
+    unzigzag,
+    write_varint,
+    zigzag,
+)
+from repro.storage.formats.text import decode_row, encode_row
+
+SCHEMA = Schema.parse("id int, name string, price double, flag boolean, day date")
+
+ROWS = [
+    (1, "alpha", 1.5, True, "1995-01-01"),
+    (2, "beta", 2.25, False, "1995-06-17"),
+    (3, None, None, None, None),
+    (4, "alpha", -3.75, True, "1998-12-01"),
+]
+
+
+class TestRegistry:
+    def test_known_formats(self):
+        for name in ("text", "sequence", "orc"):
+            assert get_format(name).name == name
+
+    def test_unknown_format(self):
+        from repro.common.errors import StorageError
+
+        with pytest.raises(StorageError):
+            get_format("parquet")
+
+
+class TestTextFormat:
+    def test_encode_decode_row(self):
+        line = encode_row(ROWS[0])
+        assert decode_row(line, SCHEMA) == ROWS[0]
+
+    def test_null_round_trip(self):
+        line = encode_row(ROWS[2])
+        assert decode_row(line, SCHEMA) == ROWS[2]
+
+    def test_total_bytes_positive_and_additive(self):
+        stored = get_format("text").build(SCHEMA, ROWS)
+        assert stored.total_bytes > 0
+        assert stored.bytes_for_range(0, 2) + stored.bytes_for_range(2, 2) == \
+            stored.total_bytes
+
+    def test_scan_range(self):
+        stored = get_format("text").build(SCHEMA, ROWS)
+        result = stored.scan(1, 2)
+        assert result.rows == ROWS[1:3]
+        assert result.bytes_read == stored.bytes_for_range(1, 2)
+
+    def test_scan_past_end_clipped(self):
+        stored = get_format("text").build(SCHEMA, ROWS)
+        result = stored.scan(3, 100)
+        assert result.rows == ROWS[3:]
+
+
+class TestSequenceFormat:
+    def test_larger_than_raw_payload(self):
+        stored = get_format("sequence").build(SCHEMA, ROWS)
+        assert stored.total_bytes > 0
+        assert stored.row_count == len(ROWS)
+
+    def test_scan_returns_rows(self):
+        stored = get_format("sequence").build(SCHEMA, ROWS)
+        assert stored.scan(0, 4).rows == ROWS
+
+
+class TestVarint:
+    @settings(max_examples=200)
+    @given(value=st.integers(min_value=0, max_value=2**63))
+    def test_round_trip(self, value):
+        out = bytearray()
+        write_varint(value, out)
+        decoded, offset = read_varint(bytes(out), 0)
+        assert decoded == value
+        assert offset == len(out)
+
+    @settings(max_examples=200)
+    @given(value=st.integers(min_value=-(2**62), max_value=2**62))
+    def test_zigzag_round_trip(self, value):
+        assert unzigzag(zigzag(value)) == value
+
+    def test_zigzag_ordering_small(self):
+        # zigzag interleaves: 0, -1, 1, -2, 2 ...
+        assert [zigzag(v) for v in (0, -1, 1, -2, 2)] == [0, 1, 2, 3, 4]
+
+
+class TestOrcFormat:
+    def test_round_trip_all_stripes(self):
+        stored = OrcFormat(stripe_rows=2).build(SCHEMA, ROWS)
+        assert len(stored.stripes) == 2
+        for index in range(len(stored.stripes)):
+            decoded = stored.decode_stripe(index)
+            start = stored.stripes[index].row_start
+            assert decoded == ROWS[start : start + stored.stripes[index].row_count]
+
+    def test_column_pruning_reduces_bytes(self):
+        rows = [(i, f"name{i % 5}", float(i), True, "1995-01-01") for i in range(2000)]
+        stored = OrcFormat().build(SCHEMA, rows)
+        full = stored.scan(0, len(rows))
+        pruned = stored.scan(0, len(rows), columns=["id"])
+        assert pruned.bytes_read < full.bytes_read
+        assert pruned.rows == full.rows  # rows stay full-width
+
+    def test_predicate_pushdown_skips_stripes(self):
+        rows = [(i, "x", float(i), True, "1995-01-01") for i in range(4000)]
+        stored = OrcFormat(stripe_rows=1000).build(SCHEMA, rows)
+        result = stored.scan(0, 4000, stats_conjuncts=[("id", ">", 3500)])
+        assert result.rows_skipped >= 3000
+        assert all(row[0] >= 3000 for row in result.rows)
+
+    def test_pushdown_conservative_on_unknown_column(self):
+        stored = OrcFormat(stripe_rows=2).build(SCHEMA, ROWS)
+        result = stored.scan(0, 4, stats_conjuncts=[("nope", "=", 1)])
+        assert len(result.rows) == 4
+
+    def test_partial_stripe_charges_fraction(self):
+        rows = [(i, "n", 1.0, True, "1995-01-01") for i in range(1000)]
+        stored = OrcFormat(stripe_rows=1000).build(SCHEMA, rows)
+        half = stored.bytes_for_range(0, 500)
+        full = stored.bytes_for_range(0, 1000)
+        assert 0 < half < full
+        assert half == pytest.approx(full / 2, rel=0.2)
+
+    def test_dictionary_beats_direct_on_repeats(self):
+        repeats = [(i, "only-a-few-values-%d" % (i % 3), 0.0, True, "1995-01-01")
+                   for i in range(3000)]
+        uniques = [(i, f"totally-unique-string-{i:08d}", 0.0, True, "1995-01-01")
+                   for i in range(3000)]
+        small = OrcFormat().build(SCHEMA, repeats).total_bytes
+        big = OrcFormat().build(SCHEMA, uniques).total_bytes
+        assert small < big
+
+    def test_orc_smaller_than_text_on_typical_data(self):
+        rows = [(i, f"cat{i % 20}", round(i * 1.1, 2), i % 2 == 0, "1996-03-01")
+                for i in range(5000)]
+        orc = get_format("orc").build(SCHEMA, rows).total_bytes
+        text = get_format("text").build(SCHEMA, rows).total_bytes
+        assert orc < text
+
+    def test_stats_recorded(self):
+        stored = OrcFormat(stripe_rows=4).build(SCHEMA, ROWS)
+        stats = stored.stripes[0].stats
+        assert stats["id"] == (1, 4)
+        assert stats["name"] == ("alpha", "beta")
+
+
+_orc_row = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=-(2**40), max_value=2**40)),
+    st.one_of(st.none(), st.text(max_size=20)),
+    st.one_of(st.none(), st.floats(allow_nan=False, allow_infinity=False)),
+    st.one_of(st.none(), st.booleans()),
+    st.one_of(st.none(), st.just("1995-01-01")),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=st.lists(_orc_row, min_size=1, max_size=60))
+def test_property_orc_round_trip(rows):
+    stored = OrcFormat(stripe_rows=16).build(SCHEMA, rows)
+    decoded = []
+    for index in range(len(stored.stripes)):
+        decoded.extend(stored.decode_stripe(index))
+    assert decoded == rows

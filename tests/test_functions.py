@@ -1,0 +1,194 @@
+"""Tests for builtin scalar functions and aggregates."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SemanticError
+from repro.common.rows import DataType
+from repro.sql.functions import (
+    AGGREGATES,
+    date_add_days,
+    date_add_months,
+    get_aggregate,
+    get_scalar,
+    is_aggregate,
+    is_scalar,
+)
+
+
+class TestDateArithmetic:
+    def test_add_days_simple(self):
+        assert date_add_days("1998-12-01", -90) == "1998-09-02"  # TPC-H Q1
+
+    def test_add_days_across_year(self):
+        assert date_add_days("1998-12-31", 1) == "1999-01-01"
+
+    def test_leap_year(self):
+        assert date_add_days("1996-02-28", 1) == "1996-02-29"
+        assert date_add_days("1995-02-28", 1) == "1995-03-01"
+
+    def test_century_non_leap(self):
+        assert date_add_days("1900-02-28", 1) == "1900-03-01"
+
+    def test_add_months_clamps_day(self):
+        assert date_add_months("1995-01-31", 1) == "1995-02-28"
+
+    def test_add_months_year_rollover(self):
+        assert date_add_months("1995-11-15", 3) == "1996-02-15"
+
+    def test_negative_months(self):
+        assert date_add_months("1995-03-31", -1) == "1995-02-28"
+
+    def test_null_propagation(self):
+        assert date_add_days(None, 1) is None
+        assert date_add_months("1995-01-01", None) is None
+
+    @settings(max_examples=100)
+    @given(
+        days=st.integers(min_value=-2000, max_value=2000),
+        base_days=st.integers(min_value=0, max_value=3000),
+    )
+    def test_property_add_days_invertible(self, days, base_days):
+        base = date_add_days("1992-01-01", base_days)
+        assert date_add_days(date_add_days(base, days), -days) == base
+
+    @settings(max_examples=100)
+    @given(days=st.integers(min_value=1, max_value=4000))
+    def test_property_dates_ordered_lexically(self, days):
+        earlier = date_add_days("1992-01-01", days - 1)
+        later = date_add_days("1992-01-01", days)
+        assert earlier < later  # ISO strings compare like dates
+
+
+class TestScalars:
+    def test_year_month(self):
+        assert get_scalar("year").impl("1995-06-17") == 1995
+        assert get_scalar("month").impl("1995-06-17") == 6
+
+    def test_substr_one_based(self):
+        substr = get_scalar("substr").impl
+        assert substr("hello", 1, 2) == "he"
+        assert substr("hello", 3) == "llo"
+        assert substr("13-555", 1, 2) == "13"  # TPC-H Q22 pattern
+
+    def test_substr_negative_start(self):
+        assert get_scalar("substr").impl("hello", -3) == "llo"
+
+    def test_concat(self):
+        assert get_scalar("concat").impl("a", 1, "b") == "a1b"
+        assert get_scalar("concat").impl("a", None) is None
+
+    def test_round(self):
+        impl = get_scalar("round").impl
+        assert impl(2.567, 2) == pytest.approx(2.57)
+        assert impl(2.4) == 2.0
+
+    def test_if_coalesce(self):
+        assert get_scalar("if").impl(True, "a", "b") == "a"
+        assert get_scalar("coalesce").impl(None, None, 3) == 3
+
+    def test_case_insensitive_lookup(self):
+        assert get_scalar("YEAR").name == "year"
+
+    def test_unknown_scalar(self):
+        with pytest.raises(SemanticError):
+            get_scalar("frobnicate")
+        assert not is_scalar("frobnicate")
+
+    def test_return_type_rules(self):
+        assert get_scalar("year").infer_type([DataType.DATE]) is DataType.INT
+        assert get_scalar("abs").infer_type([DataType.DOUBLE]) is DataType.DOUBLE
+        assert get_scalar("if").infer_type(
+            [DataType.BOOLEAN, DataType.BIGINT, DataType.BIGINT]
+        ) is DataType.BIGINT
+
+
+class TestAggregates:
+    def run_aggregate(self, name, values, distinct=False):
+        aggregate = get_aggregate(name, distinct)
+        acc = aggregate.create()
+        for value in values:
+            acc = aggregate.update(acc, value)
+        return aggregate, acc
+
+    def test_count_skips_nulls(self):
+        aggregate, acc = self.run_aggregate("count", [1, None, 2, None, 3])
+        assert aggregate.result(acc) == 3
+
+    def test_sum(self):
+        aggregate, acc = self.run_aggregate("sum", [1, 2, None, 4])
+        assert aggregate.result(acc) == 7
+
+    def test_sum_all_null(self):
+        aggregate, acc = self.run_aggregate("sum", [None, None])
+        assert aggregate.result(acc) is None
+
+    def test_avg(self):
+        aggregate, acc = self.run_aggregate("avg", [2.0, 4.0, None])
+        assert aggregate.result(acc) == pytest.approx(3.0)
+
+    def test_avg_empty_is_null(self):
+        aggregate, acc = self.run_aggregate("avg", [])
+        assert aggregate.result(acc) is None
+
+    def test_min_max(self):
+        aggregate, acc = self.run_aggregate("min", [5, None, 2, 9])
+        assert aggregate.result(acc) == 2
+        aggregate, acc = self.run_aggregate("max", ["a", "z", None])
+        assert aggregate.result(acc) == "z"
+
+    def test_count_distinct(self):
+        aggregate, acc = self.run_aggregate("count", [1, 1, 2, None, 2], distinct=True)
+        assert aggregate.result(acc) == 2
+
+    def test_count_distinct_partial_forbidden(self):
+        aggregate = get_aggregate("count", distinct=True)
+        with pytest.raises(SemanticError):
+            aggregate.partial(aggregate.create())
+
+    def test_sum_distinct_unsupported(self):
+        with pytest.raises(SemanticError):
+            get_aggregate("sum", distinct=True)
+
+    def test_result_types(self):
+        assert get_aggregate("count").result_type(None) is DataType.BIGINT
+        assert get_aggregate("sum").result_type(DataType.INT) is DataType.BIGINT
+        assert get_aggregate("sum").result_type(DataType.DOUBLE) is DataType.DOUBLE
+        assert get_aggregate("avg").result_type(DataType.INT) is DataType.DOUBLE
+        assert get_aggregate("min").result_type(DataType.STRING) is DataType.STRING
+
+    def test_is_aggregate(self):
+        assert is_aggregate("SUM") and is_aggregate("count")
+        assert not is_aggregate("substr")
+
+    @settings(max_examples=60)
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.integers(min_value=-1000, max_value=1000)),
+            max_size=40,
+        ),
+        split=st.integers(min_value=0, max_value=40),
+    )
+    def test_property_partial_merge_equals_direct(self, values, split):
+        """map-side partial + reduce-side merge == single-pass update,
+        for every (non-distinct) aggregate."""
+        split = min(split, len(values))
+        left, right = values[:split], values[split:]
+        for name in ("count", "sum", "avg", "min", "max"):
+            aggregate = AGGREGATES[name]
+            direct = aggregate.create()
+            for value in values:
+                direct = aggregate.update(direct, value)
+
+            acc_left = aggregate.create()
+            for value in left:
+                acc_left = aggregate.update(acc_left, value)
+            acc_right = aggregate.create()
+            for value in right:
+                acc_right = aggregate.update(acc_right, value)
+            merged = aggregate.merge(
+                aggregate.merge(aggregate.create(), aggregate.partial(acc_left)),
+                aggregate.partial(acc_right),
+            )
+            assert aggregate.result(merged) == aggregate.result(direct)

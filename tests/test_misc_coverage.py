@@ -1,0 +1,97 @@
+"""Edge-case coverage: categorized bandwidth, partition-prune helper,
+union plan shape, logical explain."""
+
+import pytest
+
+from repro.engines.base import _partition_pruned
+from repro.plan.logical import explain_logical
+from repro.simulate import Bandwidth, Simulator
+
+
+class TestCategorizedBandwidth:
+    def test_read_write_split(self):
+        sim = Simulator()
+        link = Bandwidth(sim, 100.0)
+
+        def proc():
+            yield link.transfer(300.0, category="read")
+            yield link.transfer(100.0, category="write")
+
+        sim.spawn(proc())
+        sim.run()
+        assert link.categorized["read"] == pytest.approx(300.0)
+        assert link.categorized["write"] == pytest.approx(100.0)
+        assert link.progressed_bytes() == pytest.approx(400.0)
+
+    def test_uncategorized_not_tracked(self):
+        sim = Simulator()
+        link = Bandwidth(sim, 100.0)
+
+        def proc():
+            yield link.transfer(50.0)
+
+        sim.spawn(proc())
+        sim.run()
+        assert link.categorized == {}
+
+
+class _FakeSplit:
+    def __init__(self, values):
+        self.partition_values = values
+
+
+class TestPartitionPruneHelper:
+    def test_no_partition_values(self):
+        assert not _partition_pruned(_FakeSplit(None), [("day", "=", "x")])
+
+    def test_equality_mismatch_prunes(self):
+        split = _FakeSplit({"day": "2015-01-01"})
+        assert _partition_pruned(split, [("day", "=", "2015-01-02")])
+
+    def test_equality_match_kept(self):
+        split = _FakeSplit({"day": "2015-01-01"})
+        assert not _partition_pruned(split, [("day", "=", "2015-01-01")])
+
+    def test_range_ops(self):
+        split = _FakeSplit({"hour": 5})
+        assert _partition_pruned(split, [("hour", ">", 10)])
+        assert not _partition_pruned(split, [("hour", "<=", 5)])
+
+    def test_unrelated_column_ignored(self):
+        split = _FakeSplit({"day": "x"})
+        assert not _partition_pruned(split, [("other", "=", "y")])
+
+    def test_type_mismatch_conservative(self):
+        split = _FakeSplit({"day": "2015"})
+        assert not _partition_pruned(split, [("day", ">", 10)])
+
+
+class TestPlanShapesMisc:
+    def test_union_plan_merges_inputs(self, warehouse):
+        from repro.common.config import Configuration
+        from repro.plan.analyzer import Analyzer
+        from repro.plan.optimizer import prune_columns
+        from repro.plan.physical import PhysicalCompiler
+        from repro.sql import parse_statement
+
+        hdfs, metastore = warehouse
+        node = Analyzer(metastore).analyze(parse_statement(
+            "SELECT name FROM emp UNION ALL SELECT dept FROM dept"
+        ))
+        plan = PhysicalCompiler(metastore, hdfs, Configuration(), "u").compile(
+            prune_columns(node), "/tmp/u", "text"
+        )
+        assert plan.num_jobs == 1
+        locations = {i.location for i in plan.jobs[0].inputs}
+        assert locations == {"/warehouse/emp", "/warehouse/dept"}
+
+    def test_explain_logical_tree(self, warehouse):
+        from repro.plan.analyzer import Analyzer
+        from repro.sql import parse_statement
+
+        _hdfs, metastore = warehouse
+        node = Analyzer(metastore).analyze(parse_statement(
+            "SELECT dept, count(*) FROM emp GROUP BY dept ORDER BY dept"
+        ))
+        text = explain_logical(node)
+        assert "Aggregate" in text and "Scan" in text and "Sort" in text

@@ -1,0 +1,161 @@
+"""Tests for partitioned tables and partition pruning."""
+
+import pytest
+
+from repro import hive_session
+from repro.common.errors import SemanticError
+from repro.common.rows import Schema
+from repro.sql import ast, parse_statement
+
+
+@pytest.fixture()
+def part_session(warehouse):
+    hdfs, metastore = warehouse
+    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session.execute(
+        "CREATE TABLE emp_p (name string, salary double) PARTITIONED BY (dept string)"
+    )
+    session.execute(
+        "INSERT OVERWRITE TABLE emp_p PARTITION (dept='eng') "
+        "SELECT name, salary FROM emp WHERE dept='eng'"
+    )
+    session.execute(
+        "INSERT OVERWRITE TABLE emp_p PARTITION (dept='ops') "
+        "SELECT name, salary FROM emp WHERE dept='ops'"
+    )
+    return session
+
+
+class TestParsing:
+    def test_partitioned_by(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a int) PARTITIONED BY (day string, hour int)"
+        )
+        assert [c.name for c in stmt.partition_columns] == ["day", "hour"]
+
+    def test_insert_partition_spec(self):
+        stmt = parse_statement(
+            "INSERT OVERWRITE TABLE t PARTITION (day='2015-01-01', hour=3) SELECT a FROM s"
+        )
+        assert stmt.partition == [("day", "2015-01-01"), ("hour", 3)]
+
+    def test_partition_value_must_be_literal(self):
+        from repro.common.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_statement("INSERT OVERWRITE TABLE t PARTITION (day=x) SELECT a FROM s")
+
+
+class TestMetastore:
+    def test_full_schema_appends_partition_columns(self, warehouse):
+        _hdfs, metastore = warehouse
+        table = metastore.create_table(
+            "p1", Schema.parse("a int"),
+            partition_columns=list(Schema.parse("day string").columns),
+        )
+        assert table.full_schema.names == ["a", "day"]
+        assert table.is_partitioned
+
+    def test_partition_location_layout(self, warehouse):
+        _hdfs, metastore = warehouse
+        table = metastore.create_table(
+            "p2", Schema.parse("a int"),
+            partition_columns=list(Schema.parse("day string, hour int").columns),
+        )
+        location = table.add_partition(("2015-01-01", 3))
+        assert location == "/warehouse/p2/day=2015-01-01/hour=3"
+        assert ("2015-01-01", 3) in table.partitions
+
+    def test_partition_column_clash_rejected(self, warehouse):
+        _hdfs, metastore = warehouse
+        with pytest.raises(SemanticError):
+            metastore.create_table(
+                "p3", Schema.parse("a int"),
+                partition_columns=list(Schema.parse("a string").columns),
+            )
+
+
+class TestQueries:
+    def test_partition_column_queryable(self, part_session):
+        rows = part_session.query(
+            "SELECT name, dept FROM emp_p ORDER BY name"
+        ).rows
+        assert ("ann", "eng") in rows and ("cat", "ops") in rows
+
+    def test_filter_on_partition_column(self, part_session):
+        rows = part_session.query(
+            "SELECT name FROM emp_p WHERE dept = 'ops' ORDER BY name"
+        ).rows
+        assert rows == [("cat",), ("dan",)]
+
+    def test_aggregate_over_partitions(self, part_session):
+        rows = part_session.query(
+            "SELECT dept, count(*) FROM emp_p GROUP BY dept ORDER BY dept"
+        ).rows
+        assert rows == [("eng", 3), ("ops", 2)]
+
+    def test_pruning_drops_map_tasks(self, part_session):
+        hdfs = part_session.hdfs
+        metastore = part_session.metastore
+        hadoop = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore)
+        full = hadoop.query("SELECT count(*) FROM emp_p")
+        pruned = hadoop.query("SELECT count(*) FROM emp_p WHERE dept = 'eng'")
+        assert pruned.execution.jobs[0].num_maps < full.execution.jobs[0].num_maps
+        assert pruned.rows == [(3,)]
+
+    def test_pruning_preserves_results_on_engines(self, part_session):
+        hdfs = part_session.hdfs
+        metastore = part_session.metastore
+        for engine in ("hadoop", "datampi"):
+            session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+            rows = session.query(
+                "SELECT name FROM emp_p WHERE dept = 'eng' ORDER BY name"
+            ).rows
+            assert rows == [("ann",), ("bob",), ("gus",)]
+
+    def test_range_pruning(self, part_session):
+        # non-equality conjuncts prune too
+        rows = part_session.query(
+            "SELECT count(*) FROM emp_p WHERE dept > 'nnn'"
+        ).rows
+        assert rows == [(2,)]  # only ops
+
+
+class TestInsertSemantics:
+    def test_overwrite_scoped_to_partition(self, part_session):
+        part_session.execute(
+            "INSERT OVERWRITE TABLE emp_p PARTITION (dept='eng') "
+            "SELECT name, salary FROM emp WHERE name = 'ann'"
+        )
+        rows = part_session.query("SELECT name, dept FROM emp_p ORDER BY name").rows
+        assert rows == [("ann", "eng"), ("cat", "ops"), ("dan", "ops")]
+
+    def test_append_into_partition(self, part_session):
+        part_session.execute(
+            "INSERT INTO TABLE emp_p PARTITION (dept='ops') "
+            "SELECT name, salary FROM emp WHERE name = 'eve'"
+        )
+        rows = part_session.query(
+            "SELECT count(*) FROM emp_p WHERE dept = 'ops'"
+        ).rows
+        assert rows == [(3,)]
+
+    def test_missing_partition_spec_rejected(self, part_session):
+        with pytest.raises(SemanticError):
+            part_session.execute(
+                "INSERT OVERWRITE TABLE emp_p SELECT name, salary FROM emp"
+            )
+
+    def test_partition_spec_on_plain_table_rejected(self, local_session):
+        local_session.execute("CREATE TABLE plain (a string)")
+        with pytest.raises(SemanticError):
+            local_session.execute(
+                "INSERT OVERWRITE TABLE plain PARTITION (day='x') SELECT name FROM emp"
+            )
+
+    def test_wrong_partition_columns_rejected(self, part_session):
+        with pytest.raises(SemanticError):
+            part_session.execute(
+                "INSERT OVERWRITE TABLE emp_p PARTITION (region='x') "
+                "SELECT name, salary FROM emp"
+            )

@@ -1,0 +1,214 @@
+"""Tests for the physical compiler and the column pruner."""
+
+import pytest
+
+from repro.common.config import Configuration
+from repro.common.units import MB
+from repro.exec.operators import (
+    FileSinkDesc,
+    FilterDesc,
+    MapGroupByDesc,
+    MapJoinDesc,
+    ReduceSinkDesc,
+    SelectDesc,
+)
+from repro.exec.reduce import (
+    ReduceAggregateDesc,
+    ReduceDistinctDesc,
+    ReduceJoinDesc,
+    ReduceSortDesc,
+)
+from repro.plan.analyzer import Analyzer
+from repro.plan.optimizer import prune_columns
+from repro.plan.physical import PhysicalCompiler, explain_plan
+from repro.sql import parse_statement
+
+
+@pytest.fixture()
+def compile_sql(warehouse):
+    hdfs, metastore = warehouse
+    analyzer = Analyzer(metastore)
+
+    def _compile(sql, prune=True, conf=None):
+        node = analyzer.analyze(parse_statement(sql))
+        if prune:
+            node = prune_columns(node)
+        compiler = PhysicalCompiler(metastore, hdfs, conf or Configuration(), "t")
+        return compiler.compile(node, "/tmp/out", "text")
+
+    return _compile
+
+
+class TestPlanShapes:
+    def test_map_only_job(self, compile_sql):
+        plan = compile_sql("SELECT name FROM emp WHERE salary > 90")
+        assert plan.num_jobs == 1
+        job = plan.jobs[0]
+        assert job.is_map_only
+        assert isinstance(job.inputs[0].operators[-1], FileSinkDesc)
+
+    def test_groupby_one_job(self, compile_sql):
+        plan = compile_sql("SELECT dept, sum(salary) FROM emp GROUP BY dept")
+        assert plan.num_jobs == 1
+        job = plan.jobs[0]
+        assert isinstance(job.reduce_logic, ReduceAggregateDesc)
+        ops = [type(d).__name__ for d in job.inputs[0].operators]
+        assert "MapGroupByDesc" in ops and ops[-1] == "ReduceSinkDesc"
+
+    def test_groupby_orderby_two_jobs(self, compile_sql):
+        plan = compile_sql(
+            "SELECT dept, sum(salary) s FROM emp GROUP BY dept ORDER BY s"
+        )
+        assert plan.num_jobs == 2
+        assert isinstance(plan.jobs[1].reduce_logic, ReduceSortDesc)
+        assert plan.jobs[1].num_reducers_hint == 1
+        assert plan.jobs[1].sort_directions == [True]
+
+    def test_distinct_job(self, compile_sql):
+        plan = compile_sql("SELECT DISTINCT dept FROM emp")
+        assert isinstance(plan.jobs[0].reduce_logic, ReduceDistinctDesc)
+
+    def test_count_distinct_disables_map_agg(self, compile_sql):
+        plan = compile_sql("SELECT dept, count(DISTINCT name) FROM emp GROUP BY dept")
+        ops = [type(d).__name__ for d in plan.jobs[0].inputs[0].operators]
+        assert "MapGroupByDesc" not in ops
+        logic = plan.jobs[0].reduce_logic
+        assert logic.inputs_are_partials is False
+
+    def test_global_aggregate_single_reducer(self, compile_sql):
+        plan = compile_sql("SELECT sum(salary) FROM emp")
+        assert plan.jobs[0].num_reducers_hint == 1
+
+    def test_final_limit_recorded(self, compile_sql):
+        plan = compile_sql("SELECT name FROM emp ORDER BY name LIMIT 3")
+        assert plan.final_limit == 3
+
+    def test_explain_runs(self, compile_sql):
+        plan = compile_sql("SELECT dept, count(*) FROM emp GROUP BY dept")
+        text = explain_plan(plan)
+        assert "job" in text and "ReduceSink" in text
+
+
+class TestJoinPlanning:
+    def test_small_table_becomes_map_join(self, compile_sql):
+        # dept has scale 100 -> tiny -> broadcast
+        plan = compile_sql(
+            "SELECT name, budget FROM emp e JOIN dept d ON e.dept = d.dept"
+        )
+        assert plan.num_jobs == 1
+        job = plan.jobs[0]
+        assert job.is_map_only
+        assert job.broadcasts and job.broadcasts[0].location == "/warehouse/dept"
+        assert any(isinstance(d, MapJoinDesc) for d in job.inputs[0].operators)
+
+    def test_swapped_map_join_small_left(self, compile_sql):
+        plan = compile_sql(
+            "SELECT name, budget FROM dept d JOIN emp e ON d.dept = e.dept"
+        )
+        job = plan.jobs[0]
+        descs = [d for d in job.inputs[0].operators if isinstance(d, MapJoinDesc)]
+        assert descs and descs[0].swap_output
+
+    def test_common_join_when_both_big(self, compile_sql, warehouse):
+        hdfs, metastore = warehouse
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": "1"})
+        plan = compile_sql(
+            "SELECT name, budget FROM emp e JOIN dept d ON e.dept = d.dept",
+            conf=conf,
+        )
+        job = plan.jobs[0]
+        assert isinstance(job.reduce_logic, ReduceJoinDesc)
+        tags = sorted(map_input.tag for map_input in job.inputs)
+        assert tags == [0, 1]
+
+    def test_left_join_small_left_not_broadcast(self, compile_sql):
+        # LEFT JOIN with the small table on the preserved (left) side
+        # cannot be swapped into a broadcast join
+        plan = compile_sql(
+            "SELECT budget FROM dept d LEFT JOIN emp e ON d.dept = e.dept"
+        )
+        job = plan.jobs[0]
+        assert isinstance(job.reduce_logic, ReduceJoinDesc)
+        assert job.reduce_logic.join_type == "left"
+
+    def test_cross_join_single_reducer(self, compile_sql, warehouse):
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": "1"})
+        plan = compile_sql("SELECT name FROM emp CROSS JOIN dept", conf=conf)
+        assert plan.jobs[0].num_reducers_hint == 1
+
+    def test_cross_join_with_tiny_table_broadcasts(self, compile_sql):
+        plan = compile_sql("SELECT name FROM emp CROSS JOIN dept")
+        assert plan.jobs[0].is_map_only  # broadcast even without keys
+
+    def test_join_then_group_two_jobs(self, compile_sql):
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": "1"})
+        plan = compile_sql(
+            "SELECT region, sum(salary) FROM emp e JOIN dept d ON e.dept = d.dept "
+            "GROUP BY region",
+            conf=conf,
+        )
+        assert plan.num_jobs == 2
+        assert isinstance(plan.jobs[0].reduce_logic, ReduceJoinDesc)
+        assert isinstance(plan.jobs[1].reduce_logic, ReduceAggregateDesc)
+
+
+class TestScanHints:
+    def test_column_pruning_hints(self, compile_sql):
+        plan = compile_sql("SELECT name FROM emp WHERE salary > 90")
+        hints = plan.jobs[0].inputs[0].hints
+        assert hints.columns == ["name", "salary"]
+
+    def test_stats_conjuncts_extracted(self, compile_sql):
+        plan = compile_sql("SELECT name FROM emp WHERE salary > 90 AND hired >= '2001-01-01'")
+        hints = plan.jobs[0].inputs[0].hints
+        assert ("salary", ">", 90) in hints.stats_conjuncts
+        assert ("hired", ">=", "2001-01-01") in hints.stats_conjuncts
+
+    def test_flipped_literal_comparison(self, compile_sql):
+        plan = compile_sql("SELECT name FROM emp WHERE 90 < salary")
+        hints = plan.jobs[0].inputs[0].hints
+        assert ("salary", ">", 90) in hints.stats_conjuncts
+
+    def test_group_by_hints(self, compile_sql):
+        plan = compile_sql("SELECT dept, sum(salary) FROM emp GROUP BY dept")
+        hints = plan.jobs[0].inputs[0].hints
+        assert hints.columns == ["dept", "salary"]
+
+
+class TestColumnPruner:
+    def analyze(self, warehouse, sql):
+        _hdfs, metastore = warehouse
+        return Analyzer(metastore).analyze(parse_statement(sql))
+
+    def test_join_output_narrowed(self, warehouse):
+        node = self.analyze(
+            warehouse,
+            "SELECT region, sum(salary) FROM emp e JOIN dept d ON e.dept = d.dept "
+            "GROUP BY region",
+        )
+        before = len(node.child.child.signature)  # join output width
+        pruned = prune_columns(node)
+        after = len(pruned.child.child.signature)
+        assert after < before
+        assert after == 4  # dept key + salary | dept key + region
+
+    def test_pruned_plan_same_result(self, warehouse, local_session):
+        sql = (
+            "SELECT region, sum(salary) total FROM emp e JOIN dept d "
+            "ON e.dept = d.dept GROUP BY region ORDER BY total DESC"
+        )
+        result = local_session.query(sql)
+        assert result.rows == [("west", 220.0), ("east", 185.0)]
+
+    def test_prune_keeps_filter_columns(self, warehouse):
+        node = self.analyze(
+            warehouse, "SELECT name FROM emp WHERE salary > 90 AND dept = 'eng'"
+        )
+        pruned = prune_columns(node)
+        # result still projects only `name`
+        assert len(pruned.signature) == 1
+
+    def test_prune_count_star(self, warehouse):
+        node = self.analyze(warehouse, "SELECT count(*) FROM emp")
+        pruned = prune_columns(node)  # must not crash on zero column refs
+        assert len(pruned.signature) == 1

@@ -1,0 +1,229 @@
+"""SQL semantics tests on the reference executor.
+
+Every case checks the exact rows a query must produce — these pin the
+behaviour the two simulated engines are later cross-checked against.
+"""
+
+import pytest
+
+
+def rows(session, sql):
+    return session.query(sql).rows
+
+
+class TestProjectionsAndFilters:
+    def test_expressions(self, local_session):
+        out = rows(local_session, "SELECT name, salary / 2 FROM emp WHERE emp_id = 1")
+        assert out == [("ann", 60.0)]
+
+    def test_null_filtered_out_by_comparison(self, local_session):
+        out = rows(local_session, "SELECT name FROM emp WHERE salary > 0")
+        assert ("gus",) not in out  # NULL salary -> unknown -> dropped
+        assert len(out) == 6
+
+    def test_is_null(self, local_session):
+        assert rows(local_session, "SELECT name FROM emp WHERE dept IS NULL") == [("fay",)]
+
+    def test_in_and_between(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT name FROM emp WHERE dept IN ('hr', 'ops') AND salary BETWEEN 85 AND 95",
+        )
+        assert sorted(out) == [("cat",), ("dan",)]
+
+    def test_like(self, local_session):
+        out = rows(local_session, "SELECT name FROM emp WHERE name LIKE '%a%'")
+        assert sorted(out) == [("ann",), ("cat",), ("dan",), ("fay",)]
+
+    def test_case_when(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT name, CASE WHEN salary >= 100 THEN 'high' ELSE 'low' END "
+            "FROM emp WHERE emp_id <= 3 ORDER BY emp_id",
+        )
+        assert out == [("ann", "high"), ("bob", "high"), ("cat", "low")]
+
+    def test_scalar_functions(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT upper(name), year(hired), substr(name, 1, 2) FROM emp WHERE emp_id = 3",
+        )
+        assert out == [("CAT", 1999, "ca")]
+
+
+class TestAggregation:
+    def test_group_by(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT dept, count(*), sum(salary) FROM emp GROUP BY dept ORDER BY dept",
+        )
+        # NULL dept groups together, sorts first
+        assert out == [
+            (None, 1, 70.0),
+            ("eng", 3, 220.0),
+            ("hr", 1, 80.0),
+            ("ops", 2, 185.0),
+        ]
+
+    def test_count_column_vs_star(self, local_session):
+        out = rows(local_session, "SELECT count(*), count(salary) FROM emp")
+        assert out == [(7, 6)]
+
+    def test_avg_min_max(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT avg(salary), min(salary), max(salary) FROM emp WHERE dept = 'eng'",
+        )
+        assert out == [(pytest.approx(110.0), 100.0, 120.0)]
+
+    def test_having(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT dept FROM emp GROUP BY dept HAVING count(*) >= 2 ORDER BY dept",
+        )
+        assert out == [("eng",), ("ops",)]
+
+    def test_count_distinct(self, local_session):
+        out = rows(local_session, "SELECT count(DISTINCT dept) FROM emp")
+        assert out == [(3,)]  # NULL not counted
+
+    def test_count_distinct_grouped(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT region, count(DISTINCT d.dept) FROM dept d GROUP BY region ORDER BY region",
+        )
+        assert out == [("east", 1), ("west", 2)]
+
+    def test_aggregate_of_expression(self, local_session):
+        out = rows(local_session, "SELECT sum(salary * 0.1) FROM emp WHERE dept = 'ops'")
+        assert out == [(pytest.approx(18.5),)]
+
+    def test_empty_group_result(self, local_session):
+        out = rows(local_session, "SELECT dept, sum(salary) FROM emp WHERE salary > 1000 GROUP BY dept")
+        assert out == []
+
+    def test_global_aggregate_on_empty_input(self, local_session):
+        out = rows(local_session, "SELECT count(*), sum(salary) FROM emp WHERE salary > 1000")
+        assert out == [(0, None)]
+
+
+class TestJoins:
+    def test_inner_join(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT name, budget FROM emp e JOIN dept d ON e.dept = d.dept "
+            "WHERE name = 'ann'",
+        )
+        assert out == [("ann", 1000.0)]
+
+    def test_null_keys_do_not_match(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT name FROM emp e JOIN dept d ON e.dept = d.dept",
+        )
+        assert ("fay",) not in out  # NULL dept never matches
+        assert ("eve",) not in out  # 'hr' has no dept row
+        assert len(out) == 5
+
+    def test_left_join_preserves(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT name, region FROM emp e LEFT JOIN dept d ON e.dept = d.dept "
+            "ORDER BY name",
+        )
+        assert ("fay", None) in out
+        assert len(out) == 7
+
+    def test_anti_join_pattern(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT d.dept FROM dept d LEFT JOIN emp e ON d.dept = e.dept "
+            "WHERE e.emp_id IS NULL",
+        )
+        assert out == [("fin",)]
+
+    def test_join_then_aggregate(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT region, count(*) FROM emp e JOIN dept d ON e.dept = d.dept "
+            "GROUP BY region ORDER BY region",
+        )
+        assert out == [("east", 2), ("west", 3)]
+
+    def test_cross_join(self, local_session):
+        out = rows(local_session, "SELECT count(*) FROM emp CROSS JOIN dept")
+        assert out == [(21,)]
+
+    def test_self_join_with_aliases(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT a.name, b.name FROM emp a JOIN emp b ON a.dept = b.dept "
+            "WHERE a.emp_id < b.emp_id AND a.dept = 'ops'",
+        )
+        assert out == [("cat", "dan")]
+
+    def test_three_way_join(self, local_session, warehouse):
+        hdfs, metastore = warehouse
+        from repro.common.rows import Schema
+
+        bonus = Schema.parse("dept string, bonus double")
+        table = metastore.create_table("bonus", bonus)
+        hdfs.write(f"{table.location}/p", bonus, [("eng", 10.0), ("ops", 5.0)], scale=10.0)
+        out = rows(
+            local_session,
+            "SELECT name, budget, bonus FROM emp e JOIN dept d ON e.dept = d.dept "
+            "JOIN bonus b ON e.dept = b.dept WHERE name = 'cat'",
+        )
+        assert out == [("cat", 500.0, 5.0)]
+
+
+class TestOrderingAndLimits:
+    def test_order_desc_with_limit(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT name, salary FROM emp WHERE salary IS NOT NULL "
+            "ORDER BY salary DESC LIMIT 3",
+        )
+        assert out == [("ann", 120.0), ("bob", 100.0), ("dan", 95.0)]
+
+    def test_multi_key_order(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT dept, name FROM emp WHERE dept IS NOT NULL ORDER BY dept DESC, name",
+        )
+        assert out[0] == ("ops", "cat")
+        assert out[-1] == ("eng", "gus")
+
+    def test_nulls_first_ascending(self, local_session):
+        out = rows(local_session, "SELECT dept FROM emp GROUP BY dept ORDER BY dept")
+        assert out[0] == (None,)
+
+    def test_limit_without_order(self, local_session):
+        out = rows(local_session, "SELECT name FROM emp LIMIT 2")
+        assert len(out) == 2
+
+    def test_distinct(self, local_session):
+        out = rows(local_session, "SELECT DISTINCT region FROM dept")
+        assert sorted(out) == [("east",), ("west",)]
+
+    def test_distinct_with_order(self, local_session):
+        out = rows(local_session, "SELECT DISTINCT dept FROM emp ORDER BY dept DESC LIMIT 2")
+        assert out == [("ops",), ("hr",)]
+
+
+class TestSubqueries:
+    def test_derived_table(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT d, total FROM (SELECT dept d, sum(salary) total FROM emp "
+            "GROUP BY dept) t WHERE total > 100 ORDER BY total DESC",
+        )
+        assert out == [("eng", 220.0), ("ops", 185.0)]
+
+    def test_subquery_join(self, local_session):
+        out = rows(
+            local_session,
+            "SELECT e.name FROM emp e JOIN (SELECT dept FROM dept WHERE region = 'east') x "
+            "ON e.dept = x.dept ORDER BY e.name",
+        )
+        assert out == [("cat",), ("dan",)]

@@ -1,0 +1,174 @@
+"""Tests for the row model and the KV serde (incl. property tests)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SemanticError
+from repro.common.kv import KeyValue, deserialize_kv, kv_size, serialize_kv
+from repro.common.rows import (
+    DataType,
+    Schema,
+    coerce_value,
+    compare_values,
+    row_text_size,
+)
+
+
+class TestDataType:
+    def test_from_name_basic(self):
+        assert DataType.from_name("int") is DataType.INT
+        assert DataType.from_name("BIGINT") is DataType.BIGINT
+
+    def test_aliases(self):
+        assert DataType.from_name("integer") is DataType.INT
+        assert DataType.from_name("varchar") is DataType.STRING
+        assert DataType.from_name("decimal") is DataType.DOUBLE
+        assert DataType.from_name("timestamp") is DataType.DATE
+
+    def test_unknown_raises(self):
+        with pytest.raises(SemanticError):
+            DataType.from_name("blob")
+
+    def test_is_numeric(self):
+        assert DataType.INT.is_numeric
+        assert DataType.DOUBLE.is_numeric
+        assert not DataType.STRING.is_numeric
+
+
+class TestSchema:
+    def test_parse_and_lookup(self):
+        schema = Schema.parse("id int, name string, price double")
+        assert schema.index_of("name") == 1
+        assert schema.column("price").dtype is DataType.DOUBLE
+        assert len(schema) == 3
+
+    def test_lookup_case_insensitive(self):
+        schema = Schema.parse("Id int")
+        assert schema.index_of("ID") == 0
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SemanticError):
+            Schema.parse("a int, A string")
+
+    def test_missing_column(self):
+        schema = Schema.parse("a int")
+        with pytest.raises(SemanticError):
+            schema.index_of("b")
+
+    def test_project(self):
+        schema = Schema.parse("a int, b string, c double")
+        projected = schema.project(["c", "a"])
+        assert projected.names == ["c", "a"]
+
+    def test_concat_renames_clashes(self):
+        left = Schema.parse("k int, v string")
+        right = Schema.parse("k int, w string")
+        merged = left.concat(right)
+        assert len(merged) == 4
+        assert len(set(merged.names)) == 4
+
+
+class TestCoerce:
+    def test_int(self):
+        assert coerce_value("42", DataType.INT) == 42
+
+    def test_double(self):
+        assert coerce_value("4.5", DataType.DOUBLE) == 4.5
+
+    def test_null_token(self):
+        assert coerce_value(r"\N", DataType.INT) is None
+        assert coerce_value("", DataType.INT) is None
+
+    def test_string_keeps_empty(self):
+        assert coerce_value("", DataType.STRING) == ""
+
+    def test_string_null_token(self):
+        assert coerce_value(r"\N", DataType.STRING) is None
+
+    def test_malformed_becomes_null(self):
+        assert coerce_value("abc", DataType.INT) is None
+
+    def test_boolean(self):
+        assert coerce_value("true", DataType.BOOLEAN) is True
+        assert coerce_value("0", DataType.BOOLEAN) is False
+
+
+class TestCompareValues:
+    def test_nulls_first(self):
+        assert compare_values(None, 1) == -1
+        assert compare_values(1, None) == 1
+        assert compare_values(None, None) == 0
+
+    def test_numeric(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2.5, 2) == 1
+        assert compare_values(3, 3.0) == 0
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+
+
+class TestRowTextSize:
+    def test_simple(self):
+        # "1\x01ab\n" -> 5 bytes
+        assert row_text_size((1, "ab")) == 5
+
+    def test_null_renders_backslash_n(self):
+        assert row_text_size((None,)) == 3  # \N + newline
+
+
+# -- KV serde ----------------------------------------------------------------
+
+class TestKvSerde:
+    def test_round_trip_simple(self):
+        pair = KeyValue(("k", 1), (2.5, None, True))
+        data = serialize_kv(pair)
+        decoded, offset = deserialize_kv(data)
+        assert decoded == pair
+        assert offset == len(data)
+
+    def test_kv_size_matches_serialized(self):
+        pair = KeyValue(("key",), (123, "value", None))
+        assert kv_size(pair) == len(serialize_kv(pair))
+
+    def test_empty_tuples(self):
+        pair = KeyValue((), ())
+        decoded, _ = deserialize_kv(serialize_kv(pair))
+        assert decoded == pair
+
+    def test_stream_of_pairs(self):
+        pairs = [KeyValue((i,), (f"v{i}",)) for i in range(10)]
+        blob = b"".join(serialize_kv(p) for p in pairs)
+        offset = 0
+        decoded = []
+        while offset < len(blob):
+            pair, offset = deserialize_kv(blob, offset)
+            decoded.append(pair)
+        assert decoded == pairs
+
+
+_field = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=40),
+)
+_fields = st.tuples(_field, _field, _field)
+
+
+@settings(max_examples=150)
+@given(key=_fields, value=_fields)
+def test_property_kv_round_trip(key, value):
+    pair = KeyValue(key, value)
+    decoded, offset = deserialize_kv(serialize_kv(pair))
+    assert decoded == pair
+    assert offset == kv_size(pair)
+
+
+@settings(max_examples=100)
+@given(key=_fields, value=_fields)
+def test_property_size_without_materializing(key, value):
+    pair = KeyValue(key, value)
+    assert kv_size(pair) == len(serialize_kv(pair))

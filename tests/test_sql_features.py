@@ -1,0 +1,145 @@
+"""Tests for the second-wave SQL features: IN-subquery, ORDER BY
+ordinal, INSERT INTO, map-output compression."""
+
+import pytest
+
+from repro import hive_session
+from repro.common.config import Configuration
+from repro.common.errors import SemanticError
+from repro.engines.base import compare_result_rows
+from repro.sql import ast, parse_statement
+
+
+class TestInSubqueryParsing:
+    def test_parsed(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_not_in(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)")
+        assert stmt.where.negated
+
+    def test_literal_in_still_works(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a IN (1, 2)")
+        assert isinstance(stmt.where, ast.InList)
+
+
+class TestInSubqueryExecution:
+    def test_semi_join(self, local_session):
+        rows = local_session.query(
+            "SELECT name FROM emp WHERE dept IN "
+            "(SELECT dept FROM dept WHERE region = 'east') ORDER BY name"
+        ).rows
+        assert rows == [("cat",), ("dan",)]
+
+    def test_semi_join_no_duplication(self, local_session):
+        # multiple employees share a dept; the rewrite must not multiply rows
+        rows = local_session.query(
+            "SELECT count(*) FROM emp WHERE dept IN (SELECT dept FROM dept)"
+        ).rows
+        assert rows == [(5,)]
+
+    def test_anti_join(self, local_session):
+        rows = local_session.query(
+            "SELECT d.dept FROM dept d WHERE d.dept NOT IN "
+            "(SELECT dept FROM emp WHERE dept IS NOT NULL)"
+        ).rows
+        assert rows == [("fin",)]
+
+    def test_combined_with_other_predicates(self, local_session):
+        rows = local_session.query(
+            "SELECT name FROM emp WHERE salary > 85 AND dept IN "
+            "(SELECT dept FROM dept WHERE budget >= 500) ORDER BY name"
+        ).rows
+        assert rows == [("ann",), ("bob",), ("cat",), ("dan",)]
+
+    def test_expression_operand(self, local_session):
+        rows = local_session.query(
+            "SELECT name FROM emp WHERE upper(dept) IN "
+            "(SELECT upper(dept) FROM dept WHERE region = 'east')"
+        ).rows
+        assert sorted(rows) == [("cat",), ("dan",)]
+
+    def test_multi_column_subquery_rejected(self, local_session):
+        with pytest.raises(SemanticError):
+            local_session.query(
+                "SELECT name FROM emp WHERE dept IN (SELECT dept, budget FROM dept)"
+            )
+
+    def test_nested_in_or_rejected(self, local_session):
+        with pytest.raises(SemanticError):
+            local_session.query(
+                "SELECT name FROM emp WHERE salary > 999 OR dept IN (SELECT dept FROM dept)"
+            )
+
+    def test_cross_engine(self, warehouse):
+        hdfs, metastore = warehouse
+        sql = (
+            "SELECT name FROM emp WHERE dept IN "
+            "(SELECT dept FROM dept WHERE region = 'west') ORDER BY name"
+        )
+        rows = {}
+        for engine in ("local", "hadoop", "datampi"):
+            session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+            rows[engine] = session.query(sql).rows
+        assert rows["local"] == rows["hadoop"] == rows["datampi"]
+
+
+class TestOrderByOrdinal:
+    def test_basic(self, local_session):
+        rows = local_session.query(
+            "SELECT name, salary FROM emp WHERE salary IS NOT NULL ORDER BY 2 DESC LIMIT 2"
+        ).rows
+        assert rows == [("ann", 120.0), ("bob", 100.0)]
+
+    def test_multiple_ordinals(self, local_session):
+        rows = local_session.query(
+            "SELECT dept, name FROM emp WHERE dept IS NOT NULL ORDER BY 1, 2 DESC LIMIT 2"
+        ).rows
+        assert rows == [("eng", "gus"), ("eng", "bob")]
+
+    def test_out_of_range(self, local_session):
+        with pytest.raises(SemanticError):
+            local_session.query("SELECT name FROM emp ORDER BY 3")
+
+
+class TestInsertInto:
+    def test_append_accumulates(self, local_session):
+        local_session.execute("CREATE TABLE sink (a string)")
+        local_session.execute("INSERT INTO TABLE sink SELECT name FROM emp WHERE dept = 'hr'")
+        local_session.execute("INSERT INTO TABLE sink SELECT name FROM emp WHERE dept = 'ops'")
+        assert local_session.query("SELECT count(*) FROM sink").rows == [(3,)]
+
+    def test_overwrite_still_replaces(self, local_session):
+        local_session.execute("CREATE TABLE sink (a string)")
+        local_session.execute("INSERT INTO TABLE sink SELECT name FROM emp")
+        local_session.execute("INSERT OVERWRITE TABLE sink SELECT name FROM emp WHERE dept = 'hr'")
+        assert local_session.query("SELECT count(*) FROM sink").rows == [(1,)]
+
+    def test_append_on_engines(self, warehouse):
+        hdfs, metastore = warehouse
+        session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        session.execute("CREATE TABLE sink2 (a string)")
+        session.execute("INSERT INTO TABLE sink2 SELECT name FROM emp WHERE dept = 'eng'")
+        session.execute("INSERT INTO TABLE sink2 SELECT name FROM emp WHERE dept = 'hr'")
+        assert session.query("SELECT count(*) FROM sink2").rows == [(4,)]
+
+
+class TestMapOutputCompression:
+    SQL = "SELECT grp, sum(val) FROM facts GROUP BY grp ORDER BY grp"
+
+    def test_compression_helps_and_preserves_rows(self, big_warehouse):
+        hdfs, metastore = big_warehouse
+        plain = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
+        conf = Configuration({"mapred.compress.map.output": "true"})
+        compressed = hive_session(
+            engine="hadoop", hdfs=hdfs, metastore=metastore, conf=conf
+        ).query(self.SQL)
+        assert compare_result_rows(plain.rows, compressed.rows, ordered=True)
+        assert compressed.execution.total_seconds < plain.execution.total_seconds
+
+    def test_off_by_default(self, big_warehouse):
+        hdfs, metastore = big_warehouse
+        a = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
+        b = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
+        assert abs(a.execution.total_seconds - b.execution.total_seconds) < 5.0

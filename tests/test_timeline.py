@@ -1,0 +1,74 @@
+"""Tests for the ASCII timeline renderer."""
+
+from repro.engines.base import JobTiming, TaskTiming
+from repro.reporting.timeline import phase_ruler, render_job_gantt, render_task_timeline
+
+
+def make_task(task_id, kind, started, finished, sends=()):
+    task = TaskTiming(task_id=task_id, kind=kind, started=started, finished=finished)
+    task.send_events = list(sends)
+    return task
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert render_task_timeline([]) == "(no tasks)"
+
+    def test_bars_align_with_times(self):
+        tasks = [
+            make_task("m0", "map", 0.0, 10.0),
+            make_task("m1", "map", 5.0, 10.0),
+        ]
+        text = render_task_timeline(tasks, width=20)
+        lines = text.splitlines()
+        assert lines[1].startswith("m0")
+        m0_bar = lines[1].split("|")[1]
+        m1_bar = lines[2].split("|")[1]
+        assert m0_bar.count("=") > m1_bar.count("=")
+        assert m1_bar.startswith(".")  # idle before start
+
+    def test_send_markers(self):
+        tasks = [make_task("o0", "o", 0.0, 10.0, sends=[5.0])]
+        text = render_task_timeline(tasks, width=20, show_sends=True)
+        assert "*" in text
+
+    def test_max_tasks_cap(self):
+        tasks = [make_task(f"m{i}", "map", 0.0, 1.0) for i in range(100)]
+        text = render_task_timeline(tasks, max_tasks=10)
+        assert len(text.splitlines()) == 11  # header + 10
+
+    def test_zero_duration_tasks_skipped(self):
+        tasks = [make_task("m0", "map", 1.0, 1.0)]
+        assert render_task_timeline(tasks) == "(no tasks)"
+
+
+class TestJobGantt:
+    def make_job(self):
+        job = JobTiming(job_id="j1", submitted=0.0, first_task_started=2.0,
+                        shuffle_done=8.0, finished=10.0, num_maps=2, num_reducers=1)
+        job.tasks = [
+            make_task("m0", "map", 2.0, 6.0),
+            make_task("r0", "reduce", 6.0, 10.0),
+        ]
+        return job
+
+    def test_header_and_filter(self):
+        job = self.make_job()
+        text = render_job_gantt(job, kinds={"map"})
+        assert "j1" in text
+        assert "m0" in text and "r0" not in text
+
+    def test_phase_ruler_markers(self):
+        ruler = phase_ruler(self.make_job(), width=40)
+        assert "S" in ruler and "M" in ruler and "E" in ruler
+        assert ruler.index("S") < ruler.index("M") < ruler.index("E")
+
+    def test_gantt_with_real_run(self, big_warehouse):
+        from repro import hive_session
+
+        hdfs, metastore = big_warehouse
+        session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        result = session.query("SELECT grp, count(*) FROM facts GROUP BY grp")
+        text = render_job_gantt(result.execution.jobs[0])
+        assert "o0" in text
+        assert "=" in text

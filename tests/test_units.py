@@ -1,0 +1,69 @@
+"""Tests for repro.common.units."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    format_duration,
+    format_size,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("123") == 123
+
+    def test_kb(self):
+        assert parse_size("2KB") == 2 * KB
+
+    def test_mb_with_space(self):
+        assert parse_size("64 MB") == 64 * MB
+
+    def test_fractional_gb(self):
+        assert parse_size("1.5GB") == int(1.5 * GB)
+
+    def test_lowercase_suffix(self):
+        assert parse_size("2k") == 2 * KB
+
+    def test_short_suffix(self):
+        assert parse_size("3g") == 3 * GB
+
+    def test_bad_text_raises(self):
+        with pytest.raises(ConfigError):
+            parse_size("lots")
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigError):
+            parse_size("")
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512.0 B"
+
+    def test_mb(self):
+        assert format_size(935 * MB) == "935.0 MB"
+
+    def test_gb(self):
+        assert format_size(17 * GB) == "17.0 GB"
+
+    def test_rounds_up_units(self):
+        assert format_size(1024 * 1024) == "1.0 MB"
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(61.5) == "01:01.5"
+
+    def test_zero(self):
+        assert format_duration(0) == "00:00.0"
+
+    def test_negative(self):
+        assert format_duration(-61.5) == "-01:01.5"
+
+    def test_hours(self):
+        assert format_duration(3725) == "1:02:05"

@@ -1,0 +1,163 @@
+"""Tests for the workload generators (HiBench, TPC-H, TeraSort)."""
+
+import pytest
+
+from repro.common.units import GB, MB
+from repro.storage.hdfs import HDFS
+from repro.storage.metastore import Metastore
+from repro.workloads.hibench import ZipfSampler, load_hibench
+from repro.workloads.terasort import load_teragen, terasort_job
+from repro.workloads.tpch import NATIONS, REGIONS, load_tpch, tpch_query
+
+
+@pytest.fixture()
+def store():
+    hdfs = HDFS(num_workers=7)
+    return hdfs, Metastore(hdfs)
+
+
+class TestZipf:
+    def test_skew_toward_low_ranks(self):
+        import random
+
+        sampler = ZipfSampler(100, s=1.0, rng=random.Random(5))
+        draws = [sampler.sample() for _ in range(5000)]
+        top = sum(1 for d in draws if d < 10)
+        assert top > 1500  # top-10 ranks dominate
+        assert min(draws) == 0
+        assert max(draws) < 100
+
+    def test_uniform_when_s_zero(self):
+        import random
+
+        sampler = ZipfSampler(10, s=0.0, rng=random.Random(5))
+        draws = [sampler.sample() for _ in range(5000)]
+        counts = [draws.count(i) for i in range(10)]
+        assert max(counts) < 2 * min(counts)
+
+
+class TestHiBench:
+    def test_tables_and_sizes(self, store):
+        hdfs, metastore = store
+        info = load_hibench(hdfs, metastore, nominal_gb=20, sample_uservisits=4000)
+        assert metastore.has_table("rankings")
+        assert metastore.has_table("uservisits")
+        # Table I: 20 GB -> rankings 935 MB, uservisits 17 GB
+        rankings = metastore.get_table("rankings").logical_bytes(hdfs)
+        uservisits = metastore.get_table("uservisits").logical_bytes(hdfs)
+        assert rankings == pytest.approx(935 * MB, rel=0.02)
+        assert uservisits == pytest.approx(17 * GB, rel=0.02)
+        assert info.uservisits_rows == 4000
+
+    def test_every_visit_references_a_ranking(self, store):
+        hdfs, metastore = store
+        load_hibench(hdfs, metastore, nominal_gb=5, sample_uservisits=2000)
+        pages = {row[0] for row in hdfs.dir_rows("/warehouse/rankings")}
+        visits = hdfs.dir_rows("/warehouse/uservisits")
+        assert all(row[1] in pages for row in visits)
+
+    def test_visit_distribution_skewed(self, store):
+        hdfs, metastore = store
+        load_hibench(hdfs, metastore, nominal_gb=5, sample_uservisits=4000, zipf_s=0.9)
+        visits = hdfs.dir_rows("/warehouse/uservisits")
+        from collections import Counter
+
+        counts = Counter(row[1] for row in visits)
+        top_share = sum(c for _p, c in counts.most_common(10)) / len(visits)
+        assert top_share > 0.10  # Zipfian concentration
+
+    def test_reload_replaces(self, store):
+        hdfs, metastore = store
+        load_hibench(hdfs, metastore, nominal_gb=5, sample_uservisits=1000)
+        load_hibench(hdfs, metastore, nominal_gb=5, sample_uservisits=1500)
+        assert len(hdfs.dir_rows("/warehouse/uservisits")) == 1500
+
+
+class TestTpchGenerator:
+    def test_row_count_proportions(self, store):
+        hdfs, metastore = store
+        info = load_tpch(hdfs, metastore, sf=10, lineitem_sample=4000)
+        counts = info.row_counts
+        assert counts["region"] == 5
+        assert counts["nation"] == 25
+        assert counts["partsupp"] == 4 * counts["part"]
+        assert 3000 <= counts["lineitem"] <= 5200
+        # spec ratios approximately: orders ~ customer * 10
+        assert counts["orders"] > counts["customer"] * 5
+
+    def test_logical_sizes_match_table1(self, store):
+        hdfs, metastore = store
+        load_tpch(hdfs, metastore, sf=10, lineitem_sample=3000)
+        lineitem = metastore.get_table("lineitem").logical_bytes(hdfs)
+        orders = metastore.get_table("orders").logical_bytes(hdfs)
+        assert lineitem == pytest.approx(7.3 * GB, rel=0.02)
+        assert orders == pytest.approx(1.7 * GB, rel=0.02)
+
+    def test_foreign_keys_consistent(self, store):
+        hdfs, metastore = store
+        info = load_tpch(hdfs, metastore, sf=10, lineitem_sample=3000)
+        customers = {r[0] for r in hdfs.dir_rows("/warehouse/customer")}
+        parts = {r[0] for r in hdfs.dir_rows("/warehouse/part")}
+        partsupp = {(r[0], r[1]) for r in hdfs.dir_rows("/warehouse/partsupp")}
+        for order in hdfs.dir_rows("/warehouse/orders"):
+            assert order[1] in customers
+        for line in hdfs.dir_rows("/warehouse/lineitem"):
+            assert line[1] in parts
+            assert (line[1], line[2]) in partsupp  # ps_partkey, ps_suppkey
+
+    def test_date_invariants(self, store):
+        hdfs, metastore = store
+        load_tpch(hdfs, metastore, sf=10, lineitem_sample=2000)
+        for line in hdfs.dir_rows("/warehouse/lineitem"):
+            shipdate, commitdate, receiptdate = line[10], line[11], line[12]
+            assert "1992-01-01" < shipdate < "1999-01-01"
+            assert receiptdate > shipdate
+            # returnflag consistent with receipt date vs current date
+            if line[8] == "N":
+                assert receiptdate > "1995-06-17"
+
+    def test_orc_tables_smaller(self, store):
+        hdfs, metastore = store
+        load_tpch(hdfs, metastore, sf=10, lineitem_sample=3000, format_name="orc")
+        orc_lineitem = metastore.get_table("lineitem").logical_bytes(hdfs)
+        assert orc_lineitem < 7.3 * GB  # compression shows up in logical size
+
+    def test_nation_region_fixed(self, store):
+        hdfs, metastore = store
+        load_tpch(hdfs, metastore, sf=10, lineitem_sample=1000)
+        nations = hdfs.dir_rows("/warehouse/nation")
+        assert len(nations) == 25
+        assert {n[1] for n in nations} == {name for _k, name, _r in NATIONS}
+        regions = hdfs.dir_rows("/warehouse/region")
+        assert [r[1] for r in regions] == REGIONS
+
+    def test_query_text_available(self):
+        for q in range(1, 23):
+            text = tpch_query(q, sf=10)
+            assert "SELECT" in text.upper()
+        with pytest.raises(KeyError):
+            tpch_query(23)
+
+    def test_q11_fraction_parameterized(self):
+        assert "1e-05" in tpch_query(11, sf=10) or "0.00001" in tpch_query(11, sf=10) \
+            or "1.0000000000000002e-05" in tpch_query(11, sf=10)
+
+
+class TestTeraSort:
+    def test_teragen_and_sort(self, store):
+        hdfs, metastore = store
+        load_teragen(hdfs, metastore, nominal_gb=2, sample_rows=2000)
+        table = metastore.get_table("teradata")
+        assert table.logical_bytes(hdfs) == pytest.approx(2 * GB, rel=0.02)
+
+        from repro.engines.local import LocalEngine
+
+        plan = terasort_job("/tmp/tera-out")
+        result = LocalEngine(hdfs).run_plan(plan)
+        keys = [row[0] for row in result.rows]
+        assert len(keys) == 2000
+        # hash partitioned: globally complete, per-partition sorted
+        per_file = hdfs.list_dir("/tmp/tera-out")
+        for data_file in per_file:
+            file_keys = [row[0] for row in data_file.rows]
+            assert file_keys == sorted(file_keys)
