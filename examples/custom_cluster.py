@@ -11,7 +11,7 @@ Run with:  python examples/custom_cluster.py
 
 import random
 
-from repro import ClusterSpec, HDFS, Metastore, hive_session
+from repro import ClusterSpec, HDFS, Metastore, connect
 from repro.common.rows import Schema
 from repro.common.units import GB, MB
 
@@ -73,7 +73,7 @@ def main():
     build(hdfs, metastore, rng)
 
     for engine in ("hadoop", "datampi"):
-        session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore, spec=spec)
+        session = connect(engine=engine, hdfs=hdfs, metastore=metastore, spec=spec)
         result = session.query(QUERY, with_metrics=True)
         timing = result.execution
         peak_net = max((s.net_tx_bps for s in timing.metrics), default=0.0)

@@ -12,7 +12,7 @@ Run with:  python examples/partitioned_warehouse.py
 
 import random
 
-from repro import HDFS, Metastore, hive_session
+from repro import HDFS, Metastore, connect
 from repro.common.rows import Schema
 from repro.common.units import GB
 
@@ -43,7 +43,7 @@ def main():
     hdfs.write(f"{table.location}/part-0", staging, rows,
                format_name="text", scale=8 * GB / actual)
 
-    session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
     session.execute(
         "CREATE TABLE events (user string, action string, amount double) "
         "PARTITIONED BY (day string) STORED AS orc"
@@ -55,7 +55,7 @@ def main():
             f"SELECT user, action, amount FROM staging WHERE day = '{day}'"
         )
 
-    hadoop = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore)
+    hadoop = connect(engine="hadoop", hdfs=hdfs, metastore=metastore)
     full = hadoop.query("SELECT count(*) FROM events")
     one_day = hadoop.query(
         "SELECT action, sum(amount) FROM events "

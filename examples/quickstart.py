@@ -6,7 +6,7 @@ Run with:  python examples/quickstart.py
 
 import random
 
-from repro import HDFS, Metastore, hive_session
+from repro import HDFS, Metastore, connect
 from repro.common.rows import Schema
 from repro.common.units import GB
 
@@ -58,7 +58,7 @@ def main():
 
     print("running the same query on both execution engines...\n")
     for engine in ("hadoop", "datampi"):
-        session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+        session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
         result = session.query(QUERY)
         timing = result.execution
         print(f"== {engine} ==")

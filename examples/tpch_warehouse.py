@@ -10,7 +10,7 @@ Run with:  python examples/tpch_warehouse.py [sf] [format]
 
 import sys
 
-from repro import hive_session
+from repro import connect
 from repro.bench import fresh_tpch, improvement_percent, run_script
 from repro.plan.physical import explain_plan
 from repro.workloads.tpch import tpch_query
@@ -31,7 +31,7 @@ def main():
               f"({table.row_count(hdfs)} sampled rows)")
 
     # show what the compiler produces for Q12
-    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="local", hdfs=hdfs, metastore=metastore)
     result = session.query(tpch_query(12, sf))
     print("\nTPC-H Q12 physical plan (shared verbatim by both engines):")
     print(explain_plan(result.plan))

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo health gate: lint (when ruff is installed) + the tier-1 test suite.
+# Usage: scripts/check.sh [extra pytest args]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q "$@"

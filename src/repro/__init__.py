@@ -9,60 +9,39 @@ simulator calibrated to the paper's 8-node GigE testbed.
 
 Quick start::
 
-    from repro import hive_session
-    session = hive_session(engine="datampi")
-    session.execute("CREATE TABLE t (k int, v string)")
-    ...
+    import repro
 
-See README.md for the full tour and DESIGN.md for the architecture.
+    with repro.connect(engine="datampi") as session:
+        session.execute("CREATE TABLE t (k int, v string)")
+        result = session.query("SELECT count(*) FROM t")
+        result.fetchall()
+        result.trace      # cross-layer span tree (simulated seconds)
+
+Engines are resolved through the registry in :mod:`repro.engines`;
+``repro.engines.register("mine", MyEngine)`` makes a third-party engine
+connectable by name.  Query traces export to Chrome-trace JSON via
+:mod:`repro.obs`.  See README.md for the full tour, DESIGN.md for the
+architecture and docs/observability.md for tracing.
 """
 
 from repro.common.config import Configuration
-from repro.core.driver import Driver, QueryResult
+from repro.core.driver import Driver, QueryResult, make_warehouse
 from repro.engines.datampi import DataMPIEngine
 from repro.engines.hadoop import HadoopEngine
 from repro.engines.local import LocalEngine
+from repro.obs import MetricsRegistry, Span, Tracer, get_metrics
+from repro.session import Session, connect, hive_session
 from repro.simulate.cluster import ClusterSpec
 from repro.storage.hdfs import HDFS
 from repro.storage.metastore import Metastore
 
-__version__ = "1.0.0"
-
-
-def hive_session(
-    engine: str = "datampi",
-    num_workers: int = 7,
-    conf: Configuration = None,
-    spec: ClusterSpec = None,
-    hdfs: HDFS = None,
-    metastore: Metastore = None,
-) -> Driver:
-    """Create a ready-to-use Hive session.
-
-    *engine* is ``"datampi"``, ``"hadoop"`` (a.k.a. ``"mr"``) or
-    ``"local"`` (functional reference executor, no simulation).  Pass an
-    existing *hdfs*/*metastore* pair to share a warehouse between
-    sessions (e.g. to run the same tables on both engines).
-    """
-    if hdfs is None:
-        hdfs = HDFS(num_workers=num_workers)
-    if metastore is None:
-        metastore = Metastore(hdfs)
-    spec = spec or ClusterSpec(num_nodes=num_workers + 1)
-    name = engine.lower()
-    if name in ("datampi", "dm"):
-        engine_obj = DataMPIEngine(hdfs, spec=spec)
-    elif name in ("hadoop", "mr"):
-        engine_obj = HadoopEngine(hdfs, spec=spec)
-    elif name == "local":
-        engine_obj = LocalEngine(hdfs)
-    else:
-        raise ValueError(f"unknown engine {engine!r}")
-    return Driver(hdfs, metastore, engine_obj, conf=conf)
-
+__version__ = "1.1.0"
 
 __all__ = [
+    "connect",
+    "Session",
     "hive_session",
+    "make_warehouse",
     "Driver",
     "QueryResult",
     "Configuration",
@@ -72,5 +51,9 @@ __all__ = [
     "HadoopEngine",
     "DataMPIEngine",
     "LocalEngine",
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "get_metrics",
     "__version__",
 ]

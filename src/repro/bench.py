@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro import hive_session
+from repro import connect
 from repro.common.config import Configuration
 from repro.core.driver import Driver, QueryResult
 from repro.reporting.breakdown import QueryBreakdown, breakdown_query
@@ -85,7 +85,7 @@ def run_script(
     configuration = Configuration()
     for key, value in (conf or {}).items():
         configuration.set(key, value)
-    driver: Driver = hive_session(
+    driver: Driver = connect(
         engine=engine, hdfs=hdfs, metastore=metastore, conf=configuration
     )
     results = driver.execute(script, with_metrics=with_metrics)

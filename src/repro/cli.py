@@ -7,9 +7,10 @@ Run a query against a generated TPC-H warehouse on both engines::
     python -m repro --workload tpch --sf 10 \
         -e "SELECT count(*) FROM lineitem" --engine hadoop --engine datampi
 
-Execute a TPC-H query by number::
+Execute a TPC-H query by number and capture a cross-layer trace::
 
-    python -m repro --workload tpch --sf 20 --format orc --tpch-query 12
+    python -m repro --workload tpch --sf 20 --format orc --tpch-query 12 \
+        --trace q12.json     # load q12.json in chrome://tracing
 
 Interactive shell (one statement per line, `quit` to exit)::
 
@@ -22,10 +23,14 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro import HDFS, Metastore, hive_session
+from repro import connect, make_warehouse
 from repro.common.errors import ReproError
 from repro.common.units import format_duration
+from repro.engines import available
+from repro.obs import write_chrome_trace
 from repro.reporting.breakdown import breakdown_query
+from repro.storage.hdfs import HDFS
+from repro.storage.metastore import Metastore
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,7 +39,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Hive on DataMPI (ICDCS'15) — simulated Hive shell",
     )
     parser.add_argument(
-        "--engine", action="append", choices=["hadoop", "datampi", "local"],
+        "--engine", action="append", choices=available(),
         help="engine(s) to run on (repeatable; default: datampi)",
     )
     parser.add_argument(
@@ -56,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-f", "--file", help="HiveQL script file")
     parser.add_argument("--set", action="append", default=[], metavar="K=V",
                         help="session configuration, e.g. hive.datampi.parallelism=enhanced")
+    parser.add_argument("--trace", metavar="OUT.json",
+                        help="write a Chrome-trace JSON of every query "
+                             "(simulated time; one pid per engine)")
     parser.add_argument("--interactive", action="store_true",
                         help="read statements from stdin")
     parser.add_argument("--quiet", action="store_true", help="rows only, no timing")
@@ -78,7 +86,7 @@ def load_workload(args, hdfs: HDFS, metastore: Metastore) -> None:
         print(f"loaded HiBench {args.gb:g} GB ({args.format})")
 
 
-def run_statement(sessions, sql: str, quiet: bool) -> None:
+def run_statement(sessions, sql: str, quiet: bool, trace_roots=None) -> None:
     for engine_name, session in sessions:
         try:
             results = session.execute(sql)
@@ -90,6 +98,8 @@ def run_statement(sessions, sql: str, quiet: bool) -> None:
             if result.statement in ("select", "explain") and result.rows is not None:
                 for row in result.rows:
                     print("\t".join("NULL" if v is None else str(v) for v in row))
+            if trace_roots is not None and result.trace is not None:
+                trace_roots.append(result.trace)
         if not quiet:
             print(
                 f"[{engine_name}] {breakdown.num_jobs} job(s), "
@@ -104,17 +114,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     engines = args.engine or ["datampi"]
 
-    hdfs = HDFS(num_workers=7)
-    metastore = Metastore(hdfs)
+    hdfs, metastore = make_warehouse(num_workers=7)
     load_workload(args, hdfs, metastore)
 
     sessions = []
     for engine_name in engines:
-        session = hive_session(engine=engine_name, hdfs=hdfs, metastore=metastore)
+        session = connect(engine=engine_name, hdfs=hdfs, metastore=metastore)
         for assignment in args.set:
             key, _, value = assignment.partition("=")
             session.conf.set(key.strip(), value.strip())
         sessions.append((engine_name, session))
+
+    trace_roots = [] if args.trace else None
+    if args.trace:
+        try:  # fail before simulating, not after
+            open(args.trace, "w").close()
+        except OSError as error:
+            print(f"cannot write trace file: {error}", file=sys.stderr)
+            return 2
 
     statements: List[str] = list(args.execute)
     if args.tpch_query:
@@ -126,7 +143,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             statements.append(handle.read())
 
     for sql in statements:
-        run_statement(sessions, sql, args.quiet)
+        run_statement(sessions, sql, args.quiet, trace_roots)
 
     if args.interactive or not statements:
         print("repro> enter HiveQL (quit to exit)", file=sys.stderr)
@@ -136,7 +153,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 continue
             if line.lower() in ("quit", "exit", "q"):
                 break
-            run_statement(sessions, line, args.quiet)
+            run_statement(sessions, line, args.quiet, trace_roots)
+
+    if args.trace:
+        write_chrome_trace(args.trace, trace_roots or [])
+        print(f"trace: {len(trace_roots or [])} query span tree(s) -> {args.trace}",
+              file=sys.stderr)
     return 0
 
 

@@ -14,17 +14,18 @@ Responsibilities (Hive's Driver + DDL task equivalents):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.config import Configuration, HIVE_FILE_FORMAT
 from repro.common.errors import SemanticError
 from repro.common.rows import Schema, Column, DataType
 from repro.engines.base import Engine, PlanResult
+from repro.obs import Span
 from repro.plan.analyzer import Analyzer
 from repro.plan.optimizer import prune_columns
 from repro.plan.physical import PhysicalCompiler, PhysicalPlan
 from repro.sql import ast, parse_script
-from repro.storage.hdfs import HDFS
+from repro.storage.hdfs import DEFAULT_BLOCK_SIZE, HDFS
 from repro.storage.metastore import Metastore
 
 # modeled HiveQL compile latency (identical for both engines: the
@@ -35,19 +36,54 @@ COMPILE_PER_JOB_SECONDS = 0.15
 
 @dataclass
 class QueryResult:
-    """Outcome of one statement."""
+    """Outcome of one statement.
 
-    statement: str  # 'select' | 'create' | 'ctas' | 'insert' | 'drop' | 'set'
+    ``statement`` names what ran: ``'select'``, ``'create'``, ``'ctas'``,
+    ``'insert'``, ``'drop'``, ``'set'`` or ``'explain'``.
+    Behaves like a cursor over its result rows: iterate it directly,
+    ``len()`` it, or use :meth:`fetchall` / :meth:`to_pydict`.
+    ``trace`` holds the statement's span tree (``query`` → ``compile`` →
+    ``job`` → ``task``/``shuffle``/``spill``) in simulated seconds from
+    statement start; ``None`` for statements that execute nothing
+    (``SET``, DDL).
+    """
+
+    statement: str  # 'select' | 'create' | 'ctas' | 'insert' | 'drop' | 'set' | 'explain'
     rows: List[tuple] = field(default_factory=list)
     schema: Optional[Schema] = None
     plan: Optional[PhysicalPlan] = None
     execution: Optional[PlanResult] = None
     compile_seconds: float = 0.0
+    trace: Optional[Span] = None
 
     @property
     def simulated_seconds(self) -> float:
         run = self.execution.total_seconds if self.execution else 0.0
         return self.compile_seconds + run
+
+    # -- cursor-style result access -----------------------------------------
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def fetchall(self) -> List[tuple]:
+        """All result rows as a list (DB-API flavor)."""
+        return list(self.rows)
+
+    def column_names(self) -> List[str]:
+        if self.schema is not None:
+            return list(self.schema.names)
+        width = len(self.rows[0]) if self.rows else 0
+        return [f"_c{i}" for i in range(width)]
+
+    def to_pydict(self) -> Dict[str, List[object]]:
+        """Columnar dict view: column name -> list of values."""
+        names = self.column_names()
+        return {
+            name: [row[i] for row in self.rows] for i, name in enumerate(names)
+        }
 
 
 def _append_constant_items(query, values):
@@ -67,10 +103,11 @@ def _append_constant_items(query, values):
 
 def make_warehouse(
     num_workers: int = 7, block_size: Optional[float] = None
-) -> tuple:
+) -> Tuple[HDFS, Metastore]:
     """Convenience: a fresh (hdfs, metastore) pair for the default testbed."""
-    hdfs = HDFS(num_workers=num_workers) if block_size is None else HDFS(
-        num_workers=num_workers, block_size=block_size
+    hdfs = HDFS(
+        num_workers=num_workers,
+        block_size=DEFAULT_BLOCK_SIZE if block_size is None else block_size,
     )
     return hdfs, Metastore(hdfs)
 
@@ -184,6 +221,29 @@ class Driver:
     def _compile_seconds(plan: PhysicalPlan) -> float:
         return COMPILE_BASE_SECONDS + COMPILE_PER_JOB_SECONDS * plan.num_jobs
 
+    def _assemble_trace(self, statement: str, query_id: str,
+                        compile_seconds: float,
+                        execution: Optional[PlanResult]) -> Span:
+        """Fold the modeled compile section and the engine's job spans
+        into one query-rooted tree on a common simulated clock (seconds
+        from statement start)."""
+        root = Span(
+            "query", start=0.0, category="query",
+            attributes={
+                "engine": self.engine.name,
+                "query_id": query_id,
+                "statement": statement,
+            },
+        )
+        root.start_child("compile", 0.0, category="compile").finish(compile_seconds)
+        run_seconds = 0.0
+        if execution is not None:
+            run_seconds = execution.total_seconds
+            for job_span in execution.spans:
+                # engine spans start at their own t=0; shift past compile
+                root.adopt(job_span.shift(compile_seconds))
+        return root.finish(compile_seconds + run_seconds)
+
     def _run_ctas(self, statement: ast.CreateTableAsSelect,
                   with_metrics: bool) -> QueryResult:
         if self.metastore.has_table(statement.name):
@@ -196,12 +256,14 @@ class Driver:
         self.metastore.create_table(
             statement.name, plan.output_schema, format_name=fmt, location=location
         )
+        compile_seconds = self._compile_seconds(plan)
         return QueryResult(
             statement="ctas",
             schema=plan.output_schema,
             plan=plan,
             execution=execution,
-            compile_seconds=self._compile_seconds(plan),
+            compile_seconds=compile_seconds,
+            trace=self._assemble_trace("ctas", query_id, compile_seconds, execution),
         )
 
     def _run_insert(self, statement: ast.InsertOverwrite,
@@ -249,12 +311,14 @@ class Driver:
         execution = self._run_plan(
             plan, query_id, with_metrics, clear_output=statement.overwrite
         )
+        compile_seconds = self._compile_seconds(plan)
         return QueryResult(
             statement="insert",
             schema=target_schema,
             plan=plan,
             execution=execution,
-            compile_seconds=self._compile_seconds(plan),
+            compile_seconds=compile_seconds,
+            trace=self._assemble_trace("insert", query_id, compile_seconds, execution),
         )
 
     def _run_explain(self, statement: ast.Explain) -> QueryResult:
@@ -279,11 +343,13 @@ class Driver:
         else:
             raise SemanticError("EXPLAIN supports SELECT / CTAS / INSERT")
         lines = explain_plan(plan).splitlines()
+        compile_seconds = self._compile_seconds(plan)
         return QueryResult(
             statement="explain",
             rows=[(line,) for line in lines],
             schema=Schema([Column("plan", DataType.STRING)]),
             plan=plan,
+            trace=self._assemble_trace("explain", query_id, compile_seconds, None),
         )
 
     def _run_select(self, statement, with_metrics: bool) -> QueryResult:
@@ -292,11 +358,13 @@ class Driver:
         plan = self._compile(statement, location, "text", query_id)
         execution = self._run_plan(plan, query_id, with_metrics)
         self.hdfs.delete(location)
+        compile_seconds = self._compile_seconds(plan)
         return QueryResult(
             statement="select",
             rows=execution.rows,
             schema=plan.output_schema,
             plan=plan,
             execution=execution,
-            compile_seconds=self._compile_seconds(plan),
+            compile_seconds=compile_seconds,
+            trace=self._assemble_trace("select", query_id, compile_seconds, execution),
         )

@@ -1,4 +1,4 @@
-"""Execution engines.
+"""Execution engines + the engine registry.
 
 * :mod:`repro.engines.base` — engine interface, shared functional job
   machinery (splits, broadcasts, reducer policy, output writing) and the
@@ -8,7 +8,19 @@
 * :mod:`repro.engines.hadoop` — simulated Hadoop 1.x MapReduce engine.
 * :mod:`repro.engines.datampi` — the paper's contribution: the DataMPI
   engine with bipartite O/A communicators and the optimized shuffle.
+
+The registry is the public extension point: third-party engines plug in
+with ``repro.engines.register("mine", MyEngine)`` and become reachable
+through ``repro.connect(engine="mine")`` and the CLI, exactly like the
+built-ins.  A factory is either an :class:`Engine` subclass or any
+callable accepting ``(hdfs, spec=...)`` — factories without a ``spec``
+parameter (like :class:`LocalEngine`) are called with ``hdfs`` alone.
 """
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.engines.base import (
     Engine,
@@ -17,7 +29,80 @@ from repro.engines.base import (
     PlanResult,
     decide_num_reducers,
 )
+from repro.engines.datampi import DataMPIEngine
+from repro.engines.hadoop import HadoopEngine
 from repro.engines.local import LocalEngine
+
+_REGISTRY: Dict[str, Callable] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register(
+    name: str,
+    factory: Callable,
+    aliases: Iterable[str] = (),
+    replace: bool = False,
+) -> None:
+    """Make an engine constructible by name.
+
+    *factory* is an :class:`Engine` subclass or a callable
+    ``(hdfs, spec=...) -> Engine``.  *aliases* are alternate lookup
+    names (``"dm"`` for ``"datampi"``).  Re-registering an existing
+    name requires ``replace=True``.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("engine name must be non-empty")
+    if key in _REGISTRY and not replace:
+        raise ValueError(
+            f"engine {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[key] = factory
+    for alias in aliases:
+        _ALIASES[alias.strip().lower()] = key
+
+
+def unregister(name: str) -> None:
+    """Remove an engine (and any aliases pointing at it)."""
+    key = resolve(name)
+    _REGISTRY.pop(key, None)
+    for alias in [a for a, target in _ALIASES.items() if target == key]:
+        del _ALIASES[alias]
+
+
+def resolve(name: str) -> str:
+    """Canonical registry key for *name* (alias-aware; no existence check)."""
+    key = name.strip().lower()
+    return _ALIASES.get(key, key)
+
+
+def available() -> List[str]:
+    """Sorted canonical names of every registered engine."""
+    return sorted(_REGISTRY)
+
+
+def create(name: str, hdfs, spec=None, **kwargs) -> Engine:
+    """Instantiate the engine registered under *name* (or an alias)."""
+    key = resolve(name)
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown engine {name!r} (available: {', '.join(available())})"
+        )
+    factory = _REGISTRY[key]
+    target = factory.__init__ if inspect.isclass(factory) else factory
+    parameters = inspect.signature(target).parameters
+    takes_spec = "spec" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+    if takes_spec:
+        return factory(hdfs, spec=spec, **kwargs)
+    return factory(hdfs, **kwargs)
+
+
+register("datampi", DataMPIEngine, aliases=("dm",))
+register("hadoop", HadoopEngine, aliases=("mr",))
+register("local", LocalEngine)
 
 __all__ = [
     "Engine",
@@ -26,4 +111,11 @@ __all__ = [
     "PlanResult",
     "decide_num_reducers",
     "LocalEngine",
+    "HadoopEngine",
+    "DataMPIEngine",
+    "register",
+    "unregister",
+    "resolve",
+    "available",
+    "create",
 ]

@@ -24,6 +24,7 @@ from repro.common.units import GB
 from repro.exec.mapper import ExecMapper, ExecReducer
 from repro.exec.operators import FileSinkDesc, ListCollector
 from repro.exec.reduce import group_sorted_pairs, key_comparator, sort_pairs
+from repro.obs import MetricsRegistry, Span, Tracer, get_metrics
 from repro.plan.physical import MapInput, MRJob, PhysicalPlan
 from repro.storage.hdfs import HDFS, FileSplit
 
@@ -52,6 +53,7 @@ class TaskTiming:
     # instrumentation for Figs 2 and 6
     collect_samples: List[Tuple[float, int]] = field(default_factory=list)
     send_events: List[float] = field(default_factory=list)
+    span: Optional[Span] = None  # this task's trace span (child of the job's)
 
 
 @dataclass
@@ -74,6 +76,7 @@ class JobTiming:
     num_reducers: int = 0
     shuffle_logical_bytes: float = 0.0
     tasks: List[TaskTiming] = field(default_factory=list)
+    span: Optional[Span] = None  # this job's trace span (engine-relative time)
 
     @property
     def total(self) -> float:
@@ -103,10 +106,82 @@ class PlanResult:
     total_seconds: float = 0.0
     engine: str = "local"
     metrics: List[object] = field(default_factory=list)  # ResourceSamples
+    spans: List[Span] = field(default_factory=list)  # one job span per job
 
     @property
     def job_seconds(self) -> float:
         return sum(job.total for job in self.jobs)
+
+
+# ---------------------------------------------------------------------------
+# tracing/metrics glue shared by the engines
+# ---------------------------------------------------------------------------
+
+def open_job_span(tracer: Tracer, engine_name: str, job: MRJob,
+                  start: float) -> Span:
+    """Open the per-job root span (engine-relative simulated time)."""
+    return tracer.start(
+        job.job_id, start=start, category="job",
+        engine=engine_name, job_id=job.job_id,
+    )
+
+
+def close_job_span(timing: JobTiming) -> None:
+    """Finish a job span from its timing record, attaching the paper's
+    phase sections (startup / map-shuffle / others) as child spans."""
+    span = timing.span
+    if span is None:
+        return
+    span.finish(
+        timing.finished,
+        num_maps=timing.num_maps,
+        num_reducers=timing.num_reducers,
+        shuffle_bytes=timing.shuffle_logical_bytes,
+    )
+    for name, start, end in (
+        ("startup", timing.submitted, timing.first_task_started),
+        ("map-shuffle", timing.first_task_started, timing.shuffle_done),
+        ("others", timing.shuffle_done, timing.finished),
+    ):
+        if end > start:
+            span.start_child(name, start, category="phase").finish(end)
+
+
+def open_task_span(timing: JobTiming, task: TaskTiming) -> Optional[Span]:
+    """Open a task span under the job span and remember it on the task."""
+    if timing.span is None:
+        return None
+    task.span = timing.span.start_child(
+        task.task_id, task.scheduled, category="task",
+        kind=task.kind, node=task.node,
+    )
+    return task.span
+
+
+def close_task_span(task: TaskTiming) -> None:
+    if task.span is None:
+        return
+    task.span.finish(
+        task.finished,
+        rows_read=task.rows_read,
+        kv_pairs=task.kv_pairs,
+        kv_bytes=task.kv_bytes,
+    )
+
+
+def record_job_metrics(engine_name: str, timing: JobTiming, total_slots: int,
+                       registry: Optional[MetricsRegistry] = None) -> None:
+    """Fold a finished job's timing into the process-wide registry."""
+    metrics = registry or get_metrics()
+    metrics.counter(f"{engine_name}.jobs").add(1)
+    metrics.counter(f"{engine_name}.shuffle.bytes").add(
+        max(0.0, timing.shuffle_logical_bytes)
+    )
+    metrics.histogram(f"{engine_name}.job.startup_seconds").observe(timing.startup)
+    metrics.histogram(f"{engine_name}.job.total_seconds").observe(timing.total)
+    if total_slots > 0 and timing.num_maps > 0:
+        waves = -(-timing.num_maps // total_slots)  # ceil division
+        metrics.histogram(f"{engine_name}.slot.waves").observe(waves)
 
 
 # ---------------------------------------------------------------------------
@@ -366,11 +441,25 @@ def assign_splits_locality(splits: Sequence[TaggedSplit], num_workers: int) -> L
 
 
 class Engine:
-    """Interface every engine implements."""
+    """Interface every engine implements.
+
+    ``run_plan`` executes a compiled physical plan and returns a
+    :class:`PlanResult`.  *with_metrics* turns on the 1 Hz dstat-style
+    resource sampler; *tracer* (a :class:`repro.obs.Tracer`) receives
+    the engine's job/task span tree — engines always build spans (cheap
+    bookkeeping, no simulated cost), a caller-supplied tracer merely
+    shares the root list.
+    """
 
     name = "abstract"
 
-    def run_plan(self, plan: PhysicalPlan, conf: Optional[Configuration] = None) -> PlanResult:
+    def run_plan(
+        self,
+        plan: PhysicalPlan,
+        conf: Optional[Configuration] = None,
+        with_metrics: bool = False,
+        tracer: Optional[Tracer] = None,
+    ) -> PlanResult:
         raise NotImplementedError
 
 

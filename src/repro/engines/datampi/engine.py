@@ -46,12 +46,17 @@ from repro.engines.base import (
     TaggedSplit,
     TaskTiming,
     assign_splits_locality,
+    close_job_span,
+    close_task_span,
     hdfs_write_pipeline,
     decide_num_reducers,
     expand_job_splits,
     final_sorted_rows,
     job_input_scale,
     load_broadcast_tables,
+    open_job_span,
+    open_task_span,
+    record_job_metrics,
     run_reducer_functionally,
     scan_split,
     write_task_output,
@@ -65,6 +70,7 @@ from repro.engines.datampi.buffers import (
 from repro.engines.datampi.mpi import DynamicBarrier, SimulatedMPI
 from repro.exec.mapper import ExecMapper
 from repro.exec.operators import Collector
+from repro.obs import Tracer, get_metrics
 from repro.plan.physical import MRJob, PhysicalPlan
 from repro.simulate import Cluster, ClusterSpec, MetricsSampler, Simulator, SlotPool
 from repro.storage.hdfs import HDFS
@@ -131,10 +137,13 @@ class DataMPIEngine(Engine):
         plan: PhysicalPlan,
         conf: Optional[Configuration] = None,
         with_metrics: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> PlanResult:
         conf = conf or Configuration()
         sim = Simulator()
-        cluster = Cluster(sim, self.spec)
+        tracer = tracer or Tracer()
+        tracer.set_clock(lambda: sim.now)
+        cluster = Cluster(sim, self.spec, metrics=get_metrics())
         mpi = SimulatedMPI(cluster)
         a_slots = [
             SlotPool(sim, self.spec.slots_per_node, f"{node.name}.aslots")
@@ -165,7 +174,7 @@ class DataMPIEngine(Engine):
             for index, job in enumerate(plan.jobs):
                 is_last = index == len(plan.jobs) - 1
                 timing = yield from self._run_job(
-                    sim, cluster, mpi, a_slots, job, conf, is_last,
+                    sim, cluster, mpi, a_slots, job, conf, is_last, tracer,
                     pipe_in=index in pipelined_in,
                     pipe_out=(index + 1) in pipelined_in,
                 )
@@ -183,6 +192,7 @@ class DataMPIEngine(Engine):
             total_seconds=sim.now,
             engine=self.name,
             metrics=sampler.samples if sampler else [],
+            spans=[timing.span for timing in timings if timing.span is not None],
         )
 
     # -- knobs ------------------------------------------------------------------
@@ -210,7 +220,8 @@ class DataMPIEngine(Engine):
     # -- job execution -------------------------------------------------------------
     def _run_job(self, sim: Simulator, cluster: Cluster, mpi: SimulatedMPI,
                  a_slots: List[SlotPool], job: MRJob, conf: Configuration,
-                 is_last: bool, pipe_in: bool = False, pipe_out: bool = False):
+                 is_last: bool, tracer: Tracer, pipe_in: bool = False,
+                 pipe_out: bool = False):
         costs = self.costs
         hdfs = self.hdfs
         workers = cluster.workers
@@ -224,6 +235,7 @@ class DataMPIEngine(Engine):
             num_maps=len(splits),
             num_reducers=0,
         )
+        timing.span = open_job_span(tracer, self.name, job, sim.now)
         mem_used = self._mem_used_percent(conf)
         gc_factor = self._gc_factor(mem_used)
         queue_capacity = conf.get_int(HIVE_DATAMPI_SEND_QUEUE, costs.default_send_queue)
@@ -251,6 +263,8 @@ class DataMPIEngine(Engine):
             for worker in workers:
                 worker.memory.free(process_heap)
             timing.finished = sim.now
+            close_job_span(timing)
+            record_job_metrics(self.name, timing, self.spec.total_slots)
             return timing
 
         # DataMPI schedules at most one O task per slot (paper §IV-D:
@@ -337,6 +351,8 @@ class DataMPIEngine(Engine):
         for worker in workers:
             worker.memory.free(process_heap)
         timing.finished = sim.now
+        close_job_span(timing)
+        record_job_metrics(self.name, timing, self.spec.total_slots)
         return timing
 
     # -- O task ----------------------------------------------------------------------
@@ -354,6 +370,7 @@ class DataMPIEngine(Engine):
         task = TaskTiming(task_id=f"o{index}", kind="o", node=node_index,
                           scheduled=sim.now)
         timing.tasks.append(task)
+        open_task_span(timing, task)
 
         yield node.slots.acquire()
         queue = SendQueue(sim, queue_capacity)
@@ -458,6 +475,14 @@ class DataMPIEngine(Engine):
         if sender_done is not None:
             yield sender_done
         task.finished = sim.now
+        if task.span is not None and task.send_events:
+            # the O-side shuffle window: first send handed to the engine
+            # until the last delivery this task awaited
+            task.span.start_child(
+                "shuffle", task.send_events[0], category="shuffle",
+                sends=len(task.send_events), node=node_index,
+            ).finish(sim.now)
+        close_task_span(task)
 
     def _emit_buffers(self, sim, mpi, node, buffers: List[SendBuffer],
                       queue: SendQueue, receive: ReceiveManager,
@@ -468,9 +493,11 @@ class DataMPIEngine(Engine):
         if not buffers:
             return
         if nonblocking:
+            occupancy = get_metrics().histogram("datampi.sendqueue.occupancy")
             for buffer in buffers:
                 yield queue.put(buffer)  # blocks when the send queue is full
                 task.send_events.append(sim.now)
+                occupancy.observe(queue.backlog)
         else:
             # blocking style: synchronized relaxed all-to-all rounds — every
             # participant must reach the round, then every send of the round
@@ -525,6 +552,7 @@ class DataMPIEngine(Engine):
         task = TaskTiming(task_id=f"a{partition}", kind="a", node=node_index,
                           scheduled=sim.now)
         timing.tasks.append(task)
+        open_task_span(timing, task)
 
         yield a_slots[node_index].acquire()
         try:
@@ -534,7 +562,15 @@ class DataMPIEngine(Engine):
             received = receive.received_bytes[partition]
             spilled = receive.spilled_bytes[partition]
             if spilled > 0:
+                spill_span = (
+                    task.span.start_child("spill", sim.now, category="spill",
+                                          bytes=spilled, node=node_index)
+                    if task.span is not None else None
+                )
+                get_metrics().counter("datampi.spill.bytes").add(spilled)
                 yield from node.disk_read(spilled)  # read back spilled runs
+                if spill_span is not None:
+                    spill_span.finish(sim.now)
             if received > 0:
                 yield from node.compute(
                     received / MB * costs.cpu_sort_ms_per_mb * gc_factor / 1000.0
@@ -558,6 +594,7 @@ class DataMPIEngine(Engine):
         finally:
             a_slots[node_index].release()
         task.finished = sim.now
+        close_task_span(task)
 
     # -- HDFS write pipeline -------------------------------------------------------
     def _hdfs_write(self, cluster: Cluster, node, data_file):

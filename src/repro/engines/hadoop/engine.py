@@ -33,18 +33,24 @@ from repro.engines.base import (
     TaskTiming,
     TaggedSplit,
     assign_splits_locality,
+    close_job_span,
+    close_task_span,
     hdfs_write_pipeline,
     decide_num_reducers,
     expand_job_splits,
     final_sorted_rows,
     job_input_scale,
     load_broadcast_tables,
+    open_job_span,
+    open_task_span,
+    record_job_metrics,
     run_reducer_functionally,
     scan_split,
     write_task_output,
 )
 from repro.exec.mapper import ExecMapper
 from repro.exec.operators import Collector
+from repro.obs import Tracer, get_metrics
 from repro.plan.physical import MRJob, PhysicalPlan
 from repro.simulate import Cluster, ClusterSpec, MetricsSampler, Simulator, SlotPool
 from repro.storage.hdfs import HDFS
@@ -136,10 +142,13 @@ class HadoopEngine(Engine):
         plan: PhysicalPlan,
         conf: Optional[Configuration] = None,
         with_metrics: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> PlanResult:
         conf = conf or Configuration()
         sim = Simulator()
-        cluster = Cluster(sim, self.spec)
+        tracer = tracer or Tracer()
+        tracer.set_clock(lambda: sim.now)
+        cluster = Cluster(sim, self.spec, metrics=get_metrics())
         reduce_slots = [
             SlotPool(sim, self.spec.slots_per_node, f"{node.name}.rslots")
             for node in cluster.workers
@@ -153,7 +162,7 @@ class HadoopEngine(Engine):
             for index, job in enumerate(plan.jobs):
                 is_last = index == len(plan.jobs) - 1
                 timing = yield from self._run_job(
-                    sim, cluster, reduce_slots, job, conf, is_last
+                    sim, cluster, reduce_slots, job, conf, is_last, tracer
                 )
                 timings.append(timing)
 
@@ -169,12 +178,13 @@ class HadoopEngine(Engine):
             total_seconds=sim.now,
             engine=self.name,
             metrics=sampler.samples if sampler else [],
+            spans=[timing.span for timing in timings if timing.span is not None],
         )
 
     # -- job execution -----------------------------------------------------------
     def _run_job(self, sim: Simulator, cluster: Cluster,
                  reduce_slots: List[SlotPool], job: MRJob,
-                 conf: Configuration, is_last: bool):
+                 conf: Configuration, is_last: bool, tracer: Tracer):
         costs = self.costs
         hdfs = self.hdfs
         workers = cluster.workers
@@ -191,6 +201,7 @@ class HadoopEngine(Engine):
             num_maps=len(splits),
             num_reducers=num_reducers,
         )
+        timing.span = open_job_span(tracer, self.name, job, sim.now)
 
         # JobClient -> JobTracker staging
         yield sim.timeout(costs.job_submit)
@@ -201,6 +212,8 @@ class HadoopEngine(Engine):
             timing.shuffle_done = sim.now
             yield sim.timeout(costs.job_cleanup)
             timing.finished = sim.now
+            close_job_span(timing)
+            record_job_metrics(self.name, timing, self.spec.total_slots)
             return timing
 
         state = _JobState(sim, len(splits), num_reducers)
@@ -250,6 +263,8 @@ class HadoopEngine(Engine):
         )
         yield first_start_event  # already triggered by the first map
         timing.first_task_started = first_start_event.value
+        close_job_span(timing)
+        record_job_metrics(self.name, timing, self.spec.total_slots)
         return timing
 
     # -- map task -------------------------------------------------------------------
@@ -263,6 +278,7 @@ class HadoopEngine(Engine):
         task = TaskTiming(task_id=f"m{index}", kind="map", node=node_index,
                           scheduled=sim.now)
         timing.tasks.append(task)
+        open_task_span(timing, task)
 
         yield node.slots.acquire()
         node.memory.allocate(self.spec.heap_per_task)  # child JVM footprint
@@ -330,11 +346,19 @@ class HadoopEngine(Engine):
                     spill_bytes = costs.io_sort_mb * MB
                     spilled_mark += spill_bytes
                     spills += 1
+                    spill_span = (
+                        task.span.start_child("spill", sim.now, category="spill",
+                                              bytes=spill_bytes, node=node_index)
+                        if task.span is not None else None
+                    )
+                    get_metrics().counter("hadoop.spill.bytes").add(spill_bytes)
                     cpu_ms = spill_bytes / MB * costs.cpu_sort_ms_per_mb
                     if state.compress_ratio < 1.0:
                         cpu_ms += spill_bytes / MB * costs.cpu_compress_ms_per_mb
                     yield from node.compute(cpu_ms / 1000.0)
                     yield from node.disk_write(spill_bytes * state.compress_ratio)
+                    if spill_span is not None:
+                        spill_span.finish(sim.now)
 
             result = mapper.close()
             emitted = collector.total_bytes * scale
@@ -366,6 +390,7 @@ class HadoopEngine(Engine):
             node.memory.free(self.spec.heap_per_task)
             node.slots.release()
         task.finished = sim.now
+        close_task_span(task)
         state.map_finished(index, node_index, collector, tagged.split.scale)
 
     # -- reduce task -----------------------------------------------------------------
@@ -378,6 +403,7 @@ class HadoopEngine(Engine):
         task = TaskTiming(task_id=f"r{partition}", kind="reduce", node=node_index,
                           scheduled=sim.now)
         timing.tasks.append(task)
+        open_task_span(timing, task)
 
         yield state.slowstart_event  # launch after the first maps complete
         yield reduce_slots[node_index].acquire()
@@ -389,6 +415,11 @@ class HadoopEngine(Engine):
 
             # copy phase: mapred.reduce.parallel.copies concurrent fetcher
             # threads pull each map's partition as the map completes
+            shuffle_span = (
+                task.span.start_child("shuffle", sim.now, category="shuffle",
+                                      node=node_index)
+                if task.span is not None else None
+            )
             fetch_slots = SlotPool(sim, costs.parallel_copies,
                                    f"{task.task_id}.fetchers")
             copied_cell = [0.0]
@@ -406,6 +437,8 @@ class HadoopEngine(Engine):
             copied = copied_cell[0]
             state.last_copy_done = max(state.last_copy_done, sim.now)
             task.kv_bytes = copied
+            if shuffle_span is not None:
+                shuffle_span.finish(sim.now, bytes=copied, maps=state.num_maps)
 
             # merge-sort phase
             if copied > 0:
@@ -429,6 +462,7 @@ class HadoopEngine(Engine):
             node.memory.free(self.spec.heap_per_task)
             reduce_slots[node_index].release()
         task.finished = sim.now
+        close_task_span(task)
 
     def _fetch_map_output(self, sim: Simulator, cluster: Cluster,
                           state: _JobState, node, partition: int,

@@ -26,6 +26,7 @@ from repro.engines.base import (
 )
 from repro.exec.mapper import ExecMapper
 from repro.exec.operators import Collector
+from repro.obs import Tracer
 from repro.plan.physical import PhysicalPlan
 from repro.storage.hdfs import HDFS
 
@@ -52,18 +53,29 @@ class LocalEngine(Engine):
         plan: PhysicalPlan,
         conf: Optional[Configuration] = None,
         with_metrics: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> PlanResult:
         conf = conf or Configuration()
+        tracer = tracer or Tracer()
         timings: List[JobTiming] = []
         for index, job in enumerate(plan.jobs):
             is_last = index == len(plan.jobs) - 1
-            timings.append(self._run_job(job, conf, is_last))
+            timing = self._run_job(job, conf, is_last)
+            # zero-duration spans: the reference executor has no clock,
+            # but QueryResult.trace keeps a uniform shape across engines
+            timing.span = tracer.start(
+                job.job_id, start=0.0, category="job",
+                engine=self.name, job_id=job.job_id,
+                num_maps=timing.num_maps, num_reducers=timing.num_reducers,
+            ).finish(0.0)
+            timings.append(timing)
         rows = final_sorted_rows(plan, self.hdfs)
         return PlanResult(
             rows=rows,
             schema=plan.output_schema,
             jobs=timings,
             engine=self.name,
+            spans=[timing.span for timing in timings if timing.span is not None],
         )
 
     def _run_job(self, job, conf: Configuration, is_last: bool) -> JobTiming:

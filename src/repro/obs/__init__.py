@@ -1,0 +1,59 @@
+"""repro.obs — structured tracing + metrics for every execution layer.
+
+The observability substrate the paper's evaluation methodology implies
+(phase breakdowns, collect-time sequences, dstat samples) as one
+coherent surface:
+
+* :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span`: nested spans
+  (``query`` → ``compile`` → ``job`` → ``task`` / ``shuffle`` /
+  ``spill``) over **simulated** time, with attributes and instant
+  events;
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry`
+  of counters/gauges/histograms (shuffle bytes, send-queue occupancy,
+  slot waves, startup latency);
+* :mod:`repro.obs.export` — Chrome-trace JSON (loadable in
+  ``chrome://tracing`` / Perfetto) and flat CSV/JSON dumps for
+  ``benchmarks/``.
+
+Entry points: ``QueryResult.trace`` holds the query's span tree,
+``repro.cli --trace out.json`` exports it, and the engines record
+metrics into :func:`get_metrics` as they run.
+"""
+
+from repro.obs.export import (
+    as_roots,
+    chrome_trace_events,
+    flatten_spans,
+    load_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_spans_csv,
+    write_spans_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.obs.trace import Span, SpanEvent, Tracer
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "as_roots",
+    "chrome_trace_events",
+    "flatten_spans",
+    "load_chrome_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_spans_csv",
+    "write_spans_json",
+]

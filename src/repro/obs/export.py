@@ -1,0 +1,196 @@
+"""Trace exporters: Chrome-trace JSON and flat CSV/JSON rows.
+
+Chrome trace (the ``chrome://tracing`` / Perfetto "JSON object format"):
+spans become complete (``ph: "X"``) events with microsecond timestamps
+— *simulated* microseconds — span events become instants (``ph: "i"``),
+and metadata events name each engine's process row.  Nesting is implied
+by time containment per (pid, tid) lane: driver-level spans sit on a
+dedicated lane, task spans sit on their node's lane.
+
+The flat exporters turn the span tree into one row per span
+(name/category/start/end/depth + attributes), the shape ``benchmarks/``
+consumes for tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.trace import Span
+
+_SECONDS_TO_MICROS = 1e6
+_DRIVER_LANE = 0  # tid for query/compile/job-level spans
+
+
+def _span_tid(span: Span, inherited: int) -> int:
+    """Node-attributed spans go on the node's lane; others inherit."""
+    node = span.attributes.get("node")
+    if isinstance(node, int) and node >= 0:
+        return node + 1
+    return inherited
+
+
+def chrome_trace_events(
+    roots: SpanOrSpans, pid: int = 0, process_name: Optional[str] = None
+) -> List[Dict[str, Any]]:
+    """Flatten span trees into Chrome-trace event dicts for one process."""
+    roots = as_roots(roots)
+    events: List[Dict[str, Any]] = []
+    if process_name:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        )
+
+    def emit(span: Span, tid: int) -> None:
+        tid = _span_tid(span, tid)
+        end = span.end if span.end is not None else span.start
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.category,
+                "pid": pid,
+                "tid": tid,
+                "ts": span.start * _SECONDS_TO_MICROS,
+                "dur": max(0.0, end - span.start) * _SECONDS_TO_MICROS,
+                "args": dict(span.attributes),
+            }
+        )
+        for event in span.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": event.name,
+                    "cat": span.category,
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": event.time * _SECONDS_TO_MICROS,
+                    "s": "t",
+                    "args": dict(event.attributes),
+                }
+            )
+        for child in span.children:
+            emit(child, tid)
+
+    for root in roots:
+        emit(root, _DRIVER_LANE)
+    return events
+
+
+def to_chrome_trace(roots: SpanOrSpans) -> Dict[str, Any]:
+    """A loadable Chrome-trace document.
+
+    Accepts one span or many (``QueryResult.trace`` or a list of them).
+    Roots are grouped into one trace "process" per engine (the ``engine``
+    attribute of the root span); roots without one share process 0.
+    """
+    roots = as_roots(roots)
+    engines: List[str] = []
+    events: List[Dict[str, Any]] = []
+    for root in roots:
+        engine = str(root.attributes.get("engine", ""))
+        if engine not in engines:
+            engines.append(engine)
+        pid = engines.index(engine)
+        name = engine or "repro"
+        events.extend(chrome_trace_events([root], pid=pid, process_name=name))
+    # keep one metadata event per process, not one per root
+    seen_meta = set()
+    deduped = []
+    for event in events:
+        if event["ph"] == "M":
+            key = (event["pid"], event["args"]["name"])
+            if key in seen_meta:
+                continue
+            seen_meta.add(key)
+        deduped.append(event)
+    return {
+        "traceEvents": deduped,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated-seconds", "source": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path: str, roots: SpanOrSpans) -> Dict[str, Any]:
+    document = to_chrome_trace(roots)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=1)
+    return document
+
+
+# ---------------------------------------------------------------------------
+# flat rows (benchmarks/ tables)
+# ---------------------------------------------------------------------------
+
+_FLAT_FIELDS = ["name", "category", "start", "end", "duration", "depth", "parent",
+                "attributes"]
+
+
+def flatten_spans(roots: SpanOrSpans) -> List[Dict[str, Any]]:
+    """One dict per span, pre-order, with depth and parent name."""
+    roots = as_roots(roots)
+    rows: List[Dict[str, Any]] = []
+
+    def emit(span: Span, depth: int, parent: Optional[str]) -> None:
+        end = span.end if span.end is not None else span.start
+        rows.append(
+            {
+                "name": span.name,
+                "category": span.category,
+                "start": span.start,
+                "end": end,
+                "duration": end - span.start,
+                "depth": depth,
+                "parent": parent or "",
+                "attributes": dict(span.attributes),
+            }
+        )
+        for child in span.children:
+            emit(child, depth + 1, span.name)
+
+    for root in roots:
+        emit(root, 0, None)
+    return rows
+
+
+def write_spans_json(path: str, roots: SpanOrSpans) -> List[Dict[str, Any]]:
+    rows = flatten_spans(roots)
+    with open(path, "w") as handle:
+        json.dump(rows, handle, indent=1)
+    return rows
+
+
+def write_spans_csv(path: str, roots: SpanOrSpans) -> List[Dict[str, Any]]:
+    rows = flatten_spans(roots)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FLAT_FIELDS)
+        writer.writeheader()
+        for row in rows:
+            record = dict(row)
+            record["attributes"] = json.dumps(row["attributes"], sort_keys=True)
+            writer.writerow(record)
+    return rows
+
+
+def load_chrome_trace(path: str) -> Dict[str, Any]:
+    """Read back a Chrome-trace document (round-trip tests)."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+SpanOrSpans = Union[Span, Sequence[Span]]
+
+
+def as_roots(trace: SpanOrSpans) -> List[Span]:
+    """Normalize a single span or a sequence into a root list."""
+    if isinstance(trace, Span):
+        return [trace]
+    return [span for span in trace if span is not None]

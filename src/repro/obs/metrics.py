@@ -1,0 +1,146 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The execution layers record cheap scalar observations here — shuffle
+bytes, send-queue occupancy, slot waves, startup latency, cluster
+CPU-seconds — so benchmarks and tests can ask "how much" without
+re-deriving it from timing records.  Values describe *simulated*
+quantities; recording never advances the simulated clock.
+
+A single module-level registry (:func:`get_metrics`) is the default
+sink, mirroring how Hadoop/DataMPI expose one JMX/metrics2 surface per
+process; isolated :class:`MetricsRegistry` instances can be created for
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing total (e.g. shuffle bytes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value:g})"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (e.g. live processes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max plus a bounded sample
+    reservoir for percentiles (first *max_samples* observations)."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "max_samples", "_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """q in [0, 100]; nearest-rank over the retained samples."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean})"
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat name -> value view (histograms expand to summary stats)."""
+        out: Dict[str, object] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        for name, gauge in self.gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self.histograms.items():
+            out[f"{name}.count"] = histogram.count
+            out[f"{name}.sum"] = histogram.total
+            if histogram.count:
+                out[f"{name}.mean"] = histogram.mean
+                out[f"{name}.min"] = histogram.min
+                out[f"{name}.max"] = histogram.max
+        return out
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry the execution layers record into."""
+    return _GLOBAL

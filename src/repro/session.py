@@ -1,0 +1,157 @@
+"""The public session API: :func:`connect`, :class:`Session`, and the
+deprecated :func:`hive_session` alias.
+
+A :class:`Session` is a Hive driver bound to a registry-resolved engine
+with context-manager lifecycle::
+
+    import repro
+
+    with repro.connect(engine="datampi") as session:
+        session.execute("CREATE TABLE t (k int, v string)")
+        result = session.query("SELECT v, count(*) FROM t GROUP BY v")
+        for row in result:
+            print(row)
+        result.trace  # the query's span tree (repro.obs.Span)
+
+Engines are looked up in :mod:`repro.engines`' registry, so anything
+registered with ``repro.engines.register(...)`` — including third-party
+engines — connects the same way as the built-ins.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Optional, Union
+
+from repro import engines as engine_registry
+from repro.common.config import Configuration
+from repro.common.errors import ExecutionError
+from repro.core.driver import Driver, make_warehouse
+from repro.engines.base import Engine
+from repro.simulate.cluster import ClusterSpec
+from repro.storage.hdfs import HDFS
+from repro.storage.metastore import Metastore
+
+ConfLike = Union[Configuration, Dict[str, object], None]
+
+
+def _as_configuration(conf: ConfLike) -> Optional[Configuration]:
+    if conf is None or isinstance(conf, Configuration):
+        return conf
+    configuration = Configuration()
+    for key, value in conf.items():
+        configuration.set(key, value)
+    return configuration
+
+
+class Session(Driver):
+    """One Hive session: a Driver with registry lookup, a lifecycle and
+    ``with``-statement semantics.
+
+    Everything the Driver exposes (``execute``, ``query``, ``conf``,
+    ``hdfs``, ``metastore``, ``engine``) is available here; closing the
+    session only refuses further statements — the warehouse it points at
+    stays usable by other sessions.
+    """
+
+    def __init__(
+        self,
+        engine: Union[str, Engine] = "datampi",
+        num_workers: int = 7,
+        conf: ConfLike = None,
+        spec: Optional[ClusterSpec] = None,
+        hdfs: Optional[HDFS] = None,
+        metastore: Optional[Metastore] = None,
+    ):
+        if hdfs is None:
+            hdfs = HDFS(num_workers=num_workers)
+        if metastore is None:
+            metastore = Metastore(hdfs)
+        if isinstance(engine, str):
+            spec = spec or ClusterSpec(num_nodes=hdfs.num_workers + 1)
+            engine = engine_registry.create(engine, hdfs, spec=spec)
+        super().__init__(hdfs, metastore, engine, conf=_as_configuration(conf))
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def engine_name(self) -> str:
+        return self.engine.name
+
+    def close(self) -> None:
+        """Refuse further statements (idempotent)."""
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def execute(self, sql: str, with_metrics: bool = False):
+        if self._closed:
+            raise ExecutionError("session is closed")
+        return super().execute(sql, with_metrics=with_metrics)
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"Session(engine={self.engine.name!r}, {state})"
+
+
+def connect(
+    engine: Union[str, Engine] = "datampi",
+    num_workers: int = 7,
+    conf: ConfLike = None,
+    spec: Optional[ClusterSpec] = None,
+    hdfs: Optional[HDFS] = None,
+    metastore: Optional[Metastore] = None,
+) -> Session:
+    """Open a :class:`Session` on a registered engine.
+
+    *engine* is a registry name/alias (``"datampi"``/``"dm"``,
+    ``"hadoop"``/``"mr"``, ``"local"``, or anything added via
+    ``repro.engines.register``) or an already-built :class:`Engine`.
+    Pass an existing *hdfs*/*metastore* pair to share one warehouse
+    between sessions (e.g. to run the same tables on both engines);
+    *conf* accepts a :class:`Configuration` or a plain dict.
+    """
+    return Session(
+        engine=engine,
+        num_workers=num_workers,
+        conf=conf,
+        spec=spec,
+        hdfs=hdfs,
+        metastore=metastore,
+    )
+
+
+def hive_session(
+    engine: str = "datampi",
+    num_workers: int = 7,
+    conf: Configuration = None,
+    spec: ClusterSpec = None,
+    hdfs: HDFS = None,
+    metastore: Metastore = None,
+) -> Session:
+    """Deprecated alias for :func:`connect` (kept for pre-1.1 callers)."""
+    warnings.warn(
+        "hive_session() is deprecated; use repro.connect(engine=...) "
+        "(a context manager) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return connect(
+        engine=engine,
+        num_workers=num_workers,
+        conf=conf,
+        spec=spec,
+        hdfs=hdfs,
+        metastore=metastore,
+    )
+
+
+__all__ = ["Session", "connect", "hive_session", "make_warehouse"]

@@ -42,12 +42,20 @@ class ClusterSpec:
 
 
 class Node:
-    """One machine: task slots, a disk, a full-duplex NIC and memory."""
+    """One machine: task slots, a disk, a full-duplex NIC and memory.
 
-    def __init__(self, sim: Simulator, spec: ClusterSpec, node_id: int):
+    *metrics* (a :class:`repro.obs.MetricsRegistry`, optional) receives
+    cumulative cluster-wide counters — CPU-seconds, disk/net bytes —
+    alongside the per-resource accounting; recording never advances the
+    simulated clock.
+    """
+
+    def __init__(self, sim: Simulator, spec: ClusterSpec, node_id: int,
+                 metrics=None):
         self.sim = sim
         self.spec = spec
         self.node_id = node_id
+        self.metrics = metrics
         self.name = f"node{node_id}"
         self.slots = SlotPool(sim, spec.slots_per_node, f"{self.name}.slots")
         self.disk = Bandwidth(sim, spec.disk_bandwidth, f"{self.name}.disk")
@@ -75,6 +83,8 @@ class Node:
         """Burn CPU for *seconds* of simulated time on this node."""
         if seconds <= 0:
             return
+        if self.metrics is not None:
+            self.metrics.counter("cluster.cpu_seconds").add(seconds)
         self.computing += 1
         try:
             yield self.sim.timeout(seconds)
@@ -85,6 +95,8 @@ class Node:
         """Read *nbytes* from the local disk (processor-shared spindle)."""
         if nbytes <= 0:
             return
+        if self.metrics is not None:
+            self.metrics.counter("cluster.disk.read_bytes").add(nbytes)
         self.io_waiting += 1
         try:
             yield self.disk.transfer(nbytes, category="read")
@@ -95,6 +107,8 @@ class Node:
         """Write *nbytes* to the local disk."""
         if nbytes <= 0:
             return
+        if self.metrics is not None:
+            self.metrics.counter("cluster.disk.write_bytes").add(nbytes)
         self.io_waiting += 1
         try:
             yield self.disk.transfer(nbytes, category="write")
@@ -112,10 +126,14 @@ class Cluster:
     limited only by the sender's TX and the receiver's RX shares.
     """
 
-    def __init__(self, sim: Simulator, spec: ClusterSpec = ClusterSpec()):
+    def __init__(self, sim: Simulator, spec: ClusterSpec = ClusterSpec(),
+                 metrics=None):
         self.sim = sim
         self.spec = spec
-        self.nodes: List[Node] = [Node(sim, spec, i) for i in range(spec.num_nodes)]
+        self.metrics = metrics
+        self.nodes: List[Node] = [
+            Node(sim, spec, i, metrics=metrics) for i in range(spec.num_nodes)
+        ]
 
     @property
     def master(self) -> Node:
@@ -137,6 +155,8 @@ class Cluster:
         """
         if nbytes <= 0 or src is dst:
             return
+        if self.metrics is not None:
+            self.metrics.counter("cluster.net.bytes").add(nbytes)
         yield self.sim.all_of(
             [src.nic_tx.transfer(nbytes), dst.nic_rx.transfer(nbytes)]
         )

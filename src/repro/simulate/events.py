@@ -136,7 +136,7 @@ class Process(Event):
     yielding them.
     """
 
-    __slots__ = ("name", "_generator", "_waiting_on", "_interrupt")
+    __slots__ = ("name", "_generator", "_waiting_on", "_interrupt", "span")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
@@ -144,6 +144,13 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self._interrupt: Optional[Interrupt] = None
+        # opt-in tracing: when the simulator carries a tracer, every
+        # process lifetime becomes a span in simulated time
+        self.span = None
+        if sim.tracer is not None:
+            self.span = sim.tracer.start(
+                self.name, start=sim.now, category="process"
+            )
         sim.call_soon(self._step, None)
 
     @property
@@ -175,9 +182,13 @@ class Process(Event):
             else:
                 target = self._generator.send(value)
         except StopIteration as stop:
+            if self.span is not None and not self.span.closed:
+                self.span.finish(self.sim.now)
             self.trigger(getattr(stop, "value", None))
             return
         except Interrupt:
+            if self.span is not None and not self.span.closed:
+                self.span.finish(self.sim.now, interrupted=True)
             self.trigger(None)
             return
         if not isinstance(target, Event):
@@ -202,10 +213,17 @@ class ScheduledCall:
 
 
 class Simulator:
-    """The event loop: a clock plus a heap of pending callbacks."""
+    """The event loop: a clock plus a heap of pending callbacks.
 
-    def __init__(self):
+    *tracer* (a :class:`repro.obs.Tracer`, optional) turns on process
+    lifetime tracing: every spawned coroutine becomes a span from spawn
+    to completion, in simulated time.  Off by default — the engines
+    trace at job/task granularity instead.
+    """
+
+    def __init__(self, tracer=None):
         self.now: float = 0.0
+        self.tracer = tracer
         self._agenda: List = []
         self._sequence = 0
         self._process_count = 0

@@ -1,0 +1,173 @@
+"""The public session API: engine registry, connect()/Session lifecycle,
+the deprecated hive_session alias, and the QueryResult cursor surface."""
+
+import pytest
+
+import repro
+from repro import Session, connect, hive_session, make_warehouse
+from repro import engines as registry
+from repro.common.errors import ExecutionError
+from repro.engines.local import LocalEngine
+from repro.storage.hdfs import DEFAULT_BLOCK_SIZE
+from repro.common.units import MB
+
+
+# ---------------------------------------------------------------------------
+# Engine registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {"datampi", "hadoop", "local"} <= set(registry.available())
+
+    def test_aliases_resolve(self):
+        assert registry.resolve("dm") == "datampi"
+        assert registry.resolve("MR") == "hadoop"
+        assert registry.resolve("local") == "local"
+
+    def test_unknown_engine_lists_available(self, warehouse):
+        hdfs, _ = warehouse
+        with pytest.raises(ValueError, match="datampi"):
+            registry.create("spark", hdfs)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("local", LocalEngine)
+
+    def test_replace_allows_override(self):
+        registry.register("local", LocalEngine, replace=True)
+        assert "local" in registry.available()
+
+    def test_custom_engine_round_trip(self, warehouse):
+        hdfs, metastore = warehouse
+
+        def factory(hdfs, spec=None):
+            return LocalEngine(hdfs)
+
+        registry.register("mine", factory, aliases=("m",))
+        try:
+            session = connect(engine="m", hdfs=hdfs, metastore=metastore)
+            rows = session.query("SELECT count(*) FROM emp").rows
+            assert rows == [(7,)]
+        finally:
+            registry.unregister("mine")
+        assert "mine" not in registry.available()
+        assert registry.resolve("m") == "m"  # alias dropped too
+
+    def test_create_skips_spec_for_specless_factories(self, warehouse):
+        hdfs, _ = warehouse
+        engine = registry.create("local", hdfs)
+        assert isinstance(engine, LocalEngine)
+
+
+# ---------------------------------------------------------------------------
+# connect() / Session
+# ---------------------------------------------------------------------------
+
+
+class TestConnect:
+    def test_context_manager_tpch_end_to_end(self):
+        from repro.bench import fresh_tpch
+        from repro.workloads.tpch import tpch_query
+
+        hdfs, metastore = fresh_tpch(sf=1, lineitem_sample=400)
+        with repro.connect(engine="datampi", hdfs=hdfs, metastore=metastore) as s:
+            result = s.query(tpch_query(1, 1))
+            assert result.rows, "TPC-H Q1 returned no groups"
+            assert result.simulated_seconds > 0
+            assert result.trace is not None and result.trace.find("job")
+        assert s.closed
+
+    def test_execute_after_close_raises(self, warehouse):
+        hdfs, metastore = warehouse
+        session = connect(engine="local", hdfs=hdfs, metastore=metastore)
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(ExecutionError, match="closed"):
+            session.execute("SELECT 1 FROM emp")
+
+    def test_engine_instance_passthrough(self, warehouse):
+        hdfs, metastore = warehouse
+        engine = LocalEngine(hdfs)
+        session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
+        assert session.engine is engine
+        assert session.engine_name == "local"
+
+    def test_conf_accepts_dict(self, warehouse):
+        hdfs, metastore = warehouse
+        session = connect(engine="local", hdfs=hdfs, metastore=metastore,
+                          conf={"hive.exec.reducers.max": 3})
+        assert session.conf.get_int("hive.exec.reducers.max", 0) == 3
+
+    def test_repr_shows_state(self, warehouse):
+        hdfs, metastore = warehouse
+        with connect(engine="local", hdfs=hdfs, metastore=metastore) as session:
+            assert "open" in repr(session)
+        assert "closed" in repr(session)
+
+
+class TestHiveSessionAlias:
+    def test_emits_deprecation_warning(self, warehouse):
+        hdfs, metastore = warehouse
+        with pytest.warns(DeprecationWarning, match="repro.connect"):
+            session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+        assert isinstance(session, Session)
+
+    def test_still_executes(self, warehouse):
+        hdfs, metastore = warehouse
+        with pytest.warns(DeprecationWarning):
+            session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+        assert session.query("SELECT count(*) FROM emp").rows == [(7,)]
+
+
+# ---------------------------------------------------------------------------
+# make_warehouse
+# ---------------------------------------------------------------------------
+
+
+class TestMakeWarehouse:
+    def test_defaults(self):
+        hdfs, metastore = make_warehouse()
+        assert hdfs.num_workers == 7
+        assert hdfs.block_size == DEFAULT_BLOCK_SIZE
+        assert metastore.hdfs is hdfs
+
+    def test_custom_block_size(self):
+        hdfs, _ = make_warehouse(num_workers=3, block_size=128 * MB)
+        assert hdfs.num_workers == 3
+        assert hdfs.block_size == 128 * MB
+
+
+# ---------------------------------------------------------------------------
+# QueryResult cursor surface
+# ---------------------------------------------------------------------------
+
+
+class TestQueryResult:
+    @pytest.fixture()
+    def result(self, local_session):
+        return local_session.query(
+            "SELECT dept, count(*) AS n FROM emp WHERE dept IS NOT NULL "
+            "GROUP BY dept ORDER BY dept"
+        )
+
+    def test_iteration_and_len(self, result):
+        assert list(result) == result.rows
+        assert len(result) == len(result.rows)
+
+    def test_fetchall_copies(self, result):
+        fetched = result.fetchall()
+        assert fetched == result.rows
+        fetched.append(("zz", 0))
+        assert fetched != result.rows
+
+    def test_to_pydict(self, result):
+        columns = result.to_pydict()
+        assert list(columns) == result.column_names()
+        assert columns[result.column_names()[0]] == [row[0] for row in result.rows]
+
+    def test_statement_docstring_mentions_explain(self):
+        from repro.core.driver import QueryResult
+
+        assert "explain" in QueryResult.__doc__
