@@ -24,6 +24,7 @@ import sys
 from typing import List, Optional
 
 from repro import connect, make_warehouse
+from repro.common.config import FAULT_SPEC
 from repro.common.errors import ReproError
 from repro.common.units import format_duration
 from repro.engines import available
@@ -61,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("-f", "--file", help="HiveQL script file")
     parser.add_argument("--set", action="append", default=[], metavar="K=V",
                         help="session configuration, e.g. hive.datampi.parallelism=enhanced")
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="fault plan, e.g. 'seed:7; fail:0.05; crash:w2@30-90' "
+                             "(grammar in docs/fault_model.md)")
     parser.add_argument("--trace", metavar="OUT.json",
                         help="write a Chrome-trace JSON of every query "
                              "(simulated time; one pid per engine)")
@@ -123,6 +127,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for assignment in args.set:
             key, _, value = assignment.partition("=")
             session.conf.set(key.strip(), value.strip())
+        if args.faults:
+            session.conf.set(FAULT_SPEC, args.faults)
         sessions.append((engine_name, session))
 
     trace_roots = [] if args.trace else None

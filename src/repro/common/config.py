@@ -30,7 +30,18 @@ DATAMPI_NONBLOCKING = "datampi.shuffle.nonblocking"  # bool
 DATAMPI_OVERLAP = "datampi.shuffle.overlap"  # bool; False = send only at O end
 HIVE_DATAMPI_DAG = "hive.datampi.dag"  # bool; True = pipeline stages (future work §VII.3)
 SHUFFLE_PARTITION_BYTES = "shuffle.partition.bytes"
-FAILURE_RATE = "repro.failure.rate"  # per-task failure probability (fault injection)
+
+# -- fault injection / recovery knobs ---------------------------------------
+FAILURE_RATE = "repro.failure.rate"  # per-attempt task failure probability
+FAULT_SPEC = "repro.faults"  # declarative fault plan (see docs/fault_model.md)
+FAULT_SEED = "repro.faults.seed"  # seed for every fault-plan random draw
+TASK_MAX_ATTEMPTS = "repro.task.max.attempts"  # per-task attempt cap (mr)
+RETRY_MAX = "repro.retry.max"  # whole-job resubmissions (dm)
+RETRY_BACKOFF = "repro.retry.backoff"  # base backoff seconds, doubles per retry
+RETRY_FALLBACK = "repro.retry.fallback"  # engine name to degrade to ("" = off)
+SPECULATIVE_EXECUTION = "repro.speculative.execution"  # bool (mr stragglers)
+SPECULATIVE_SLOWDOWN = "repro.speculative.slowdown"  # lateness factor to trigger
+BLACKLIST_THRESHOLD = "repro.blacklist.failures"  # failures/node before blacklist
 
 
 class Configuration:

@@ -43,6 +43,33 @@ class ExecutionError(ReproError):
     """A task failed at runtime inside one of the execution engines."""
 
 
+class JobAbortedError(ExecutionError):
+    """A gang-scheduled job was torn down because one of its ranks was
+    interrupted (node crash, injected task failure).
+
+    The DataMPI engine raises this per attempt; the driver-level retry
+    loop consumes it and resubmits the job under exponential backoff.
+    """
+
+    def __init__(self, message: str, job_id: str = "", cause: object = None):
+        super().__init__(message)
+        self.job_id = job_id
+        self.cause = cause
+
+
+class RetryExhaustedError(ExecutionError):
+    """Every resubmission of a gang-scheduled job failed.
+
+    Carries the attempt count so the session/driver can decide whether
+    to degrade gracefully onto another engine (``repro.retry.fallback``).
+    """
+
+    def __init__(self, message: str, job_id: str = "", attempts: int = 0):
+        super().__init__(message)
+        self.job_id = job_id
+        self.attempts = attempts
+
+
 class StorageError(ReproError):
     """HDFS-simulation or file-format failure (missing path, corrupt
     stripe, bad split)."""

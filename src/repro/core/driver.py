@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.common.config import Configuration, HIVE_FILE_FORMAT
-from repro.common.errors import SemanticError
+from repro.common.config import Configuration, HIVE_FILE_FORMAT, RETRY_FALLBACK
+from repro.common.errors import RetryExhaustedError, SemanticError
 from repro.common.rows import Schema, Column, DataType
 from repro.engines.base import Engine, PlanResult
 from repro.obs import Span
@@ -60,6 +60,32 @@ class QueryResult:
     def simulated_seconds(self) -> float:
         run = self.execution.total_seconds if self.execution else 0.0
         return self.compile_seconds + run
+
+    # -- fault/recovery visibility ------------------------------------------
+    @property
+    def attempts(self) -> int:
+        """Task executions across the query (failures + successes)."""
+        return self.execution.total_attempts if self.execution else 0
+
+    @property
+    def restarts(self) -> int:
+        """Whole-job resubmissions (DataMPI gang recovery)."""
+        if self.execution is None:
+            return 0
+        return sum(job.restarts for job in self.execution.jobs)
+
+    @property
+    def fault_events(self) -> List[object]:
+        """Injected fault edges delivered while the query ran."""
+        return list(self.execution.fault_events) if self.execution else []
+
+    @property
+    def fallback_engine(self) -> Optional[str]:
+        """Engine that actually ran the plan after graceful degradation
+        (``None`` when the session's engine completed it)."""
+        if self.execution is None or self.execution.fallback_from is None:
+            return None
+        return self.execution.engine
 
     # -- cursor-style result access -----------------------------------------
     def __iter__(self) -> Iterator[tuple]:
@@ -213,8 +239,39 @@ class Driver:
                   with_metrics: bool, clear_output: bool = True) -> PlanResult:
         if clear_output:  # INSERT OVERWRITE / fresh result dir semantics
             self.hdfs.delete(plan.output_location)
-        execution = self.engine.run_plan(plan, self.conf, with_metrics=with_metrics)
+        try:
+            execution = self.engine.run_plan(
+                plan, self.conf, with_metrics=with_metrics
+            )
+        except RetryExhaustedError:
+            fallback = (self.conf.get(RETRY_FALLBACK, "") or "").strip()
+            if not fallback:
+                raise
+            execution = self._run_plan_fallback(plan, fallback, with_metrics)
         self.hdfs.delete(f"/tmp/hive/{query_id}")  # intermediate job outputs
+        return execution
+
+    def _run_plan_fallback(self, plan: PhysicalPlan, fallback: str,
+                           with_metrics: bool) -> PlanResult:
+        """Graceful degradation (``repro.retry.fallback``): a job whose
+        gang-scheduled resubmissions are exhausted re-runs the whole plan
+        on a task-granular engine from the registry.  Part-files written
+        by the failed run's earlier jobs are removed first so the re-run
+        can commit them again."""
+        from repro import engines as engine_registry
+        from repro.obs import get_metrics
+
+        for job in plan.jobs:
+            prefix = f"{job.output_location.rstrip('/')}/{job.job_id}-part-"
+            for data_file in self.hdfs.list_dir(job.output_location):
+                if data_file.path.startswith(prefix):
+                    self.hdfs.delete(data_file.path)
+        get_metrics().counter("engine.fallbacks").add(1)
+        engine = engine_registry.create(
+            fallback, self.hdfs, spec=getattr(self.engine, "spec", None)
+        )
+        execution = engine.run_plan(plan, self.conf, with_metrics=with_metrics)
+        execution.fallback_from = self.engine.name
         return execution
 
     @staticmethod

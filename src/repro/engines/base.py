@@ -50,6 +50,8 @@ class TaskTiming:
     rows_read: int = 0
     kv_pairs: int = 0
     kv_bytes: float = 0.0  # logical (scaled) shuffle bytes produced/consumed
+    attempts: int = 1  # executions it took (failures + the success)
+    speculative: bool = False  # won by a speculative backup attempt
     # instrumentation for Figs 2 and 6
     collect_samples: List[Tuple[float, int]] = field(default_factory=list)
     send_events: List[float] = field(default_factory=list)
@@ -76,6 +78,8 @@ class JobTiming:
     num_reducers: int = 0
     shuffle_logical_bytes: float = 0.0
     tasks: List[TaskTiming] = field(default_factory=list)
+    restarts: int = 0  # whole-job resubmissions (DataMPI gang recovery)
+    failed_attempts: int = 0  # task attempts that died (both engines)
     span: Optional[Span] = None  # this job's trace span (engine-relative time)
 
     @property
@@ -107,6 +111,12 @@ class PlanResult:
     engine: str = "local"
     metrics: List[object] = field(default_factory=list)  # ResourceSamples
     spans: List[Span] = field(default_factory=list)  # one job span per job
+    fault_events: List[object] = field(default_factory=list)  # FaultEvents delivered
+    fallback_from: Optional[str] = None  # engine that degraded onto this one
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(task.attempts for job in self.jobs for task in job.tasks)
 
     @property
     def job_seconds(self) -> float:
@@ -422,6 +432,21 @@ def hdfs_write_pipeline(cluster, node, data_file):
         replica = cluster.workers[replica_index]
         yield from cluster.network_transfer(node, replica, nbytes)
         yield from replica.disk_write(nbytes)
+
+
+def pick_read_source(cluster, tagged: TaggedSplit, node_index: int) -> Optional[int]:
+    """Which worker streams a split to *node_index*: ``None`` for a local
+    read, otherwise the first *live* replica host (replica failover when
+    a datanode died).  Falls back to the first replica if every replica
+    host is down — degenerate, but it keeps the simulation progressing."""
+    num_workers = len(cluster.workers)
+    hosts = [h % num_workers for h in tagged.split.hosts]
+    if node_index in hosts:
+        return None
+    for host in hosts:
+        if cluster.workers[host].alive:
+            return host
+    return hosts[0] if hosts else None
 
 
 def assign_splits_locality(splits: Sequence[TaggedSplit], num_workers: int) -> List[int]:

@@ -16,6 +16,14 @@ Differences from the Hadoop engine, each mapped to a paper claim:
 * **Blocking vs non-blocking styles** — the blocking style synchronizes
   every participant per communication round (``MPI_Waitall``); skewed
   tasks then stall the whole communicator (Fig 6).
+* **Gang fault semantics** — the MPI substrate has no per-task retry: a
+  rank failure (injected task fault or node crash) poisons the whole
+  communicator, every surviving rank is interrupted mid-flight and the
+  attempt's partial output is discarded.  ``mpidrun`` resubmits the job
+  under exponential backoff (``repro.retry.max`` / ``repro.retry.backoff``);
+  when resubmissions run out a :class:`RetryExhaustedError` surfaces so
+  the session can degrade to the MapReduce engine (§I, §VI — the
+  fault-tolerance trade-off the paper concedes to Hadoop).
 * **Tuning knobs** — ``hive.datampi.memusedpercent`` splits the heap
   between DataMPI's buffers and the application (low → A-side spill,
   high → GC pressure: Fig 8 left); ``hive.datampi.sendqueue`` bounds the
@@ -32,11 +40,13 @@ from repro.common.config import (
     Configuration,
     DATAMPI_NONBLOCKING,
     DATAMPI_OVERLAP,
-    FAILURE_RATE,
     HIVE_DATAMPI_DAG,
     HIVE_DATAMPI_MEM_USED_PERCENT,
     HIVE_DATAMPI_SEND_QUEUE,
+    RETRY_BACKOFF,
+    RETRY_MAX,
 )
+from repro.common.errors import JobAbortedError, RetryExhaustedError
 from repro.common.kv import KeyValue
 from repro.common.units import MB
 from repro.engines.base import (
@@ -56,6 +66,7 @@ from repro.engines.base import (
     load_broadcast_tables,
     open_job_span,
     open_task_span,
+    pick_read_source,
     record_job_metrics,
     run_reducer_functionally,
     scan_split,
@@ -72,8 +83,21 @@ from repro.exec.mapper import ExecMapper
 from repro.exec.operators import Collector
 from repro.obs import Tracer, get_metrics
 from repro.plan.physical import MRJob, PhysicalPlan
-from repro.simulate import Cluster, ClusterSpec, MetricsSampler, Simulator, SlotPool
+from repro.simulate import (
+    Cluster,
+    ClusterSpec,
+    FaultInjector,
+    FaultPlan,
+    Interrupt,
+    MetricsSampler,
+    Simulator,
+    SlotPool,
+)
 from repro.storage.hdfs import HDFS
+
+
+DEFAULT_RETRY_MAX = 2  # resubmissions after the first failed run
+DEFAULT_RETRY_BACKOFF = 1.0  # seconds; doubles per resubmission
 
 
 @dataclass
@@ -118,6 +142,49 @@ class DataMPICollector(Collector):
         return out
 
 
+class _Gang:
+    """One mpidrun submission's communicator: every task process in the
+    job, the HDFS paths it has written, and the poison flag.
+
+    The first interrupted/doomed rank ``trip``\\ s the gang: all other
+    ranks get interrupted at the same instant (MPI_Abort semantics) and
+    the attempt's outputs are deleted by the retry loop.  A node crash
+    anywhere in the cluster trips the gang too — the MPI world spans all
+    workers, so losing any host kills the communicator.
+    """
+
+    def __init__(self, sim: Simulator, injector: FaultInjector):
+        self.sim = sim
+        self.injector = injector
+        self.tripped = False
+        self.cause: object = None
+        self.procs: List = []
+        self.written: List[str] = []
+        injector.subscribe_crash(self._on_crash)
+
+    def _on_crash(self, worker_index: int) -> None:
+        self.trip(("node-crash", worker_index))
+
+    def add(self, proc) -> None:
+        if self.tripped:
+            if proc.alive:
+                proc.interrupt(("gang-abort", self.cause))
+            return
+        self.procs.append(proc)
+
+    def trip(self, cause: object) -> None:
+        if self.tripped:
+            return
+        self.tripped = True
+        self.cause = cause
+        for proc in self.procs:
+            if proc.alive:
+                proc.interrupt(("gang-abort", cause))
+
+    def close(self) -> None:
+        self.injector.unsubscribe_crash(self._on_crash)
+
+
 class DataMPIEngine(Engine):
     name = "datampi"
 
@@ -144,6 +211,11 @@ class DataMPIEngine(Engine):
         tracer = tracer or Tracer()
         tracer.set_clock(lambda: sim.now)
         cluster = Cluster(sim, self.spec, metrics=get_metrics())
+        injector = FaultInjector(
+            sim, cluster, FaultPlan.from_conf(conf),
+            tracer=tracer, metrics=get_metrics(),
+        )
+        injector.start()
         mpi = SimulatedMPI(cluster)
         a_slots = [
             SlotPool(sim, self.spec.slots_per_node, f"{node.name}.aslots")
@@ -175,16 +247,23 @@ class DataMPIEngine(Engine):
                 is_last = index == len(plan.jobs) - 1
                 timing = yield from self._run_job(
                     sim, cluster, mpi, a_slots, job, conf, is_last, tracer,
+                    injector,
                     pipe_in=index in pipelined_in,
                     pipe_out=(index + 1) in pipelined_in,
                 )
                 timings.append(timing)
 
         sim.spawn(driver(), "hive-driver")
-        sim.run()
-        if sampler:
-            sampler.stop()
+        try:
+            sim.run()
+        finally:
+            if sampler:
+                sampler.stop()
+            injector.close()
         rows = final_sorted_rows(plan, self.hdfs)
+        spans = [timing.span for timing in timings if timing.span is not None]
+        if injector.span is not None:
+            spans.append(injector.span)
         return PlanResult(
             rows=rows,
             schema=plan.output_schema,
@@ -192,7 +271,8 @@ class DataMPIEngine(Engine):
             total_seconds=sim.now,
             engine=self.name,
             metrics=sampler.samples if sampler else [],
-            spans=[timing.span for timing in timings if timing.span is not None],
+            spans=spans,
+            fault_events=list(injector.events),
         )
 
     # -- knobs ------------------------------------------------------------------
@@ -217,11 +297,73 @@ class DataMPIEngine(Engine):
         )
         return min(2.0 * 1024 * 1024, max(64.0 * 1024, scaled))
 
-    # -- job execution -------------------------------------------------------------
+    # -- job retry loop ----------------------------------------------------------
     def _run_job(self, sim: Simulator, cluster: Cluster, mpi: SimulatedMPI,
                  a_slots: List[SlotPool], job: MRJob, conf: Configuration,
-                 is_last: bool, tracer: Tracer, pipe_in: bool = False,
-                 pipe_out: bool = False):
+                 is_last: bool, tracer: Tracer, injector: FaultInjector,
+                 pipe_in: bool = False, pipe_out: bool = False):
+        """Submit the job; on a gang abort discard the attempt's output
+        and resubmit under exponential backoff until ``repro.retry.max``
+        resubmissions are spent."""
+        retry_max = max(0, conf.get_int(RETRY_MAX, DEFAULT_RETRY_MAX))
+        backoff = max(0.0, conf.get_float(RETRY_BACKOFF, DEFAULT_RETRY_BACKOFF))
+        timing = JobTiming(
+            job_id=job.job_id,
+            submitted=sim.now,
+            num_maps=0,
+            num_reducers=0,
+        )
+        timing.span = open_job_span(tracer, self.name, job, sim.now)
+        submission = 0
+        while True:
+            submission += 1
+            gang = _Gang(sim, injector)
+            try:
+                yield from self._attempt_job(
+                    sim, cluster, mpi, a_slots, job, conf, is_last, timing,
+                    injector, gang, submission, retry_max,
+                    pipe_in=pipe_in and submission == 1, pipe_out=pipe_out,
+                )
+                break
+            except JobAbortedError as abort:
+                timing.restarts += 1
+                get_metrics().counter("engine.job.restarts").add(1)
+                get_metrics().counter("datampi.job.restarts").add(1)
+                if timing.span is not None:
+                    timing.span.add_event("gang-abort", sim.now,
+                                          cause=str(abort.cause),
+                                          submission=submission)
+                # MPI_Abort discards everything: even committed part-files
+                # of this attempt are deleted before the re-run
+                for path in gang.written:
+                    self.hdfs.delete(path)
+                if submission > retry_max:
+                    timing.finished = sim.now
+                    close_job_span(timing)
+                    raise RetryExhaustedError(
+                        f"job {job.job_id} aborted on all {submission} "
+                        f"submission(s); last cause: {abort.cause}",
+                        job_id=job.job_id,
+                        attempts=submission,
+                    )
+                delay = backoff * (2 ** (submission - 1))
+                if timing.span is not None:
+                    timing.span.add_event("backoff", sim.now, seconds=delay)
+                if delay > 0:
+                    yield sim.timeout(delay)
+            finally:
+                gang.close()
+        timing.finished = sim.now
+        close_job_span(timing)
+        record_job_metrics(self.name, timing, self.spec.total_slots)
+        return timing
+
+    # -- one submission ----------------------------------------------------------
+    def _attempt_job(self, sim: Simulator, cluster: Cluster, mpi: SimulatedMPI,
+                     a_slots: List[SlotPool], job: MRJob, conf: Configuration,
+                     is_last: bool, timing: JobTiming, injector: FaultInjector,
+                     gang: _Gang, submission: int, retry_max: int,
+                     pipe_in: bool = False, pipe_out: bool = False):
         costs = self.costs
         hdfs = self.hdfs
         workers = cluster.workers
@@ -229,131 +371,141 @@ class DataMPIEngine(Engine):
         small_tables = load_broadcast_tables(job, hdfs)
         scale = job_input_scale(job, hdfs)
         total_bytes = sum(s.logical_bytes for s in splits)
-        timing = JobTiming(
-            job_id=job.job_id,
-            submitted=sim.now,
-            num_maps=len(splits),
-            num_reducers=0,
-        )
-        timing.span = open_job_span(tracer, self.name, job, sim.now)
         mem_used = self._mem_used_percent(conf)
         gc_factor = self._gc_factor(mem_used)
         queue_capacity = conf.get_int(HIVE_DATAMPI_SEND_QUEUE, costs.default_send_queue)
         nonblocking = conf.get_bool(DATAMPI_NONBLOCKING, True)
         overlap = conf.get_bool(DATAMPI_OVERLAP, True)
+        # the final permitted submission runs with injected task faults
+        # disabled, so only repeated node crashes can exhaust the retries
+        doom_ok = submission <= retry_max
 
-        # mpidrun spawns the CommonProcesses (once per job); their heaps
-        # appear on every node at once — this is why the paper's Fig 13(c)
-        # shows DataMPI reaching its memory ceiling sooner than Hadoop.
-        # A pipelined DAG stage reuses the previous stage's live processes.
+        def check_abort():
+            if gang.tripped:
+                raise JobAbortedError(
+                    f"gang abort: {gang.cause}", job_id=job.job_id,
+                    cause=gang.cause,
+                )
+
+        # mpidrun spawns the CommonProcesses (once per submission); their
+        # heaps appear on every node at once — this is why the paper's Fig
+        # 13(c) shows DataMPI reaching its memory ceiling sooner than
+        # Hadoop.  A pipelined DAG stage reuses the previous stage's live
+        # processes (but a resubmission always respawns them).
         if not pipe_in:
             yield sim.timeout(costs.mpidrun_spawn)
             yield sim.timeout(costs.process_launch)
         # O and A communicators each get slots_per_node processes (the
-        # testbed's 4 + 4), all resident from spawn time
+        # testbed's 4 + 4), all resident from spawn time; dead hosts are
+        # left out of the new communicator's hostfile
+        live_indices = injector.live_worker_indices() or list(range(len(workers)))
+        attempt_workers = [workers[i] for i in live_indices]
         process_heap = 2 * self.spec.heap_per_task * self.spec.slots_per_node
-        for worker in workers:
+        for worker in attempt_workers:
             worker.memory.allocate(process_heap)
 
-        if not splits:
-            write_task_output(job, hdfs, 0, [], scale)
-            timing.first_task_started = sim.now
-            timing.shuffle_done = sim.now
-            yield sim.timeout(costs.job_cleanup)
-            for worker in workers:
-                worker.memory.free(process_heap)
-            timing.finished = sim.now
-            close_job_span(timing)
-            record_job_metrics(self.name, timing, self.spec.total_slots)
-            return timing
+        def remap(node_index: int) -> int:
+            if workers[node_index].alive:
+                return node_index
+            return live_indices[node_index % len(live_indices)]
 
-        # DataMPI schedules at most one O task per slot (paper §IV-D:
-        # "the number of O tasks is based on the number of input splits
-        # and less than the maximum number of executing slots"); each O
-        # task consumes several splits, so there are no task waves.
-        groups = _group_splits(splits, len(workers), self.spec.slots_per_node)
-        num_o = len(groups)
-        timing.num_maps = num_o
-        num_reducers = decide_num_reducers(
-            job, num_o, total_bytes, conf, is_last, self.spec.total_slots
-        )
-        timing.num_reducers = num_reducers
-        partition_nodes = [workers[p % len(workers)] for p in range(num_reducers)]
-        # the A-side processes' share of the heap caches received
-        # partitions; beyond it, buffers spill to local disk (Fig 8 left)
-        cache_budget = (
-            mem_used * self.spec.heap_per_task * self.spec.slots_per_node
-        )
-        receive = ReceiveManager(sim, partition_nodes, cache_budget)
-        barrier = DynamicBarrier(sim)
-        pending_deliveries: List = []
-        first_start_event = sim.event()
+        try:
+            if not splits:
+                data_file = write_task_output(job, hdfs, 0, [], scale)
+                gang.written.append(data_file.path)
+                if not timing.first_task_started:
+                    timing.first_task_started = sim.now
+                timing.shuffle_done = sim.now
+                yield sim.timeout(costs.job_cleanup)
+                check_abort()
+                return
 
-        o_processes = []
-        for index, (node_index, group) in enumerate(groups):
-            if not nonblocking:
-                barrier.register()
-            o_processes.append(
-                sim.spawn(
+            # DataMPI schedules at most one O task per slot (paper §IV-D:
+            # "the number of O tasks is based on the number of input splits
+            # and less than the maximum number of executing slots"); each O
+            # task consumes several splits, so there are no task waves.
+            groups = _group_splits(splits, len(workers), self.spec.slots_per_node)
+            groups = [(remap(node_index), group) for node_index, group in groups]
+            num_o = len(groups)
+            timing.num_maps = num_o
+            num_reducers = decide_num_reducers(
+                job, num_o, total_bytes, conf, is_last, self.spec.total_slots
+            )
+            timing.num_reducers = num_reducers
+            partition_nodes = [
+                workers[remap(p % len(workers))] for p in range(num_reducers)
+            ]
+            # the A-side processes' share of the heap caches received
+            # partitions; beyond it, buffers spill to local disk (Fig 8 left)
+            cache_budget = (
+                mem_used * self.spec.heap_per_task * self.spec.slots_per_node
+            )
+            receive = ReceiveManager(sim, partition_nodes, cache_budget)
+            barrier = DynamicBarrier(sim)
+            pending_deliveries: List = []
+            first_start_event = sim.event()
+
+            o_processes = []
+            for index, (node_index, group) in enumerate(groups):
+                if not nonblocking:
+                    barrier.register()
+                doom = (
+                    injector.attempt_doom(job.job_id, f"o{index}", submission)
+                    if doom_ok else None
+                )
+                proc = sim.spawn(
                     self._o_task(
                         sim, cluster, mpi, job, timing, index, group,
                         node_index, small_tables, num_reducers,
                         receive, barrier, queue_capacity, nonblocking,
                         gc_factor, mem_used, first_start_event,
-                        pending_deliveries, scale, overlap, pipe_in, pipe_out,
+                        pending_deliveries, scale, gang, doom,
+                        overlap, pipe_in, pipe_out,
                     ),
-                    f"{job.job_id}-o{index}",
+                    f"{job.job_id}-s{submission}-o{index}",
                 )
-            )
+                gang.add(proc)
+                o_processes.append(proc)
 
-        yield sim.all_of(o_processes)
-        if pending_deliveries:
-            yield sim.all_of(pending_deliveries)
-        timing.shuffle_done = sim.now  # O phase over: data resident on A side
-        timing.first_task_started = (
-            first_start_event.value if first_start_event.triggered else sim.now
-        )
-        timing.shuffle_logical_bytes = sum(receive.received_bytes)
-
-        if not job.is_map_only:
-            a_processes = [
-                sim.spawn(
-                    self._a_task(
-                        sim, cluster, a_slots, job, timing, partition,
-                        partition_nodes[partition].node_id - 1, small_tables,
-                        receive, gc_factor, scale, pipe_out,
-                    ),
-                    f"{job.job_id}-a{partition}",
+            yield sim.all_of(o_processes)
+            if pending_deliveries and not gang.tripped:
+                yield sim.all_of(pending_deliveries)
+            check_abort()
+            timing.shuffle_done = sim.now  # O phase over: data on the A side
+            if not timing.first_task_started:
+                timing.first_task_started = (
+                    first_start_event.value if first_start_event.triggered
+                    else sim.now
                 )
-                for partition in range(num_reducers)
-            ]
-            yield sim.all_of(a_processes)
+            timing.shuffle_logical_bytes = sum(receive.received_bytes)
 
-        # fault injection: unlike MapReduce's per-task retry, a failed task
-        # aborts the whole MPI communicator — mpidrun re-runs the job (the
-        # fault-tolerance cost of the MPI substrate)
-        failure_rate = conf.get_float(FAILURE_RATE, 0.0)
-        if failure_rate > 0:
-            import random
+            if not job.is_map_only:
+                a_processes = []
+                for partition in range(num_reducers):
+                    doom = (
+                        injector.attempt_doom(job.job_id, f"a{partition}",
+                                              submission)
+                        if doom_ok else None
+                    )
+                    proc = sim.spawn(
+                        self._a_task(
+                            sim, cluster, a_slots, job, timing, partition,
+                            partition_nodes[partition].node_id - 1,
+                            small_tables, receive, gc_factor, scale,
+                            gang, doom, pipe_out,
+                        ),
+                        f"{job.job_id}-s{submission}-a{partition}",
+                    )
+                    gang.add(proc)
+                    a_processes.append(proc)
+                yield sim.all_of(a_processes)
+                check_abort()
 
-            rng = random.Random(f"fail:{job.job_id}")
-            job_fail_probability = 1.0 - (1.0 - failure_rate) ** (num_o + num_reducers)
-            if rng.random() < job_fail_probability:
-                wasted_fraction = rng.uniform(0.2, 0.8)
-                elapsed = sim.now - timing.submitted
-                yield sim.timeout(
-                    wasted_fraction * elapsed
-                    + costs.mpidrun_spawn
-                    + costs.process_launch
-                )
-
-        yield sim.timeout(costs.job_cleanup)
-        for worker in workers:
-            worker.memory.free(process_heap)
-        timing.finished = sim.now
-        close_job_span(timing)
-        record_job_metrics(self.name, timing, self.spec.total_slots)
-        return timing
+            yield sim.timeout(costs.job_cleanup)
+            check_abort()
+        finally:
+            for worker in attempt_workers:
+                worker.memory.free(process_heap)
 
     # -- O task ----------------------------------------------------------------------
     def _o_task(self, sim: Simulator, cluster: Cluster, mpi: SimulatedMPI,
@@ -362,9 +514,9 @@ class DataMPIEngine(Engine):
                 num_reducers: int, receive: ReceiveManager,
                 barrier: DynamicBarrier, queue_capacity: int, nonblocking: bool,
                 gc_factor: float, mem_used: float, first_start_event,
-                pending_deliveries: List, job_scale: float,
-                overlap: bool = True, pipe_in: bool = False,
-                pipe_out: bool = False):
+                pending_deliveries: List, job_scale: float, gang: _Gang,
+                doom: Optional[float], overlap: bool = True,
+                pipe_in: bool = False, pipe_out: bool = False):
         costs = self.costs
         node = cluster.workers[node_index]
         task = TaskTiming(task_id=f"o{index}", kind="o", node=node_index,
@@ -372,16 +524,42 @@ class DataMPIEngine(Engine):
         timing.tasks.append(task)
         open_task_span(timing, task)
 
-        yield node.slots.acquire()
+        acquired = node.slots.acquire()
+        held_slot = False
         queue = SendQueue(sim, queue_capacity)
         sender_done = None
         sender_started = False
         output_rows: List = []
         try:
+            yield acquired
+            held_slot = True
             yield from node.compute(costs.task_setup)
             task.started = sim.now
             if not first_start_event.triggered:
                 first_start_event.trigger(sim.now)
+
+            if doom is not None:
+                # injected rank failure: burn a doom-fraction of the first
+                # split's work, then poison the communicator — there is no
+                # task-granular recovery in the MPI substrate
+                rows0, bytes0 = scan_split(group[0])
+                partial = bytes0 * doom
+                if not pipe_in:
+                    yield from self._charge_split_read(
+                        cluster, node, node_index, group[0], partial
+                    )
+                yield from node.compute(
+                    partial / MB * costs.cpu_map_ms_per_mb * gc_factor / 1000.0
+                )
+                timing.failed_attempts += 1
+                get_metrics().counter("cluster.tasks.failed").add(1)
+                if task.span is not None:
+                    task.span.add_event("injected-failure", sim.now,
+                                        doom=doom, node=node_index)
+                task.finished = sim.now
+                close_task_span(task)
+                gang.trip(("task-failure", task.task_id))
+                return
 
             held: List[SendBuffer] = []  # overlap disabled: defer all sends
             for tagged in group:
@@ -389,16 +567,15 @@ class DataMPIEngine(Engine):
                 if nonblocking and not job.is_map_only and not sender_started:
                     sender_done = sim.spawn(
                         self._sender_thread(
-                            sim, mpi, node, queue, receive, pending_deliveries, task,
+                            sim, mpi, node, queue, receive, pending_deliveries,
+                            task, gang,
                         ),
                         f"{job.job_id}-o{index}-send",
                     )
+                    gang.add(sender_done)
                     sender_started = True
 
                 rows, bytes_to_read = scan_split(tagged)
-                local = node_index in [
-                    h % len(cluster.workers) for h in tagged.split.hosts
-                ]
                 spl = SendPartitionList(
                     max(1, num_reducers),
                     self._partition_buffer_bytes(mem_used) / max(scale, 1e-9),
@@ -415,14 +592,10 @@ class DataMPIEngine(Engine):
                 for batch_rows, batch_bytes in _make_batches(rows, bytes_to_read, costs):
                     if pipe_in:
                         pass  # DAG stage: input is already resident in memory
-                    elif local:
-                        yield from node.disk_read(batch_bytes)
                     else:
-                        source = cluster.workers[
-                            tagged.split.hosts[0] % len(cluster.workers)
-                        ]
-                        yield from source.disk_read(batch_bytes)
-                        yield from cluster.network_transfer(source, node, batch_bytes)
+                        yield from self._charge_split_read(
+                            cluster, node, node_index, tagged, batch_bytes
+                        )
                     cpu_ms = batch_bytes / MB * costs.cpu_map_ms_per_mb
                     if orc:
                         cpu_ms += batch_bytes / MB * costs.cpu_orc_decode_ms_per_mb
@@ -464,14 +637,27 @@ class DataMPIEngine(Engine):
                     job, self.hdfs, index, output_rows, job_scale,
                     writer_node=node_index,
                 )
+                gang.written.append(data_file.path)
                 if not pipe_out:
                     yield from self._hdfs_write(cluster, node, data_file)
+        except Interrupt as interrupt:
+            # another rank poisoned the communicator (or our node died):
+            # stop mid-flight; resources unwind in the finally below
+            if task.span is not None:
+                task.span.add_event("aborted", sim.now,
+                                    cause=str(interrupt.cause))
+            task.finished = sim.now
+            close_task_span(task)
+            return
         finally:
             if not nonblocking:
                 barrier.deregister()
             if sender_started:
                 queue.put(_SENTINEL)  # stop the sender thread
-            node.slots.release()
+            if held_slot:
+                node.slots.release()
+            else:
+                node.slots.cancel_acquire(acquired)
         if sender_done is not None:
             yield sender_done
         task.finished = sim.now
@@ -483,6 +669,16 @@ class DataMPIEngine(Engine):
                 sends=len(task.send_events), node=node_index,
             ).finish(sim.now)
         close_task_span(task)
+
+    def _charge_split_read(self, cluster: Cluster, node, node_index: int,
+                           tagged: TaggedSplit, nbytes: float):
+        source_index = pick_read_source(cluster, tagged, node_index)
+        if source_index is None:
+            yield from node.disk_read(nbytes)
+        else:
+            source = cluster.workers[source_index]
+            yield from source.disk_read(nbytes)
+            yield from cluster.network_transfer(source, node, nbytes)
 
     def _emit_buffers(self, sim, mpi, node, buffers: List[SendBuffer],
                       queue: SendQueue, receive: ReceiveManager,
@@ -518,7 +714,7 @@ class DataMPIEngine(Engine):
 
     def _sender_thread(self, sim, mpi, node, queue: SendQueue,
                        receive: ReceiveManager, pending_deliveries: List,
-                       task: TaskTiming):
+                       task: TaskTiming, gang: _Gang):
         """Non-blocking shuffle engine: drains the send queue, issues
         MPI_Isend per buffer and tracks the cached requests."""
         while True:
@@ -533,6 +729,7 @@ class DataMPIEngine(Engine):
                 self._deliver_after(request, queue, receive, buffer),
                 f"{task.task_id}-dlv",
             )
+            gang.add(delivery)
             pending_deliveries.append(delivery)
 
     @staticmethod
@@ -546,7 +743,8 @@ class DataMPIEngine(Engine):
     def _a_task(self, sim: Simulator, cluster: Cluster, a_slots: List[SlotPool],
                 job: MRJob, timing: JobTiming, partition: int, node_index: int,
                 small_tables, receive: ReceiveManager, gc_factor: float,
-                scale: float, pipe_out: bool = False):
+                scale: float, gang: _Gang, doom: Optional[float],
+                pipe_out: bool = False):
         costs = self.costs
         node = cluster.workers[node_index]
         task = TaskTiming(task_id=f"a{partition}", kind="a", node=node_index,
@@ -554,12 +752,31 @@ class DataMPIEngine(Engine):
         timing.tasks.append(task)
         open_task_span(timing, task)
 
-        yield a_slots[node_index].acquire()
+        acquired = a_slots[node_index].acquire()
+        held_slot = False
         try:
+            yield acquired
+            held_slot = True
             yield from node.compute(costs.task_setup)
             task.started = sim.now
 
             received = receive.received_bytes[partition]
+            if doom is not None:
+                # injected rank failure mid-merge: the whole job dies with it
+                yield from node.compute(
+                    received / MB * costs.cpu_sort_ms_per_mb * gc_factor
+                    * doom / 1000.0
+                )
+                timing.failed_attempts += 1
+                get_metrics().counter("cluster.tasks.failed").add(1)
+                if task.span is not None:
+                    task.span.add_event("injected-failure", sim.now,
+                                        doom=doom, node=node_index)
+                task.finished = sim.now
+                close_task_span(task)
+                gang.trip(("task-failure", task.task_id))
+                return
+
             spilled = receive.spilled_bytes[partition]
             if spilled > 0:
                 spill_span = (
@@ -585,14 +802,25 @@ class DataMPIEngine(Engine):
                 job, self.hdfs, partition, output_rows, scale,
                 writer_node=node_index,
             )
+            gang.written.append(data_file.path)
             if not pipe_out:
                 # DAG mode skips materializing the stage boundary to HDFS:
                 # the next stage's O tasks consume these rows in memory
                 yield from self._hdfs_write(cluster, node, data_file)
             receive.release_partition(partition)
             task.kv_bytes = received
+        except Interrupt as interrupt:
+            if task.span is not None:
+                task.span.add_event("aborted", sim.now,
+                                    cause=str(interrupt.cause))
+            task.finished = sim.now
+            close_task_span(task)
+            return
         finally:
-            a_slots[node_index].release()
+            if held_slot:
+                a_slots[node_index].release()
+            else:
+                a_slots[node_index].cancel_acquire(acquired)
         task.finished = sim.now
         close_task_span(task)
 

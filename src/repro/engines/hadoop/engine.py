@@ -12,6 +12,14 @@ Models exactly the behaviours the paper contrasts with DataMPI:
   reducers launch after a slow-start fraction of maps are done.
 * **Separate map/reduce slots** — 4 + 4 per node, as configured on the
   paper's testbed.
+* **Task-granular fault tolerance** — the property the paper credits to
+  MapReduce (§I, §VI).  Every map/reduce runs as a chain of *attempts*:
+  a failed or crash-interrupted attempt is torn down (slot released,
+  heap freed, partial output discarded) and re-executed, preferably
+  elsewhere; completed map output lost with its node is recomputed;
+  straggling maps get speculative backup attempts; nodes that keep
+  failing attempts are blacklisted for the rest of the job.  Faults
+  arrive through :class:`repro.simulate.faults.FaultInjector`.
 
 The functional work (operator pipelines, partition/sort/group/reduce) is
 the shared code in :mod:`repro.engines.base`; this module adds *when*
@@ -21,9 +29,15 @@ and *at what cost* through the discrete-event simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.common.config import Configuration, FAILURE_RATE
+from repro.common.config import (
+    BLACKLIST_THRESHOLD,
+    Configuration,
+    SPECULATIVE_EXECUTION,
+    SPECULATIVE_SLOWDOWN,
+    TASK_MAX_ATTEMPTS,
+)
 from repro.common.kv import KeyValue
 from repro.common.units import MB
 from repro.engines.base import (
@@ -43,6 +57,7 @@ from repro.engines.base import (
     load_broadcast_tables,
     open_job_span,
     open_task_span,
+    pick_read_source,
     record_job_metrics,
     run_reducer_functionally,
     scan_split,
@@ -52,7 +67,16 @@ from repro.exec.mapper import ExecMapper
 from repro.exec.operators import Collector
 from repro.obs import Tracer, get_metrics
 from repro.plan.physical import MRJob, PhysicalPlan
-from repro.simulate import Cluster, ClusterSpec, MetricsSampler, Simulator, SlotPool
+from repro.simulate import (
+    Cluster,
+    ClusterSpec,
+    FaultInjector,
+    FaultPlan,
+    Interrupt,
+    MetricsSampler,
+    Simulator,
+    SlotPool,
+)
 from repro.storage.hdfs import HDFS
 
 
@@ -79,6 +103,12 @@ class HadoopCosts:
     cpu_compress_ms_per_mb: float = 4.0
     cpu_decompress_ms_per_mb: float = 1.5
     parallel_copies: int = 5  # mapred.reduce.parallel.copies
+    speculative_check_seconds: float = 5.0  # straggler-watch polling period
+
+
+DEFAULT_MAX_TASK_ATTEMPTS = 4  # mapred.map.max.attempts
+DEFAULT_BLACKLIST_FAILURES = 3  # mapred.max.tracker.failures (per job)
+DEFAULT_SPECULATIVE_SLOWDOWN = 1.5  # lateness multiple that triggers a backup
 
 
 class _MapOutputCollector(Collector):
@@ -96,6 +126,30 @@ class _MapOutputCollector(Collector):
         self.total_bytes += size
 
 
+@dataclass
+class _FaultContext:
+    """Per-job recovery policy: attempt caps, blacklist, speculation."""
+
+    injector: FaultInjector
+    max_attempts: int = DEFAULT_MAX_TASK_ATTEMPTS
+    blacklist_threshold: int = DEFAULT_BLACKLIST_FAILURES
+    speculate: bool = False
+    spec_slowdown: float = DEFAULT_SPECULATIVE_SLOWDOWN
+    spec_interval: float = 5.0
+    blacklist: Set[int] = field(default_factory=set)
+    failures_by_node: Dict[int, int] = field(default_factory=dict)
+
+    def record_failure(self, node_index: int, timing: JobTiming) -> None:
+        timing.failed_attempts += 1
+        get_metrics().counter("cluster.tasks.failed").add(1)
+        count = self.failures_by_node.get(node_index, 0) + 1
+        self.failures_by_node[node_index] = count
+        if count >= self.blacklist_threshold and node_index not in self.blacklist:
+            self.blacklist.add(node_index)
+            get_metrics().counter("hadoop.nodes.blacklisted").add(1)
+            get_metrics().gauge("hadoop.blacklist.size").set(len(self.blacklist))
+
+
 class _JobState:
     """Mutable coordination state shared by a job's task processes."""
 
@@ -104,23 +158,47 @@ class _JobState:
         self.maps_done = 0
         self.num_maps = num_maps
         self.num_reducers = num_reducers
-        # map_index -> (node, collector, scale); filled as maps finish
+        # map_index -> (node, collector, scale); filled as maps finish,
+        # entries removed again when the hosting node dies (lost output)
         self.map_outputs: Dict[int, Tuple[int, _MapOutputCollector, float]] = {}
-        self.map_completion_events: List = []  # one Event per map
+        self.map_completion_events: List = []  # one Event per map (replaced on loss)
         self.slowstart_event = sim.event()
         self.all_maps_event = sim.event()
         self.last_copy_done = 0.0
         self.compress_ratio = 1.0  # <1 when mapred.compress.map.output
+        self.map_task_records: Dict[int, TaskTiming] = {}
+        self.map_durations: List[float] = []  # successful runs, for speculation
 
     def map_finished(self, map_index: int, node: int,
                      collector: _MapOutputCollector, scale: float) -> None:
         self.map_outputs[map_index] = (node, collector, scale)
         self.maps_done += 1
-        self.map_completion_events[map_index].trigger(None)
+        event = self.map_completion_events[map_index]
+        if not event.triggered:
+            event.trigger(None)
         if not self.slowstart_event.triggered:
             self.slowstart_event.trigger(None)
         if self.maps_done == self.num_maps and not self.all_maps_event.triggered:
             self.all_maps_event.trigger(None)
+
+    def invalidate_map(self, map_index: int) -> bool:
+        """Forget a completed map whose local output died with its node.
+
+        Installs a fresh completion event; fetchers re-check
+        ``map_outputs`` membership, never just event state, so stale
+        triggers from the old event are harmless.
+        """
+        if map_index not in self.map_outputs:
+            return False
+        del self.map_outputs[map_index]
+        self.maps_done -= 1
+        self.map_completion_events[map_index] = self.sim.event()
+        return True
+
+    def mean_map_duration(self) -> Optional[float]:
+        if not self.map_durations:
+            return None
+        return sum(self.map_durations) / len(self.map_durations)
 
 
 class HadoopEngine(Engine):
@@ -149,6 +227,11 @@ class HadoopEngine(Engine):
         tracer = tracer or Tracer()
         tracer.set_clock(lambda: sim.now)
         cluster = Cluster(sim, self.spec, metrics=get_metrics())
+        injector = FaultInjector(
+            sim, cluster, FaultPlan.from_conf(conf),
+            tracer=tracer, metrics=get_metrics(),
+        )
+        injector.start()
         reduce_slots = [
             SlotPool(sim, self.spec.slots_per_node, f"{node.name}.rslots")
             for node in cluster.workers
@@ -162,15 +245,22 @@ class HadoopEngine(Engine):
             for index, job in enumerate(plan.jobs):
                 is_last = index == len(plan.jobs) - 1
                 timing = yield from self._run_job(
-                    sim, cluster, reduce_slots, job, conf, is_last, tracer
+                    sim, cluster, reduce_slots, job, conf, is_last, tracer,
+                    injector,
                 )
                 timings.append(timing)
 
         sim.spawn(driver(), "hive-driver")
-        sim.run()
-        if sampler:
-            sampler.stop()
+        try:
+            sim.run()
+        finally:
+            if sampler:
+                sampler.stop()
+            injector.close()
         rows = final_sorted_rows(plan, self.hdfs)
+        spans = [timing.span for timing in timings if timing.span is not None]
+        if injector.span is not None:
+            spans.append(injector.span)
         return PlanResult(
             rows=rows,
             schema=plan.output_schema,
@@ -178,13 +268,15 @@ class HadoopEngine(Engine):
             total_seconds=sim.now,
             engine=self.name,
             metrics=sampler.samples if sampler else [],
-            spans=[timing.span for timing in timings if timing.span is not None],
+            spans=spans,
+            fault_events=list(injector.events),
         )
 
     # -- job execution -----------------------------------------------------------
     def _run_job(self, sim: Simulator, cluster: Cluster,
                  reduce_slots: List[SlotPool], job: MRJob,
-                 conf: Configuration, is_last: bool, tracer: Tracer):
+                 conf: Configuration, is_last: bool, tracer: Tracer,
+                 injector: FaultInjector):
         costs = self.costs
         hdfs = self.hdfs
         workers = cluster.workers
@@ -202,6 +294,17 @@ class HadoopEngine(Engine):
             num_reducers=num_reducers,
         )
         timing.span = open_job_span(tracer, self.name, job, sim.now)
+        ctx = _FaultContext(
+            injector=injector,
+            max_attempts=max(1, conf.get_int(TASK_MAX_ATTEMPTS,
+                                             DEFAULT_MAX_TASK_ATTEMPTS)),
+            blacklist_threshold=max(1, conf.get_int(BLACKLIST_THRESHOLD,
+                                                    DEFAULT_BLACKLIST_FAILURES)),
+            speculate=conf.get_bool(SPECULATIVE_EXECUTION, False),
+            spec_slowdown=conf.get_float(SPECULATIVE_SLOWDOWN,
+                                         DEFAULT_SPECULATIVE_SLOWDOWN),
+            spec_interval=costs.speculative_check_seconds,
+        )
 
         # JobClient -> JobTracker staging
         yield sim.timeout(costs.job_submit)
@@ -221,7 +324,6 @@ class HadoopEngine(Engine):
         assignment = assign_splits_locality(splits, len(workers))
         first_start_event = sim.event()
 
-        failure_rate = conf.get_float(FAILURE_RATE, 0.0)
         compress = conf.get_bool("mapred.compress.map.output", False)
         state.compress_ratio = self.costs.compress_ratio if compress else 1.0
         map_processes = [
@@ -229,7 +331,7 @@ class HadoopEngine(Engine):
                 self._map_task(
                     sim, cluster, job, state, timing, index, tagged,
                     assignment[index], small_tables, num_reducers,
-                    first_start_event, scale, failure_rate,
+                    first_start_event, scale, ctx,
                 ),
                 f"{job.job_id}-m{index}",
             )
@@ -244,13 +346,45 @@ class HadoopEngine(Engine):
                     sim.spawn(
                         self._reduce_task(
                             sim, cluster, reduce_slots, job, state, timing,
-                            partition, node_index, small_tables, scale,
+                            partition, node_index, small_tables, scale, ctx,
                         ),
                         f"{job.job_id}-r{partition}",
                     )
                 )
 
-        yield sim.all_of(map_processes + reduce_processes)
+        # a dead node takes the map outputs on its local disks with it:
+        # the JobTracker re-executes those completed maps (shuffle jobs
+        # only — map-only output already sits in replicated HDFS)
+        respawned: List = []
+
+        def on_crash(worker_index: int) -> None:
+            if job.is_map_only:
+                return
+            for map_index, entry in sorted(state.map_outputs.items()):
+                if entry[0] != worker_index:
+                    continue
+                state.invalidate_map(map_index)
+                get_metrics().counter("hadoop.maps.lost").add(1)
+                respawned.append(
+                    sim.spawn(
+                        self._map_task(
+                            sim, cluster, job, state, timing, map_index,
+                            splits[map_index], assignment[map_index],
+                            small_tables, num_reducers, first_start_event,
+                            scale, ctx, task=state.map_task_records[map_index],
+                        ),
+                        f"{job.job_id}-m{map_index}-rerun",
+                    )
+                )
+
+        injector.subscribe_crash(on_crash)
+        pending = map_processes + reduce_processes
+        while pending:
+            yield sim.all_of(pending)
+            pending = respawned[:]
+            del respawned[:]
+        injector.unsubscribe_crash(on_crash)
+
         if job.is_map_only:
             timing.shuffle_done = sim.now
         else:
@@ -267,22 +401,123 @@ class HadoopEngine(Engine):
         record_job_metrics(self.name, timing, self.spec.total_slots)
         return timing
 
+    # -- scheduling ---------------------------------------------------------------
+    def _pick_node(self, ctx: _FaultContext, cluster: Cluster,
+                   preferred: int, salt: int) -> int:
+        """Deterministic placement that avoids dead and blacklisted
+        nodes; the first execution keeps its locality-preferred node."""
+        live = [i for i, node in enumerate(cluster.workers) if node.alive]
+        candidates = [i for i in live if i not in ctx.blacklist] or live
+        if not candidates:
+            return preferred  # whole cluster down: degenerate fallback
+        if salt == 0 and preferred in candidates:
+            return preferred
+        return candidates[(preferred + salt) % len(candidates)]
+
+    def _charge_split_read(self, cluster: Cluster, node, node_index: int,
+                           tagged: TaggedSplit, nbytes: float):
+        source_index = pick_read_source(cluster, tagged, node_index)
+        if source_index is None:
+            yield from node.disk_read(nbytes)
+        else:
+            source = cluster.workers[source_index]
+            yield from source.disk_read(nbytes)
+            yield from cluster.network_transfer(source, node, nbytes)
+
     # -- map task -------------------------------------------------------------------
     def _map_task(self, sim: Simulator, cluster: Cluster, job: MRJob,
                   state: _JobState, timing: JobTiming, index: int,
-                  tagged: TaggedSplit, node_index: int, small_tables,
+                  tagged: TaggedSplit, preferred: int, small_tables,
                   num_reducers: int, first_start_event, job_scale: float,
-                  failure_rate: float = 0.0):
+                  ctx: _FaultContext, task: Optional[TaskTiming] = None):
+        """Coordinator for one logical map: runs attempts (with optional
+        speculative backups) until one succeeds, then publishes the map
+        output."""
+        fresh = task is None
+        if fresh:
+            task = TaskTiming(task_id=f"m{index}", kind="map", node=preferred,
+                              scheduled=sim.now)
+            timing.tasks.append(task)
+            open_task_span(timing, task)
+            state.map_task_records[index] = task
+        elif task.span is not None:
+            task.span.add_event("re-execute", sim.now, reason="lost-map-output")
+
+        commit_cell: Dict[str, bool] = {}
+        attempt = 0
+        while True:
+            attempt += 1
+            if not (fresh and attempt == 1):
+                task.attempts += 1
+            execution = task.attempts
+            chosen = self._pick_node(ctx, cluster, preferred,
+                                     0 if attempt == 1 else attempt)
+            doom = None
+            if attempt < ctx.max_attempts:  # the last attempt always runs clean
+                doom = ctx.injector.attempt_doom(job.job_id, task.task_id, execution)
+            proc = sim.spawn(
+                self._map_attempt(
+                    sim, cluster, job, state, task, tagged, chosen,
+                    small_tables, num_reducers, first_start_event, job_scale,
+                    index, doom, commit_cell,
+                ),
+                f"{job.job_id}-{task.task_id}-e{execution}",
+            )
+            ctx.injector.register(chosen, proc)
+            if ctx.speculate and doom is None:
+                result, winner = yield from self._speculate(
+                    sim, cluster, state, ctx, task, proc, chosen, index,
+                    lambda backup_node: self._map_attempt(
+                        sim, cluster, job, state, task, tagged, backup_node,
+                        small_tables, num_reducers, first_start_event,
+                        job_scale, index, None, commit_cell,
+                    ),
+                    f"{job.job_id}-{task.task_id}",
+                )
+                if winner is not None:
+                    chosen = winner
+            else:
+                result = yield proc
+                ctx.injector.unregister(chosen, proc)
+            outcome = result[0] if isinstance(result, tuple) else "killed"
+            if outcome == "ok":
+                _tag, collector, map_result = result
+                task.node = chosen
+                task.rows_read = map_result.rows_read
+                task.kv_pairs = map_result.kv_pairs
+                task.kv_bytes = map_result.kv_bytes * tagged.split.scale
+                task.finished = sim.now
+                close_task_span(task)
+                state.map_durations.append(task.finished - task.scheduled)
+                state.map_finished(index, chosen, collector, tagged.split.scale)
+                return
+            ctx.record_failure(chosen, timing)
+            if task.span is not None:
+                task.span.add_event("attempt-failed", sim.now,
+                                    outcome=outcome, node=chosen,
+                                    execution=execution)
+
+    def _map_attempt(self, sim: Simulator, cluster: Cluster, job: MRJob,
+                     state: _JobState, task: TaskTiming, tagged: TaggedSplit,
+                     node_index: int, small_tables, num_reducers: int,
+                     first_start_event, job_scale: float, index: int,
+                     doom: Optional[float], commit_cell: Dict[str, bool]):
+        """One map attempt; returns ("ok", collector, result) or
+        ("failed"|"killed"|"lost-race", cause).  All resources it holds
+        are released on every exit path, interrupt included."""
         costs = self.costs
         node = cluster.workers[node_index]
-        task = TaskTiming(task_id=f"m{index}", kind="map", node=node_index,
-                          scheduled=sim.now)
-        timing.tasks.append(task)
-        open_task_span(timing, task)
-
-        yield node.slots.acquire()
-        node.memory.allocate(self.spec.heap_per_task)  # child JVM footprint
+        acquired = node.slots.acquire()
+        held_slot = False
+        held_heap = 0.0
+        committed = False
+        collector = None
+        result = None
         try:
+            yield acquired
+            held_slot = True
+            node.memory.allocate(self.spec.heap_per_task)  # child JVM footprint
+            held_heap = self.spec.heap_per_task
             # heartbeat pickup + JVM spawn
             yield sim.timeout(costs.schedule_delay)
             yield from node.compute(costs.task_jvm_start)
@@ -291,28 +526,18 @@ class HadoopEngine(Engine):
                 first_start_event.trigger(sim.now)
 
             rows, bytes_to_read = scan_split(tagged)
-            local = node_index in [h % len(cluster.workers) for h in tagged.split.hosts]
 
-            # fault injection: failed attempts burn real (partial) work and
-            # pay the re-launch machinery; MapReduce retries per task (its
-            # fault-tolerance advantage over plain MPI jobs)
-            for fraction in _failed_attempt_fractions(
-                failure_rate, f"{job.job_id}-m{index}"
-            ):
-                partial = bytes_to_read * fraction
-                if local:
-                    yield from node.disk_read(partial)
-                else:
-                    source = cluster.workers[
-                        tagged.split.hosts[0] % len(cluster.workers)
-                    ]
-                    yield from source.disk_read(partial)
-                    yield from cluster.network_transfer(source, node, partial)
+            if doom is not None:
+                # injected failure: burn the work done up to the doom point,
+                # then die — the coordinator re-launches elsewhere
+                partial = bytes_to_read * doom
+                yield from self._charge_split_read(cluster, node, node_index,
+                                                   tagged, partial)
                 yield from node.compute(
                     partial / MB * costs.cpu_map_ms_per_mb / 1000.0
                 )
-                yield sim.timeout(costs.schedule_delay)  # TaskTracker re-run
-                yield from node.compute(costs.task_jvm_start)
+                return ("failed", "injected")
+
             collector = _MapOutputCollector(num_reducers)
             mapper = ExecMapper(
                 tagged.operators,
@@ -328,12 +553,8 @@ class HadoopEngine(Engine):
             spills = 0
             for batch_rows, batch_bytes in batches:
                 # read this chunk (locally or from a replica over the net)
-                if local:
-                    yield from node.disk_read(batch_bytes)
-                else:
-                    source = cluster.workers[tagged.split.hosts[0] % len(cluster.workers)]
-                    yield from source.disk_read(batch_bytes)
-                    yield from cluster.network_transfer(source, node, batch_bytes)
+                yield from self._charge_split_read(cluster, node, node_index,
+                                                   tagged, batch_bytes)
                 cpu_ms = batch_bytes / MB * costs.cpu_map_ms_per_mb
                 if orc:
                     cpu_ms += batch_bytes / MB * costs.cpu_orc_decode_ms_per_mb
@@ -377,38 +598,157 @@ class HadoopEngine(Engine):
                 yield from node.disk_write(emitted * ratio)
 
             if job.is_map_only:
+                # commit point: exactly one attempt may write the part-file
+                # (speculative backups lose the race here)
+                if commit_cell.get("done"):
+                    return ("lost-race", None)
+                commit_cell["done"] = True
                 data_file = write_task_output(
                     job, self.hdfs, index, result.output_rows, job_scale,
                     writer_node=node_index,
                 )
+                committed = True
                 yield from self._hdfs_write(cluster, node, data_file)
 
-            task.rows_read = result.rows_read
-            task.kv_pairs = result.kv_pairs
-            task.kv_bytes = result.kv_bytes * scale
+            return ("ok", collector, result)
+        except Interrupt as interrupt:
+            if committed:
+                # output already durable in replicated HDFS — the task
+                # succeeded even though its node just died
+                return ("ok", collector, result)
+            return ("killed", interrupt.cause)
         finally:
-            node.memory.free(self.spec.heap_per_task)
-            node.slots.release()
-        task.finished = sim.now
-        close_task_span(task)
-        state.map_finished(index, node_index, collector, tagged.split.scale)
+            if held_heap:
+                node.memory.free(held_heap)
+            if held_slot:
+                node.slots.release()
+            else:
+                node.slots.cancel_acquire(acquired)
+
+    # -- speculative execution ---------------------------------------------------
+    def _speculate(self, sim: Simulator, cluster: Cluster, state: _JobState,
+                   ctx: _FaultContext, task: TaskTiming, primary,
+                   primary_node: int, salt: int, make_attempt, name: str):
+        """Watch a running attempt; once it lags the fleet, launch a
+        backup on another node and keep whichever finishes first.
+        Returns (result, winner_node or None for the primary)."""
+        backup = None
+        backup_node = None
+        started = sim.now
+        while True:
+            if backup is None:
+                yield sim.any_of([primary, sim.timeout(ctx.spec_interval)])
+                if primary.triggered:
+                    ctx.injector.unregister(primary_node, primary)
+                    return primary.value, None
+                estimate = state.mean_map_duration()
+                if estimate is None:
+                    continue
+                if (sim.now - started) <= ctx.spec_slowdown * estimate:
+                    continue
+                candidates = [
+                    i for i in ctx.injector.live_worker_indices()
+                    if i != primary_node and i not in ctx.blacklist
+                ]
+                if not candidates:
+                    continue
+                backup_node = candidates[(primary_node + salt) % len(candidates)]
+                backup = sim.spawn(make_attempt(backup_node), f"{name}-spec")
+                ctx.injector.register(backup_node, backup)
+                task.attempts += 1
+                get_metrics().counter("hadoop.tasks.speculative").add(1)
+                if task.span is not None:
+                    task.span.add_event("speculative-launch", sim.now,
+                                        node=backup_node)
+                continue
+            yield sim.any_of([primary, backup])
+            if primary.triggered:
+                first, first_node = primary, primary_node
+                second, second_node = backup, backup_node
+            else:
+                first, first_node = backup, backup_node
+                second, second_node = primary, primary_node
+            value = first.value
+            ctx.injector.unregister(first_node, first)
+            if isinstance(value, tuple) and value[0] == "ok":
+                if second.alive:
+                    second.interrupt("speculation-lost")
+                    yield second
+                ctx.injector.unregister(second_node, second)
+                if first is backup:
+                    task.speculative = True
+                return value, first_node
+            # the finished one failed: whatever the survivor produces wins
+            value = yield second
+            ctx.injector.unregister(second_node, second)
+            if isinstance(value, tuple) and value[0] == "ok" and second is backup:
+                task.speculative = True
+            return value, second_node
 
     # -- reduce task -----------------------------------------------------------------
     def _reduce_task(self, sim: Simulator, cluster: Cluster,
                      reduce_slots: List[SlotPool], job: MRJob, state: _JobState,
-                     timing: JobTiming, partition: int, node_index: int,
-                     small_tables, scale: float):
-        costs = self.costs
-        node = cluster.workers[node_index]
-        task = TaskTiming(task_id=f"r{partition}", kind="reduce", node=node_index,
+                     timing: JobTiming, partition: int, preferred: int,
+                     small_tables, scale: float, ctx: _FaultContext):
+        """Coordinator for one logical reduce: attempt-level retry, same
+        contract as maps (covers ``repro.failure.rate`` for reduces too)."""
+        task = TaskTiming(task_id=f"r{partition}", kind="reduce", node=preferred,
                           scheduled=sim.now)
         timing.tasks.append(task)
         open_task_span(timing, task)
 
         yield state.slowstart_event  # launch after the first maps complete
-        yield reduce_slots[node_index].acquire()
-        node.memory.allocate(self.spec.heap_per_task)  # reduce JVM footprint
+        commit_cell: Dict[str, bool] = {}
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > 1:
+                task.attempts += 1
+            chosen = self._pick_node(ctx, cluster, preferred,
+                                     0 if attempt == 1 else attempt)
+            doom = None
+            if attempt < ctx.max_attempts:
+                doom = ctx.injector.attempt_doom(job.job_id, task.task_id,
+                                                 task.attempts)
+            proc = sim.spawn(
+                self._reduce_attempt(
+                    sim, cluster, reduce_slots, job, state, task, partition,
+                    chosen, small_tables, scale, doom, commit_cell,
+                ),
+                f"{job.job_id}-{task.task_id}-e{task.attempts}",
+            )
+            ctx.injector.register(chosen, proc)
+            result = yield proc
+            ctx.injector.unregister(chosen, proc)
+            outcome = result[0] if isinstance(result, tuple) else "killed"
+            if outcome == "ok":
+                task.node = chosen
+                task.finished = sim.now
+                close_task_span(task)
+                return
+            ctx.record_failure(chosen, timing)
+            if task.span is not None:
+                task.span.add_event("attempt-failed", sim.now,
+                                    outcome=outcome, node=chosen,
+                                    execution=task.attempts)
+
+    def _reduce_attempt(self, sim: Simulator, cluster: Cluster,
+                        reduce_slots: List[SlotPool], job: MRJob,
+                        state: _JobState, task: TaskTiming, partition: int,
+                        node_index: int, small_tables, scale: float,
+                        doom: Optional[float], commit_cell: Dict[str, bool]):
+        costs = self.costs
+        node = cluster.workers[node_index]
+        acquired = reduce_slots[node_index].acquire()
+        held_slot = False
+        held_heap = 0.0
+        committed = False
+        fetchers: List = []
         try:
+            yield acquired
+            held_slot = True
+            node.memory.allocate(self.spec.heap_per_task)  # reduce JVM footprint
+            held_heap = self.spec.heap_per_task
             yield sim.timeout(costs.schedule_delay)
             yield from node.compute(costs.task_jvm_start)
             task.started = sim.now
@@ -423,11 +763,12 @@ class HadoopEngine(Engine):
             fetch_slots = SlotPool(sim, costs.parallel_copies,
                                    f"{task.task_id}.fetchers")
             copied_cell = [0.0]
+            pairs_by_map: Dict[int, List[KeyValue]] = {}
             fetchers = [
                 sim.spawn(
                     self._fetch_map_output(
                         sim, cluster, state, node, partition, map_index,
-                        fetch_slots, copied_cell,
+                        fetch_slots, copied_cell, pairs_by_map,
                     ),
                     f"{task.task_id}-f{map_index}",
                 )
@@ -440,6 +781,11 @@ class HadoopEngine(Engine):
             if shuffle_span is not None:
                 shuffle_span.finish(sim.now, bytes=copied, maps=state.num_maps)
 
+            if doom is not None:
+                # injected failure during the sort/merge phase: the whole
+                # copy is thrown away and redone by the next attempt
+                return ("failed", "injected")
+
             # merge-sort phase
             if copied > 0:
                 yield from node.compute(copied / MB * costs.cpu_sort_ms_per_mb / 1000.0)
@@ -449,71 +795,80 @@ class HadoopEngine(Engine):
 
             pairs: List[KeyValue] = []
             for map_index in range(state.num_maps):
-                _node, collector, _scale = state.map_outputs[map_index]
-                pairs.extend(collector.partitions[partition])
+                pairs.extend(pairs_by_map.get(map_index, ()))
             output_rows = run_reducer_functionally(job, pairs, small_tables)
 
             yield from node.compute(copied / MB * costs.cpu_reduce_ms_per_mb / 1000.0)
+            if commit_cell.get("done"):
+                return ("lost-race", None)
+            commit_cell["done"] = True
             data_file = write_task_output(
-                job, self.hdfs, partition, output_rows, scale, writer_node=node_index
+                job, self.hdfs, partition, output_rows, scale,
+                writer_node=node_index,
             )
+            committed = True
             yield from self._hdfs_write(cluster, node, data_file)
+            return ("ok",)
+        except Interrupt as interrupt:
+            for fetcher in fetchers:
+                if fetcher.alive:
+                    fetcher.interrupt(interrupt.cause)
+            if committed:
+                return ("ok",)
+            return ("killed", interrupt.cause)
         finally:
-            node.memory.free(self.spec.heap_per_task)
-            reduce_slots[node_index].release()
-        task.finished = sim.now
-        close_task_span(task)
+            if held_heap:
+                node.memory.free(held_heap)
+            if held_slot:
+                reduce_slots[node_index].release()
+            else:
+                reduce_slots[node_index].cancel_acquire(acquired)
 
     def _fetch_map_output(self, sim: Simulator, cluster: Cluster,
                           state: _JobState, node, partition: int,
                           map_index: int, fetch_slots: SlotPool,
-                          copied_cell: List[float]):
+                          copied_cell: List[float],
+                          pairs_by_map: Dict[int, List[KeyValue]]):
         """One fetcher: wait for the map, grab a copier slot, pull the
         partition (disk at the source, network, decompress), spill past
-        the in-memory shuffle budget."""
+        the in-memory shuffle budget.
+
+        Copied data is safe on the reduce side (a map-node death cannot
+        take it back); a death *mid-copy* re-waits for the re-executed
+        map and pulls again."""
         costs = self.costs
-        yield state.map_completion_events[map_index]
-        source_index, collector, map_scale = state.map_outputs[map_index]
-        raw_chunk = collector.partition_bytes[partition] * map_scale
-        chunk = raw_chunk * state.compress_ratio
-        if chunk <= 0:
-            return
-        yield fetch_slots.acquire()
-        try:
-            source = cluster.workers[source_index]
-            yield from source.disk_read(chunk)
-            yield from cluster.network_transfer(source, node, chunk)
-            if state.compress_ratio < 1.0:
-                yield from node.compute(
-                    raw_chunk / MB * costs.cpu_decompress_ms_per_mb / 1000.0
-                )
-            copied_cell[0] += raw_chunk
-            if copied_cell[0] > costs.shuffle_memory_mb * MB:
-                yield from node.disk_write(chunk)  # overflow to disk
-        finally:
-            fetch_slots.release()
+        while True:
+            while map_index not in state.map_outputs:
+                yield state.map_completion_events[map_index]
+            entry = state.map_outputs[map_index]
+            source_index, collector, map_scale = entry
+            raw_chunk = collector.partition_bytes[partition] * map_scale
+            chunk = raw_chunk * state.compress_ratio
+            if chunk <= 0:
+                pairs_by_map[map_index] = list(collector.partitions[partition])
+                return
+            yield fetch_slots.acquire()
+            try:
+                source = cluster.workers[source_index]
+                yield from source.disk_read(chunk)
+                yield from cluster.network_transfer(source, node, chunk)
+                if state.compress_ratio < 1.0:
+                    yield from node.compute(
+                        raw_chunk / MB * costs.cpu_decompress_ms_per_mb / 1000.0
+                    )
+                if state.map_outputs.get(map_index) is not entry:
+                    continue  # source died mid-copy: re-fetch from the rerun
+                pairs_by_map[map_index] = list(collector.partitions[partition])
+                copied_cell[0] += raw_chunk
+                if copied_cell[0] > costs.shuffle_memory_mb * MB:
+                    yield from node.disk_write(chunk)  # overflow to disk
+                return
+            finally:
+                fetch_slots.release()
 
     # -- HDFS write pipeline -------------------------------------------------------
     def _hdfs_write(self, cluster: Cluster, node, data_file):
         yield from hdfs_write_pipeline(cluster, node, data_file)
-
-
-
-_MAX_TASK_ATTEMPTS = 4  # mapred.map.max.attempts
-
-
-def _failed_attempt_fractions(rate: float, seed: str):
-    """Deterministic per-task failure draw: the fractions of work done
-    before each failed attempt died (empty list when nothing fails)."""
-    if rate <= 0:
-        return []
-    import random
-
-    rng = random.Random(f"fail:{seed}")
-    fractions = []
-    while len(fractions) < _MAX_TASK_ATTEMPTS - 1 and rng.random() < rate:
-        fractions.append(rng.uniform(0.1, 0.9))
-    return fractions
 
 
 def _make_batches(rows, total_bytes: float, costs: HadoopCosts):

@@ -12,12 +12,21 @@ Layers:
 * :mod:`repro.simulate.resources` — slot pools, processor-shared bandwidth, memory
 * :mod:`repro.simulate.cluster` — nodes and the cluster topology
 * :mod:`repro.simulate.metrics` — dstat-style 1 Hz utilization sampler
+* :mod:`repro.simulate.faults` — declarative fault plans and the injector
 """
 
 from repro.simulate.events import Simulator, Event, Process, Interrupt
 from repro.simulate.resources import SlotPool, Bandwidth, MemoryAccount
 from repro.simulate.cluster import Node, Cluster, ClusterSpec
 from repro.simulate.metrics import MetricsSampler, ResourceSample
+from repro.simulate.faults import (
+    Degradation,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    NodeCrash,
+    Straggler,
+)
 
 __all__ = [
     "Simulator",
@@ -32,4 +41,10 @@ __all__ = [
     "ClusterSpec",
     "MetricsSampler",
     "ResourceSample",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultEvent",
+    "NodeCrash",
+    "Degradation",
+    "Straggler",
 ]

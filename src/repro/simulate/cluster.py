@@ -62,6 +62,10 @@ class Node:
         self.nic_tx = Bandwidth(sim, spec.nic_bandwidth, f"{self.name}.tx")
         self.nic_rx = Bandwidth(sim, spec.nic_bandwidth, f"{self.name}.rx")
         self.memory = MemoryAccount(spec.memory_per_node, f"{self.name}.mem")
+        # fault-injection state: a dead node schedules no new work, a
+        # straggling node pays `slowdown` times the CPU cost
+        self.alive = True
+        self.slowdown = 1.0
         # instantaneous gauges for the dstat-style sampler
         self.computing = 0
         self.io_waiting = 0
@@ -83,6 +87,7 @@ class Node:
         """Burn CPU for *seconds* of simulated time on this node."""
         if seconds <= 0:
             return
+        seconds *= self.slowdown
         if self.metrics is not None:
             self.metrics.counter("cluster.cpu_seconds").add(seconds)
         self.computing += 1

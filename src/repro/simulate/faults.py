@@ -1,0 +1,381 @@
+"""Declarative, seeded fault injection for the cluster simulation.
+
+The paper's central trade-off (§I, §VI) is that Hive-on-MapReduce
+tolerates faults at task granularity while the MPI substrate buys speed
+with gang-failure semantics.  This module makes that trade-off
+mechanical instead of modeled: a :class:`FaultPlan` declares *what goes
+wrong and when*, and a :class:`FaultInjector` delivers it through the
+event kernel — crashing nodes interrupt every registered task process
+mid-flight (via :meth:`repro.simulate.events.Process.interrupt`),
+degradation windows change link rates, stragglers slow a node's CPU —
+so recovery is something the engines actually have to *do* (release
+slots, free memory, discard partial output, re-execute), not a sleep
+penalty.
+
+Fault-plan grammar (also accepted via ``repro.faults`` / CLI
+``--faults``), clauses separated by ``;``::
+
+    seed:7                     # seed for every probabilistic draw
+    fail:0.05                  # per-attempt task failure probability
+    crash:w2@40                # worker 2 dies at t=40s, stays dead
+    crash:w2@40-90             # ... and recovers at t=90s
+    slow:w3x4@10-200           # worker 3 CPU runs 4x slower in [10,200)
+    slow:w3x4@10               # ... from t=10s onward
+    disk:w1x0.25@5-60          # worker 1 disk at 25% rate in [5,60)
+    nic:w4x0.5@0-100           # worker 4 NIC (both directions) at 50%
+
+Worker indices are 0-based positions in ``cluster.workers`` (the paper's
+testbed: workers 0..6 behind master node0).  Every draw derives its RNG
+from ``(seed, job, task, attempt)`` via :mod:`repro.common.rng`, so runs
+are deterministic and independent of event ordering.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.config import FAILURE_RATE, FAULT_SEED, FAULT_SPEC
+from repro.common.errors import ConfigError
+from repro.common.rng import derive_rng
+from repro.simulate.cluster import Cluster
+from repro.simulate.events import Process, Simulator
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Worker *worker* dies at *at*; optionally rejoins at *recover_at*."""
+
+    worker: int
+    at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ConfigError(f"crash time must be >= 0: {self.at}")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise ConfigError(
+                f"recovery ({self.recover_at}) must follow the crash ({self.at})"
+            )
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Worker *worker*'s *resource* ("disk" or "nic") runs at
+    ``factor`` x nominal rate during [start, end)."""
+
+    worker: int
+    resource: str
+    factor: float
+    start: float
+    end: Optional[float] = None
+
+    def __post_init__(self):
+        if self.resource not in ("disk", "nic"):
+            raise ConfigError(f"unknown degraded resource: {self.resource!r}")
+        if not 0 < self.factor <= 1:
+            raise ConfigError(f"degradation factor must be in (0,1]: {self.factor}")
+        if self.end is not None and self.end <= self.start:
+            raise ConfigError("degradation window must have end > start")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Worker *worker*'s CPU runs *factor* x slower during [start, end)."""
+
+    worker: int
+    factor: float
+    start: float = 0.0
+    end: Optional[float] = None
+
+    def __post_init__(self):
+        if self.factor < 1:
+            raise ConfigError(f"straggler factor must be >= 1: {self.factor}")
+        if self.end is not None and self.end <= self.start:
+            raise ConfigError("straggler window must have end > start")
+
+
+_CLAUSE = re.compile(
+    r"""^(?P<kind>crash|slow|disk|nic)
+         :w(?P<worker>\d+)
+         (?:x(?P<factor>[0-9.]+))?
+         @(?P<start>[0-9.]+)
+         (?:-(?P<end>[0-9.]+))?$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run, declared up front."""
+
+    seed: int = 0
+    task_failure_rate: float = 0.0
+    node_crashes: Tuple[NodeCrash, ...] = ()
+    degradations: Tuple[Degradation, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+
+    def __post_init__(self):
+        if not 0 <= self.task_failure_rate < 1:
+            raise ConfigError(
+                f"task failure rate must be in [0,1): {self.task_failure_rate}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.task_failure_rate == 0.0
+            and not self.node_crashes
+            and not self.degradations
+            and not self.stragglers
+        )
+
+    # -- construction ---------------------------------------------------------
+    @staticmethod
+    def parse(spec: str, seed: int = 0, task_failure_rate: float = 0.0) -> "FaultPlan":
+        """Parse the clause grammar documented at module top."""
+        crashes: List[NodeCrash] = []
+        degradations: List[Degradation] = []
+        stragglers: List[Straggler] = []
+        for raw in re.split(r"[;\n]", spec or ""):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed:"):
+                seed = int(clause[len("seed:"):])
+                continue
+            if clause.startswith("fail:"):
+                task_failure_rate = float(clause[len("fail:"):])
+                continue
+            match = _CLAUSE.match(clause)
+            if match is None:
+                raise ConfigError(f"unparseable fault clause: {clause!r}")
+            kind = match.group("kind")
+            worker = int(match.group("worker"))
+            factor = match.group("factor")
+            start = float(match.group("start"))
+            end = float(match.group("end")) if match.group("end") else None
+            if kind == "crash":
+                if factor is not None:
+                    raise ConfigError(f"crash takes no factor: {clause!r}")
+                crashes.append(NodeCrash(worker, start, recover_at=end))
+            elif kind == "slow":
+                if factor is None:
+                    raise ConfigError(f"slow needs a factor: {clause!r}")
+                stragglers.append(Straggler(worker, float(factor), start, end))
+            else:  # disk | nic
+                if factor is None:
+                    raise ConfigError(f"{kind} needs a factor: {clause!r}")
+                degradations.append(
+                    Degradation(worker, kind, float(factor), start, end)
+                )
+        return FaultPlan(
+            seed=seed,
+            task_failure_rate=task_failure_rate,
+            node_crashes=tuple(crashes),
+            degradations=tuple(degradations),
+            stragglers=tuple(stragglers),
+        )
+
+    @staticmethod
+    def from_conf(conf) -> "FaultPlan":
+        """Build the plan a session asked for: the declarative
+        ``repro.faults`` spec folded together with the legacy scalar
+        ``repro.failure.rate``."""
+        return FaultPlan.parse(
+            conf.get(FAULT_SPEC, "") or "",
+            seed=conf.get_int(FAULT_SEED, 0),
+            task_failure_rate=conf.get_float(FAILURE_RATE, 0.0),
+        )
+
+
+@dataclass
+class FaultEvent:
+    """One fault the injector actually delivered (for ``QueryResult``)."""
+
+    time: float
+    kind: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        out = {"time": self.time, "kind": self.kind}
+        out.update(self.detail)
+        return out
+
+
+class FaultInjector:
+    """Delivers a :class:`FaultPlan` into a live simulation.
+
+    The engines cooperate through a small contract:
+
+    * every task attempt **registers** its :class:`Process` under the
+      worker index it runs on (and unregisters on exit) so a crash can
+      interrupt exactly the work that was on the dead machine;
+    * scheduling consults :meth:`node_alive` and skips dead nodes;
+    * probabilistic per-attempt failures come from :meth:`attempt_doom`,
+      whose draws are seeded per (job, task, attempt) and therefore
+      identical across runs and engines;
+    * engines may :meth:`subscribe_crash` to learn about node loss even
+      when nothing of theirs was running there (the Hadoop job tracker
+      uses this to invalidate completed map output on the dead node).
+
+    All agenda entries are daemon callbacks: an injector never keeps the
+    simulation alive on its own.
+    """
+
+    def __init__(self, sim: Simulator, cluster: Cluster, plan: FaultPlan,
+                 tracer=None, metrics=None):
+        self.sim = sim
+        self.cluster = cluster
+        self.plan = plan
+        self.tracer = tracer
+        self.metrics = metrics
+        self.events: List[FaultEvent] = []
+        self.span = None
+        self._registered: Dict[int, Set[Process]] = {}
+        self._crash_subscribers: List[Callable[[int], None]] = []
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule every planned fault on the simulator agenda."""
+        if self._started:
+            return
+        self._started = True
+        if self.plan.empty:
+            return
+        if self.tracer is not None:
+            self.span = self.tracer.start(
+                "faults", start=self.sim.now, category="faults"
+            )
+        for crash in self.plan.node_crashes:
+            self.sim.call_at(crash.at, self._crash, crash.worker, daemon=True)
+            if crash.recover_at is not None:
+                self.sim.call_at(
+                    crash.recover_at, self._recover, crash.worker, daemon=True
+                )
+        for window in self.plan.degradations:
+            self.sim.call_at(
+                window.start, self._degrade, window, True, daemon=True
+            )
+            if window.end is not None:
+                self.sim.call_at(
+                    window.end, self._degrade, window, False, daemon=True
+                )
+        for straggler in self.plan.stragglers:
+            self.sim.call_at(
+                straggler.start, self._slowdown, straggler.worker,
+                straggler.factor, daemon=True,
+            )
+            if straggler.end is not None:
+                self.sim.call_at(
+                    straggler.end, self._slowdown, straggler.worker, 1.0,
+                    daemon=True,
+                )
+        self._refresh_alive_gauge()
+
+    def close(self) -> None:
+        if self.span is not None and not self.span.closed:
+            self.span.finish(self.sim.now, faults=len(self.events))
+
+    # -- engine contract ------------------------------------------------------
+    def node_alive(self, worker_index: int) -> bool:
+        return self.cluster.workers[worker_index % len(self.cluster.workers)].alive
+
+    def live_worker_indices(self) -> List[int]:
+        return [
+            index for index, node in enumerate(self.cluster.workers) if node.alive
+        ]
+
+    def register(self, worker_index: int, process: Process) -> None:
+        self._registered.setdefault(worker_index, set()).add(process)
+
+    def unregister(self, worker_index: int, process: Process) -> None:
+        self._registered.get(worker_index, set()).discard(process)
+
+    def subscribe_crash(self, callback: Callable[[int], None]) -> None:
+        self._crash_subscribers.append(callback)
+
+    def unsubscribe_crash(self, callback: Callable[[int], None]) -> None:
+        if callback in self._crash_subscribers:
+            self._crash_subscribers.remove(callback)
+
+    def attempt_doom(self, job_id: str, task_id: str, attempt: int) -> Optional[float]:
+        """Decide whether this attempt fails part-way through.
+
+        Returns the fraction of the attempt's work after which it dies,
+        or ``None`` for a clean run.  Seeded per (job, task, attempt):
+        the same plan always dooms the same attempts at the same points,
+        independent of scheduling order.  Callers must not consult this
+        for a task's final permitted attempt — recovery has to converge.
+        """
+        rate = self.plan.task_failure_rate
+        if rate <= 0:
+            return None
+        rng = derive_rng(self.plan.seed, "attempt-doom", job_id, task_id, attempt)
+        if rng.random() >= rate:
+            return None
+        return 0.05 + 0.90 * rng.random()
+
+    # -- fault delivery -------------------------------------------------------
+    def _record(self, kind: str, **detail) -> None:
+        event = FaultEvent(self.sim.now, kind, dict(detail))
+        self.events.append(event)
+        if self.span is not None:
+            self.span.add_event(kind, self.sim.now, **detail)
+        if self.metrics is not None:
+            self.metrics.counter("cluster.faults.injected").add(1)
+
+    def _refresh_alive_gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("cluster.nodes.alive").set(
+                len(self.live_worker_indices())
+            )
+
+    def _crash(self, worker_index: int) -> None:
+        node = self.cluster.workers[worker_index % len(self.cluster.workers)]
+        if not node.alive:
+            return
+        node.alive = False
+        self._record("node-crash", worker=worker_index, node=node.name)
+        if self.metrics is not None:
+            self.metrics.counter("cluster.node.crashes").add(1)
+        self._refresh_alive_gauge()
+        # interrupt everything running there — the attempt bodies own the
+        # cleanup (slots, memory, partial output)
+        doomed = list(self._registered.get(worker_index, ()))
+        self._registered[worker_index] = set()
+        for process in doomed:
+            process.interrupt(cause=("node-crash", worker_index))
+        for callback in list(self._crash_subscribers):
+            callback(worker_index)
+
+    def _recover(self, worker_index: int) -> None:
+        node = self.cluster.workers[worker_index % len(self.cluster.workers)]
+        if node.alive:
+            return
+        node.alive = True
+        self._record("node-recover", worker=worker_index, node=node.name)
+        self._refresh_alive_gauge()
+
+    def _degrade(self, window: Degradation, begin: bool) -> None:
+        node = self.cluster.workers[window.worker % len(self.cluster.workers)]
+        factor = window.factor if begin else 1.0
+        if window.resource == "disk":
+            node.disk.set_rate(self.cluster.spec.disk_bandwidth * factor)
+        else:
+            node.nic_tx.set_rate(self.cluster.spec.nic_bandwidth * factor)
+            node.nic_rx.set_rate(self.cluster.spec.nic_bandwidth * factor)
+        self._record(
+            "degrade-start" if begin else "degrade-end",
+            worker=window.worker, resource=window.resource, factor=factor,
+        )
+
+    def _slowdown(self, worker_index: int, factor: float) -> None:
+        node = self.cluster.workers[worker_index % len(self.cluster.workers)]
+        node.slowdown = factor
+        self._record(
+            "straggle-start" if factor > 1.0 else "straggle-end",
+            worker=worker_index, factor=factor,
+        )

@@ -53,6 +53,22 @@ class SlotPool:
         else:
             self.in_use -= 1
 
+    def cancel_acquire(self, event: Event) -> None:
+        """Withdraw an ``acquire`` whose waiter was interrupted.
+
+        If the event is still queued it is simply removed; if the slot
+        was already handed over (the event triggered) it is released on
+        behalf of the dead process, so interrupting a waiter never leaks
+        a slot.
+        """
+        try:
+            self._waiters.remove(event)
+            return
+        except ValueError:
+            pass
+        if event.triggered:
+            self.release()
+
     @property
     def queued(self) -> int:
         return len(self._waiters)
@@ -98,6 +114,18 @@ class Bandwidth:
         self._active.append(_Transfer(float(nbytes), event, category))
         self._reschedule()
         return event
+
+    def set_rate(self, rate_bytes_per_s: float) -> None:
+        """Change the link rate mid-flight (hardware degradation windows).
+
+        In-progress transfers keep the bytes they already moved and
+        continue at the new shared rate.
+        """
+        if rate_bytes_per_s <= 0:
+            raise ExecutionError(f"bandwidth rate must be positive: {rate_bytes_per_s}")
+        self._update()
+        self.rate = float(rate_bytes_per_s)
+        self._reschedule()
 
     @property
     def active_transfers(self) -> int:

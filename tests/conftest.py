@@ -49,8 +49,7 @@ def local_session(warehouse):
     return hive_session(engine="local", hdfs=hdfs, metastore=metastore)
 
 
-@pytest.fixture()
-def big_warehouse():
+def build_big_warehouse():
     """A larger random table for engine-level tests (deterministic)."""
     rng = random.Random(99)
     schema = Schema.parse("k int, grp string, val double")
@@ -63,3 +62,14 @@ def big_warehouse():
     table = metastore.create_table("facts", schema, format_name="text")
     hdfs.write(f"{table.location}/part-0", schema, rows, scale=2e5)
     return hdfs, metastore
+
+
+@pytest.fixture()
+def big_warehouse():
+    return build_big_warehouse()
+
+
+@pytest.fixture()
+def big_warehouse_factory():
+    """For tests that need several pristine copies of the warehouse."""
+    return build_big_warehouse

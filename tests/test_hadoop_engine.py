@@ -99,21 +99,11 @@ class TestTimingStructure:
         assert big.execution.total_seconds > 0
         assert small.execution.total_seconds > 0
 
-    def test_deterministic(self):
+    def test_deterministic(self, big_warehouse_factory):
         """Identically seeded warehouses give identical simulated times."""
         times = []
         for _ in range(2):
-            import random
-            from repro import HDFS, Metastore
-            from repro.common.rows import Schema
-            rng = random.Random(99)
-            schema = Schema.parse("k int, grp string, val double")
-            rows = [(i, f"g{rng.randrange(25)}", round(rng.uniform(0, 100), 3))
-                    for i in range(4000)]
-            hdfs = HDFS(num_workers=7)
-            metastore = Metastore(hdfs)
-            table = metastore.create_table("facts", schema, format_name="text")
-            hdfs.write(f"{table.location}/part-0", schema, rows, scale=2e5)
+            hdfs, metastore = big_warehouse_factory()
             session = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore)
             times.append(session.query(GROUP_QUERY).execution.total_seconds)
         assert times[0] == times[1]

@@ -160,6 +160,106 @@ class TestEventLoop:
         sim.run()
         assert trace == [(2.0, "stop")]
 
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def victim():
+            yield sim.timeout(1.0)
+            return "done"
+
+        def killer(process):
+            yield sim.timeout(5.0)
+            process.interrupt("too late")
+
+        process = sim.spawn(victim())
+        sim.spawn(killer(process))
+        sim.run()
+        assert not process.alive
+        assert process.value == "done"
+
+    def test_uncaught_interrupt_terminates_with_none(self):
+        sim = Simulator()
+        joined = []
+
+        def victim():
+            yield sim.timeout(100.0)
+            joined.append("victim survived")  # never reached
+
+        def parent(process):
+            value = yield process
+            joined.append((sim.now, value))
+
+        def killer(process):
+            yield sim.timeout(3.0)
+            process.interrupt("crash")
+
+        process = sim.spawn(victim())
+        sim.spawn(parent(process))
+        sim.spawn(killer(process))
+        sim.run()
+        assert joined == [(3.0, None)]
+
+    def test_stale_wakeup_after_interrupt(self):
+        """The event a process was parked on when interrupted must not
+        re-awaken it when that event later fires."""
+        from repro.simulate.events import Interrupt
+
+        sim = Simulator()
+        wakeups = []
+
+        def victim():
+            try:
+                yield sim.timeout(10.0)
+                wakeups.append(("timer", sim.now))
+            except Interrupt:
+                yield sim.timeout(5.0)  # recover on a fresh timer
+                wakeups.append(("recovered", sim.now))
+
+        def killer(process):
+            yield sim.timeout(2.0)
+            process.interrupt("fault")
+
+        process = sim.spawn(victim())
+        sim.spawn(killer(process))
+        sim.run()
+        # the original t=10 timer fires while the process waits on the
+        # t=7 recovery timer; only the recovery wakeup may be delivered
+        assert wakeups == [("recovered", 7.0)]
+        assert sim.now == 10.0  # the stale timer still ran the clock out
+
+    def test_any_of_losing_child_still_completes(self):
+        sim = Simulator()
+        trace = []
+
+        def slow():
+            yield sim.timeout(8.0)
+            trace.append(("slow", sim.now))
+            return "slow-value"
+
+        def racer():
+            winner = yield sim.any_of([sim.spawn(slow()), sim.timeout(2.0, "fast")])
+            trace.append(("winner", sim.now, winner))
+
+        sim.spawn(racer())
+        sim.run()
+        # index 1 (the timeout) wins; the losing process is not cancelled
+        # and still runs to completion
+        assert trace == [("winner", 2.0, (1, "fast")), ("slow", 8.0)]
+
+    def test_cancel_pending_call_from_process(self):
+        sim = Simulator()
+        fired = []
+
+        def monitor():
+            handle = sim.call_at(50.0, lambda: fired.append("monitor"))
+            yield sim.timeout(1.0)
+            sim.cancel(handle)
+
+        sim.spawn(monitor())
+        sim.run()
+        assert fired == []
+        assert sim.now == 1.0
+
 
 class TestSlotPool:
     def test_capacity_enforced(self):
@@ -194,6 +294,57 @@ class TestSlotPool:
         sim.spawn(task("third", 1))
         sim.run()
         assert order == ["first", "second", "third"]
+
+    def test_cancel_acquire_while_queued(self):
+        """Withdrawing a queued acquire lets later waiters through."""
+        sim = Simulator()
+        pool = SlotPool(sim, 1)
+        order = []
+
+        def holder():
+            yield pool.acquire()
+            yield sim.timeout(5.0)
+            pool.release()
+
+        def quitter():
+            ticket = pool.acquire()
+            yield sim.timeout(1.0)  # give up before the slot frees
+            pool.cancel_acquire(ticket)
+
+        def patient():
+            yield pool.acquire()
+            order.append(("patient", sim.now))
+            pool.release()
+
+        sim.spawn(holder())
+        sim.spawn(quitter())
+        sim.spawn(patient())
+        sim.run()
+        assert order == [("patient", 5.0)]
+        assert pool.queued == 0
+
+    def test_cancel_acquire_after_grant_releases_slot(self):
+        """If the waiter died after the slot was handed over, cancelling
+        the grant releases it instead of leaking."""
+        sim = Simulator()
+        pool = SlotPool(sim, 1)
+        granted = []
+
+        def winner():
+            ticket = pool.acquire()
+            yield ticket
+            pool.cancel_acquire(ticket)  # abandoned post-grant
+
+        def next_in_line():
+            yield pool.acquire()
+            granted.append(sim.now)
+            pool.release()
+
+        sim.spawn(winner())
+        sim.spawn(next_in_line())
+        sim.run()
+        assert granted == [0.0]
+        assert pool.in_use == 0
 
     def test_release_idle_rejected(self):
         sim = Simulator()
@@ -258,6 +409,26 @@ class TestBandwidth:
         # 500-250=250... : at t=10 first has 250 left, alone again -> 12.5
         assert done["second"] == pytest.approx(10.0)
         assert done["first"] == pytest.approx(12.5)
+
+    def test_set_rate_mid_transfer(self):
+        """Degrading the link keeps already-moved bytes and finishes the
+        remainder at the new rate."""
+        sim = Simulator()
+        link = Bandwidth(sim, 100.0)
+        done = []
+
+        def mover():
+            yield link.transfer(1000.0)
+            done.append(sim.now)
+
+        def degrade():
+            yield sim.timeout(5.0)  # 500 bytes moved so far
+            link.set_rate(50.0)  # remaining 500 bytes at 50/s -> +10s
+
+        sim.spawn(mover())
+        sim.spawn(degrade())
+        sim.run()
+        assert done == [pytest.approx(15.0)]
 
     def test_zero_bytes_immediate(self):
         sim = Simulator()

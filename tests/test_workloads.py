@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.rng import derive_rng
 from repro.common.units import GB, MB
 from repro.storage.hdfs import HDFS
 from repro.storage.metastore import Metastore
@@ -18,9 +19,7 @@ def store():
 
 class TestZipf:
     def test_skew_toward_low_ranks(self):
-        import random
-
-        sampler = ZipfSampler(100, s=1.0, rng=random.Random(5))
+        sampler = ZipfSampler(100, s=1.0, rng=derive_rng("zipf-skew"))
         draws = [sampler.sample() for _ in range(5000)]
         top = sum(1 for d in draws if d < 10)
         assert top > 1500  # top-10 ranks dominate
@@ -28,9 +27,7 @@ class TestZipf:
         assert max(draws) < 100
 
     def test_uniform_when_s_zero(self):
-        import random
-
-        sampler = ZipfSampler(10, s=0.0, rng=random.Random(5))
+        sampler = ZipfSampler(10, s=0.0, rng=derive_rng("zipf-uniform"))
         draws = [sampler.sample() for _ in range(5000)]
         counts = [draws.count(i) for i in range(10)]
         assert max(counts) < 2 * min(counts)
