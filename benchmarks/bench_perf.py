@@ -1,0 +1,179 @@
+"""Wall-clock performance harness for the reproduction itself.
+
+Every other benchmark in this directory reports *simulated* seconds —
+the numbers compared against the paper.  This one times the host: how
+fast the reproduction executes a TPC-H subset and the HiBench
+AGGREGATE/JOIN queries in real wall-clock time, what that is in input
+rows per second, and how much memory the process peaks at.  The output
+lands in ``BENCH_perf.json`` at the repo root so the perf trajectory is
+tracked alongside the figure CSVs.
+
+Run standalone::
+
+    python benchmarks/bench_perf.py            # full measurement
+    python benchmarks/bench_perf.py --smoke    # small/fast CI variant
+    python benchmarks/bench_perf.py --smoke --guard-seconds 120
+
+``--guard-seconds`` turns the run into a regression gate: exit non-zero
+when total wall-clock exceeds the bound.
+
+Each workload executes its script twice on one driver session: the
+second pass exercises the compiled-plan cache, and both passes must
+produce byte-identical rows (checked via the result digest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import connect  # noqa: E402
+from repro.bench import perf_workloads  # noqa: E402
+from repro.common.config import Configuration  # noqa: E402
+
+OUTPUT_PATH = REPO_ROOT / "BENCH_perf.json"
+RUNS_PER_WORKLOAD = 2  # second run hits the driver's plan cache
+
+
+def _peak_rss_kb() -> int:
+    """Process peak resident set size in KiB (monotone over the run)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _digest_rows(results) -> str:
+    """Stable digest of every result row (byte-identity witness)."""
+    hasher = hashlib.md5()
+    for result in results:
+        for row in result.rows:
+            hasher.update(repr(row).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _rows_read(results) -> int:
+    total = 0
+    for result in results:
+        if result.execution is None:
+            continue
+        for job in result.execution.jobs:
+            for task in job.tasks:
+                total += task.rows_read
+    return total
+
+
+def _simulated_seconds(results) -> float:
+    return sum(result.simulated_seconds for result in results)
+
+
+def _run_workload(name: str, engine: str, warehouse, setup_sql: str,
+                  script: str) -> dict:
+    """Time *script* on *engine* over a freshly built warehouse.
+
+    Dataset generation and DDL stay outside the timed region; the clock
+    covers only query execution (the paths this harness exists to keep
+    fast).
+    """
+    hdfs, metastore = warehouse
+    driver = connect(
+        engine=engine, hdfs=hdfs, metastore=metastore, conf=Configuration()
+    )
+    if setup_sql:
+        driver.execute(setup_sql)
+
+    digests = []
+    rows_read = 0
+    simulated = 0.0
+    start = time.perf_counter()
+    for _ in range(RUNS_PER_WORKLOAD):
+        results = driver.execute(script)
+        digests.append(_digest_rows(results))
+        rows_read += _rows_read(results)
+        simulated += _simulated_seconds(results)
+    wall = time.perf_counter() - start
+
+    if len(set(digests)) != 1:
+        raise AssertionError(
+            f"{name}: repeated runs produced different rows "
+            f"(plan-cache correctness violation): {digests}"
+        )
+    return {
+        "name": name,
+        "engine": engine,
+        "runs": RUNS_PER_WORKLOAD,
+        "wall_seconds": round(wall, 4),
+        "rows_read": rows_read,
+        "rows_per_second": round(rows_read / wall, 1) if wall > 0 else 0.0,
+        "simulated_seconds": round(simulated, 4),
+        "result_digest": digests[0],
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run(smoke: bool = False) -> dict:
+    workloads = []
+    for spec in perf_workloads(smoke):
+        warehouse = spec.build_warehouse()  # untimed: dataset generation
+        workloads.append(
+            _run_workload(spec.name, spec.engine, warehouse, spec.setup_sql,
+                          spec.script)
+        )
+        print(
+            f"{spec.name:>20} [{spec.engine:>7}]  "
+            f"{workloads[-1]['wall_seconds']:8.3f}s wall  "
+            f"{workloads[-1]['rows_per_second']:>12,.0f} rows/s  "
+            f"{workloads[-1]['simulated_seconds']:10.2f}s simulated"
+        )
+    return {
+        "schema_version": 1,
+        "mode": "smoke" if smoke else "full",
+        "runs_per_workload": RUNS_PER_WORKLOAD,
+        "workloads": workloads,
+        "total_wall_seconds": round(
+            sum(w["wall_seconds"] for w in workloads), 4
+        ),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small datasets, core workloads only (CI)",
+    )
+    parser.add_argument(
+        "--guard-seconds", type=float, default=None, metavar="S",
+        help="fail (exit 1) when total wall-clock exceeds S seconds",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT_PATH,
+        help=f"where to write the JSON report (default: {OUTPUT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run(smoke=args.smoke)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    total = report["total_wall_seconds"]
+    print(f"\ntotal: {total:.2f}s wall, peak RSS {report['peak_rss_kb']} KiB")
+    print(f"wrote {args.output}")
+
+    if args.guard_seconds is not None and total > args.guard_seconds:
+        print(
+            f"PERF REGRESSION: total wall-clock {total:.2f}s exceeds "
+            f"the {args.guard_seconds:.0f}s guard",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

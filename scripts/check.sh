@@ -14,3 +14,12 @@ fi
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q "$@"
+
+echo "== perf smoke (wall-clock guard) =="
+# Small-dataset run of the perf harness doubling as a regression gate:
+# the smoke suite finishes well under a second on a laptop, so a 60 s
+# ceiling only trips on order-of-magnitude regressions (or hangs), never
+# on shared-runner noise.  Writes to a scratch path so the checked-in
+# BENCH_perf.json (full-mode numbers) is not clobbered.
+python benchmarks/bench_perf.py --smoke --guard-seconds 60 \
+    --output "$(mktemp -d)/BENCH_perf_smoke.json"

@@ -72,6 +72,55 @@ def fresh_tpch(
     return hdfs, metastore
 
 
+@dataclass
+class PerfWorkload:
+    """One wall-clock perf workload (see ``benchmarks/bench_perf.py``)."""
+
+    name: str
+    engine: str
+    build_warehouse: object  # () -> (HDFS, Metastore), untimed
+    setup_sql: str
+    script: str
+
+
+def perf_workloads(smoke: bool = False) -> List[PerfWorkload]:
+    """The wall-clock perf suite: a TPC-H subset plus HiBench A/J.
+
+    ``smoke`` shrinks the datasets and drops the slow workloads so CI
+    can run the suite as a regression gate in seconds.
+    """
+    from repro.workloads.hibench import HIBENCH_AGGREGATE, HIBENCH_JOIN
+    from repro.workloads.tpch import tpch_query
+
+    sf = 0.5 if smoke else 2.0
+    lineitem = 8000 if smoke else 40000
+    uservisits = 8000 if smoke else 60000
+
+    def tpch():
+        return fresh_tpch(sf, lineitem_sample=lineitem)
+
+    def hibench():
+        return fresh_hibench(1.0, sample_uservisits=uservisits)
+
+    workloads = [
+        PerfWorkload("tpch_q1", "datampi", tpch, "", tpch_query(1, sf)),
+        PerfWorkload("tpch_q6", "datampi", tpch, "", tpch_query(6, sf)),
+        PerfWorkload(
+            "hibench_aggregate", "hadoop", hibench, hibench_ddl(),
+            HIBENCH_AGGREGATE,
+        ),
+    ]
+    if not smoke:
+        workloads += [
+            PerfWorkload("tpch_q3", "datampi", tpch, "", tpch_query(3, sf)),
+            PerfWorkload(
+                "hibench_join", "datampi", hibench, hibench_ddl(),
+                HIBENCH_JOIN,
+            ),
+        ]
+    return workloads
+
+
 def run_script(
     engine: str,
     hdfs: HDFS,

@@ -41,7 +41,18 @@ class KeyValue:
     value: Fields
 
     def serialized_size(self) -> int:
-        return kv_size(self)
+        """Wire size of this pair, memoized.
+
+        Collectors on both engines account every pair's size, often more
+        than once (partition buffer + histogram); the pair is immutable,
+        so the first computation is cached on the instance.
+        """
+        try:
+            return self._size  # type: ignore[attr-defined]
+        except AttributeError:
+            size = kv_size(self)
+            object.__setattr__(self, "_size", size)
+            return size
 
 
 _I64 = struct.Struct(">q")
@@ -54,8 +65,23 @@ def _encode_fields(fields: Fields, out: bytearray) -> None:
         raise ExecutionError("composite key/value arity > 255")
     out.append(len(fields))
     for field in fields:
-        if field is None:
+        # exact-type dispatch first: `type(True) is bool`, so the bool/int
+        # precedence of the isinstance chain is preserved; subclasses fall
+        # through to the chain below.
+        kind = type(field)
+        if kind is str:
+            data = field.encode("utf-8")
+            if len(data) > 0xFFFF:
+                raise ExecutionError("string field longer than 64 KiB")
+            out += b"S" + _U16.pack(len(data)) + data
+        elif kind is int:
+            out += b"I" + _I64.pack(field)
+        elif kind is float:
+            out += b"D" + _F64.pack(field)
+        elif field is None:
             out += b"N"
+        elif kind is bool:
+            out += b"B" + (b"\x01" if field else b"\x00")
         elif isinstance(field, bool):
             out += b"B" + (b"\x01" if field else b"\x00")
         elif isinstance(field, int):
@@ -107,11 +133,64 @@ def serialize_kv(pair: KeyValue) -> bytes:
     return bytes(out)
 
 
+def serialize_fields(fields: Fields) -> bytes:
+    """Encode one tuple as a key with an empty value.
+
+    Byte-identical to ``serialize_kv(KeyValue(fields, ()))`` without
+    building the throwaway pair — the partitioning hash calls this once
+    per row.
+    """
+    out = bytearray()
+    _encode_fields(fields, out)
+    out.append(0)  # empty-value arity
+    return bytes(out)
+
+
 def deserialize_kv(buffer: bytes, offset: int = 0) -> Tuple[KeyValue, int]:
     """Decode one pair starting at *offset*; returns (pair, next_offset)."""
     key, offset = _decode_fields(buffer, offset)
     value, offset = _decode_fields(buffer, offset)
     return KeyValue(key, value), offset
+
+
+# Exact-type sizes for the fixed-width tags; `type(True) is bool` keeps
+# the bool/int distinction without an isinstance ladder per field.
+_FIXED_FIELD_SIZES = {type(None): 1, bool: 2, int: 9, float: 9}
+
+
+def fields_size(fields) -> int:
+    """Serialized size of one tuple: arity byte plus tagged fields.
+
+    Accepts any sequence of primitive values, so callers sizing raw rows
+    don't pay a ``tuple``/``KeyValue`` allocation first.
+    """
+    total = 1  # arity byte
+    fixed = _FIXED_FIELD_SIZES
+    for field in fields:
+        # strings first (the dominant field type in warehouse rows):
+        # a type identity check is cheaper than the dict lookup
+        if type(field) is str:
+            # an ASCII string encodes to exactly len(field) bytes —
+            # skip the throwaway encode() in the common case
+            if field.isascii():
+                total += 3 + len(field)
+            else:
+                total += 3 + len(field.encode("utf-8"))
+            continue
+        size = fixed.get(type(field))
+        if size is not None:
+            total += size
+        elif isinstance(field, bool):
+            total += 2
+        elif isinstance(field, int):
+            total += 9
+        elif isinstance(field, float):
+            total += 9
+        elif isinstance(field, str):
+            total += 3 + len(field.encode("utf-8"))
+        else:
+            raise ExecutionError(f"unsupported field type: {type(field)!r}")
+    return total
 
 
 def kv_size(pair: KeyValue) -> int:
@@ -120,19 +199,4 @@ def kv_size(pair: KeyValue) -> int:
     Used on the hot path of the cost model: collectors account every pair's
     wire size, so this mirrors :func:`serialize_kv` byte-for-byte.
     """
-    total = 2  # two arity bytes
-    for fields in (pair.key, pair.value):
-        for field in fields:
-            if field is None:
-                total += 1
-            elif isinstance(field, bool):
-                total += 2
-            elif isinstance(field, int):
-                total += 9
-            elif isinstance(field, float):
-                total += 9
-            elif isinstance(field, str):
-                total += 3 + len(field.encode("utf-8"))
-            else:
-                raise ExecutionError(f"unsupported field type: {type(field)!r}")
-    return total
+    return fields_size(pair.key) + fields_size(pair.value)

@@ -25,6 +25,8 @@ from repro.common.kv import KeyValue
 from repro.simulate.cluster import Node
 from repro.simulate.events import Event, Simulator
 
+_EPSILON_BYTES = 1e-6
+
 
 @dataclass
 class SendBuffer:
@@ -58,7 +60,11 @@ class SendPartitionList:
         """Append a pair; returns the filled buffer when the partition
         crosses its capacity (caller pushes it to the send queue)."""
         buffer = self._buffers[partition]
-        size = pair.serialized_size()
+        try:
+            # the ReduceSink seeds the size memo; read it without a frame
+            size = pair._size
+        except AttributeError:
+            size = pair.serialized_size()
         buffer.pairs.append(pair)
         buffer.actual_bytes += size
         self.pairs_added += 1
@@ -92,6 +98,7 @@ class SendQueue:
         self.sim = sim
         self.capacity = capacity
         self.items: Deque[SendBuffer] = deque()
+        self.handed = 0  # popped by the sender, transfer not yet started
         self.in_flight = 0
         self._put_waiters: Deque[Tuple[Event, SendBuffer]] = deque()
         self._get_waiters: Deque[Event] = deque()
@@ -99,7 +106,7 @@ class SendQueue:
 
     def put(self, buffer: SendBuffer) -> Event:
         event = Event(self.sim)
-        if self.in_flight + len(self.items) < self.capacity:
+        if self.backlog < self.capacity:
             self._admit(buffer)
             event.trigger(None)
         else:
@@ -110,12 +117,17 @@ class SendQueue:
         """Event that yields the next buffer (for the sender thread)."""
         event = Event(self.sim)
         if self.items:
+            self.handed += 1
             event.trigger(self.items.popleft())
         else:
             self._get_waiters.append(event)
         return event
 
     def transfer_started(self) -> None:
+        """The sender began transmitting a buffer it previously got."""
+        if self.handed <= 0:
+            raise ExecutionError("transfer_started without a pending get")
+        self.handed -= 1
         self.in_flight += 1
 
     def transfer_finished(self) -> None:
@@ -130,13 +142,20 @@ class SendQueue:
 
     def _admit(self, buffer: SendBuffer) -> None:
         if self._get_waiters:
+            self.handed += 1
             self._get_waiters.popleft().trigger(buffer)
         else:
             self.items.append(buffer)
 
     @property
     def backlog(self) -> int:
-        return len(self.items) + self.in_flight
+        """Buffers occupying queue capacity: queued, handed to the sender
+        but not yet transmitting, and in flight.  A buffer only stops
+        counting when ``transfer_finished`` releases its slot — before
+        this fix the window between ``get()`` and ``transfer_started()``
+        was invisible, letting producers over-admit past the
+        ``hive.datampi.sendqueue`` knob."""
+        return len(self.items) + self.handed + self.in_flight
 
 
 class ReceiveManager:
@@ -158,6 +177,7 @@ class ReceiveManager:
         self.cache_budget = cache_budget_per_node
         self.pairs: List[List[KeyValue]] = [[] for _ in partition_nodes]
         self.cached_bytes: Dict[Node, float] = {}
+        self.cached_partition_bytes: List[float] = [0.0] * len(partition_nodes)
         self.spilled_bytes: List[float] = [0.0] * len(partition_nodes)
         self.received_bytes: List[float] = [0.0] * len(partition_nodes)
 
@@ -168,22 +188,44 @@ class ReceiveManager:
         """Coroutine: account a delivered buffer; spill when over budget.
 
         The network transfer has already happened (shuffle engine); this
-        charges only the A-side memory/disk consequences.
+        charges only the A-side memory/disk consequences.  A buffer that
+        straddles the budget boundary is split: the part that fits stays
+        cached, only the overflow goes to disk.
         """
         node = self.partition_nodes[partition]
         logical = buffer.logical_bytes
         self.pairs[partition].extend(buffer.pairs)
         self.received_bytes[partition] += logical
         used = self.cached_bytes.get(node, 0.0)
-        if used + logical <= self.cache_budget:
-            self.cached_bytes[node] = used + logical
-        else:
-            self.spilled_bytes[partition] += logical
-            yield from node.disk_write(logical)
+        fit = min(logical, max(0.0, self.cache_budget - used))
+        if fit > 0:
+            self.cached_bytes[node] = used + fit
+            self.cached_partition_bytes[partition] += fit
+        overflow = logical - fit
+        if overflow > _EPSILON_BYTES:
+            self.spilled_bytes[partition] += overflow
+            yield from node.disk_write(overflow)
 
     def release_partition(self, partition: int) -> None:
-        """A task consumed its data: free the cached buffer space."""
+        """A task consumed its data: free the cached buffer space.
+
+        Uses the exact per-partition cached amount (not the derived
+        ``received - spilled``), so releasing the same partition twice —
+        or any other over-free on a node shared by several partitions —
+        is an accounting error, not something a clamp silently absorbs.
+        """
         node = self.partition_nodes[partition]
-        cached = self.received_bytes[partition] - self.spilled_bytes[partition]
-        if cached > 0:
-            self.cached_bytes[node] = max(0.0, self.cached_bytes.get(node, 0.0) - cached)
+        cached = self.cached_partition_bytes[partition]
+        if cached <= 0:
+            return
+        self.cached_partition_bytes[partition] = 0.0
+        held = self.cached_bytes.get(node, 0.0)
+        # tolerance: absolute epsilon plus a float-summation allowance
+        # proportional to the magnitudes involved
+        tolerance = _EPSILON_BYTES + 1e-9 * max(cached, held)
+        if cached > held + tolerance:
+            raise ExecutionError(
+                f"receive cache over-free: partition {partition} releases "
+                f"{cached} bytes but node holds {held}"
+            )
+        self.cached_bytes[node] = max(0.0, held - cached)

@@ -131,14 +131,19 @@ class DataMPICollector(Collector):
     def __init__(self, spl: SendPartitionList):
         self.spl = spl
         self.full_buffers: List[SendBuffer] = []
+        # prebound: collect() runs once per shuffle pair
+        self._add = spl.add
+        self._on_full = self.full_buffers.append
 
     def collect(self, partition: int, pair: KeyValue) -> None:
-        filled = self.spl.add(partition, pair)
+        filled = self._add(partition, pair)
         if filled is not None:
-            self.full_buffers.append(filled)
+            self._on_full(filled)
 
     def take_full(self) -> List[SendBuffer]:
-        out, self.full_buffers = self.full_buffers, []
+        # clear in place: collect() holds a bound append to this list
+        out = self.full_buffers[:]
+        self.full_buffers.clear()
         return out
 
 

@@ -117,13 +117,16 @@ class _MapOutputCollector(Collector):
     def __init__(self, num_partitions: int):
         self.partitions: List[List[KeyValue]] = [[] for _ in range(num_partitions)]
         self.partition_bytes: List[int] = [0] * num_partitions
-        self.total_bytes = 0
 
     def collect(self, partition: int, pair: KeyValue) -> None:
         self.partitions[partition].append(pair)
-        size = pair.serialized_size()
-        self.partition_bytes[partition] += size
-        self.total_bytes += size
+        self.partition_bytes[partition] += pair.serialized_size()
+
+    @property
+    def total_bytes(self) -> int:
+        # summed on demand (per batch / at close) instead of maintaining
+        # a third counter on the per-pair path
+        return sum(self.partition_bytes)
 
 
 @dataclass

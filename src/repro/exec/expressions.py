@@ -15,13 +15,14 @@ Semantics follow Hive:
 
 from __future__ import annotations
 
+import operator
 import re
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import ExecutionError, SemanticError
-from repro.common.kv import KeyValue, serialize_kv
+from repro.common.kv import serialize_fields
 from repro.common.rows import DataType
 from repro.sql.functions import ScalarFunction
 
@@ -325,14 +326,266 @@ def _like_to_regex(pattern: str) -> str:
     return "".join(out)
 
 
+class _CodegenUnsupported(Exception):
+    """Raised while emitting source for a node codegen can't express."""
+
+
+_ARITH_TEMPLATES = {
+    "+": "{n} = None if {a} is None or {b} is None else {a} + {b}",
+    "-": "{n} = None if {a} is None or {b} is None else {a} - {b}",
+    "*": "{n} = None if {a} is None or {b} is None else {a} * {b}",
+    "/": "{n} = None if {a} is None or {b} is None or {b} == 0 else {a} / {b}",
+    "%": "{n} = None if {a} is None or {b} is None or {b} == 0 else {a} % {b}",
+}
+
+_COMPARE_OPS = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _emit(expression: BoundExpression, lines: List[str], env: dict,
+          counter: List[int], indent: str = "    ") -> str:
+    """Append statements evaluating *expression*; returns a cheap atom
+    (a temp name, ``row[i]`` or a bound constant) holding its value."""
+    kind = type(expression)
+    if kind is InputRef:
+        return f"row[{expression.index}]"
+    if kind is Const:
+        name = f"c{len(env)}"
+        env[name] = expression.value
+        return name
+    if kind is Arithmetic:
+        template = _ARITH_TEMPLATES.get(expression.op)
+        if template is None:
+            raise _CodegenUnsupported
+        a = _emit(expression.left, lines, env, counter, indent)
+        b = _emit(expression.right, lines, env, counter, indent)
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        lines.append(indent + template.format(n=name, a=a, b=b))
+        return name
+    if kind is Comparison:
+        pyop = _COMPARE_OPS.get(expression.op)
+        if pyop is None:
+            raise _CodegenUnsupported
+        a = _emit(expression.left, lines, env, counter, indent)
+        b = _emit(expression.right, lines, env, counter, indent)
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        lines.append(
+            f"{indent}{name} = None if {a} is None or {b} is None "
+            f"else {a} {pyop} {b}"
+        )
+        return name
+    if kind is ScalarCall:
+        args = [_emit(arg, lines, env, counter, indent) for arg in expression.args]
+        impl_name = f"f{len(env)}"
+        env[impl_name] = expression.function.impl
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        lines.append(f"{indent}{name} = {impl_name}({', '.join(args)})")
+        return name
+    if kind is IsNullExpr:
+        atom = _emit(expression.operand, lines, env, counter, indent)
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        test = "is not None" if expression.negated else "is None"
+        lines.append(f"{indent}{name} = {atom} {test}")
+        return name
+    if kind is InSet:
+        atom = _emit(expression.operand, lines, env, counter, indent)
+        set_name = f"c{len(env)}"
+        env[set_name] = expression.values
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        membership = "not in" if expression.negated else "in"
+        lines.append(
+            f"{indent}{name} = None if {atom} is None "
+            f"else {atom} {membership} {set_name}"
+        )
+        return name
+    if kind is LogicalNot:
+        atom = _emit(expression.operand, lines, env, counter, indent)
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        lines.append(f"{indent}{name} = None if {atom} is None else not {atom}")
+        return name
+    if kind is LogicalAnd or kind is LogicalOr:
+        return _emit_logical(
+            expression.operands, kind is LogicalAnd, lines, env, counter, indent
+        )
+    raise _CodegenUnsupported
+
+
+def _emit_logical(operands: List[BoundExpression], is_and: bool,
+                  lines: List[str], env: dict, counter: List[int],
+                  indent: str) -> str:
+    """Three-valued AND/OR with the closure compiler's exact short-circuit:
+    stop at the first definitive operand (falsy for AND, truthy for OR),
+    otherwise remember NULLs and keep going.  Later operands nest inside
+    the continue-branch so they are only evaluated when reached."""
+    if not operands:
+        raise _CodegenUnsupported
+    result = f"v{counter[0]}"
+    saw_null = f"v{counter[0] + 1}"
+    counter[0] += 2
+    lines.append(f"{indent}{saw_null} = False")
+    definitive = "False" if is_and else "True"
+    exhausted = "True" if is_and else "False"
+
+    def emit_rest(rest: List[BoundExpression], level: str) -> None:
+        if not rest:
+            lines.append(
+                f"{level}{result} = None if {saw_null} else {exhausted}"
+            )
+            return
+        atom = _emit(rest[0], lines, env, counter, level)
+        lines.append(f"{level}if {atom} is None:")
+        lines.append(f"{level}    {saw_null} = True")
+        # continue past NULLs and non-definitive values
+        if is_and:
+            lines.append(f"{level}if {atom} is None or {atom}:")
+        else:
+            lines.append(f"{level}if {atom} is None or not {atom}:")
+        emit_rest(rest[1:], level + "    ")
+        lines.append(f"{level}else:")
+        lines.append(f"{level}    {result} = {definitive}")
+
+    emit_rest(list(operands), indent)
+    return result
+
+
+def _codegen_many(expressions: List[BoundExpression]) -> Optional[Callable[[Row], Row]]:
+    """Fuse a projection list into ONE generated function.
+
+    The closure tree built by :meth:`BoundExpression.compile` pays a
+    Python call per node per row; for the arithmetic-heavy projections
+    of aggregation queries that dominates the profile.  Emitting the
+    whole list as straight-line source collapses it to a single frame.
+    Returns None when any node falls outside the supported subset (the
+    caller keeps the closure path as ground truth and fallback).
+    """
+    lines: List[str] = []
+    env: dict = {}
+    counter = [0]
+    try:
+        atoms = [_emit(expression, lines, env, counter) for expression in expressions]
+    except _CodegenUnsupported:
+        return None
+    tuple_src = ", ".join(atoms) + ("," if len(atoms) == 1 else "")
+    source = "def _projection(row):\n" + "\n".join(lines) + \
+        f"\n    return ({tuple_src})"
+    exec(compile(source, "<repro-exec-codegen>", "exec"), env)
+    return env["_projection"]
+
+
+def codegen_group_update(
+    aggregates: List[Tuple[object, Optional[BoundExpression]]],
+) -> Optional[Tuple[Callable[[Row, list], None], list]]:
+    """Fuse a GROUP BY's per-row work into one ``(row, acc) -> None`` call.
+
+    For count/sum/avg — whose accumulators are plain value tuples and
+    whose ``partial()`` is the accumulator itself — the per-aggregate
+    ``update`` dispatch can be generated inline over a flat, mutable slot
+    list: no tuple reallocation per row, one Python frame for the whole
+    aggregate set.  Returns ``(update, initial_slots)`` where
+    ``initial_slots`` is the concatenation of every aggregate's
+    ``create()`` tuple (so ``tuple(acc)`` is exactly the concatenated
+    partials at flush time), or None when any aggregate or argument
+    falls outside the fusable subset.
+    """
+    from repro.sql.functions import AvgAggregate, CountAggregate, SumAggregate
+
+    if not aggregates:
+        return None
+    lines: List[str] = []
+    env: dict = {}
+    counter = [0]
+    initial: list = []
+    try:
+        for aggregate, arg in aggregates:
+            kind = type(aggregate)
+            atom = _emit(
+                arg if arg is not None else Const(True), lines, env, counter
+            )
+            slot = len(initial)
+            if kind is CountAggregate:
+                initial.append(0)
+                lines.append(f"    if {atom} is not None:")
+                lines.append(f"        acc[{slot}] += 1")
+            elif kind is SumAggregate:
+                initial.append(None)
+                lines.append(f"    if {atom} is not None:")
+                lines.append(f"        s{slot} = acc[{slot}]")
+                lines.append(
+                    f"        acc[{slot}] = {atom} if s{slot} is None "
+                    f"else s{slot} + {atom}"
+                )
+            elif kind is AvgAggregate:
+                initial.extend([0.0, 0])
+                lines.append(f"    if {atom} is not None:")
+                lines.append(f"        acc[{slot}] += {atom}")
+                lines.append(f"        acc[{slot + 1}] += 1")
+            else:
+                raise _CodegenUnsupported
+    except _CodegenUnsupported:
+        return None
+    source = "def _update_group(row, acc):\n" + "\n".join(lines)
+    exec(compile(source, "<repro-exec-codegen>", "exec"), env)
+    return env["_update_group"], initial
+
+
 def compile_expression(expression: BoundExpression) -> Evaluator:
-    """Compile a bound expression tree into a ``row -> value`` closure."""
-    return expression.compile()
+    """Compile one expression, preferring generated straight-line code.
+
+    Filter predicates evaluate once per input row; when the expression is
+    inside the codegen subset this avoids a Python call per tree node.
+    Falls back to the closure compiler for everything else.
+    """
+    lines: List[str] = []
+    env: dict = {}
+    counter = [0]
+    try:
+        atom = _emit(expression, lines, env, counter)
+    except _CodegenUnsupported:
+        return expression.compile()
+    source = "def _evaluate(row):\n" + "\n".join(lines) + f"\n    return {atom}"
+    exec(compile(source, "<repro-exec-codegen>", "exec"), env)
+    return env["_evaluate"]
 
 
 def compile_many(expressions: List[BoundExpression]) -> Callable[[Row], Row]:
-    """Compile a projection list into a ``row -> tuple`` closure."""
+    """Compile a projection list into a ``row -> tuple`` closure.
+
+    Projection lists sit on the innermost loop of every operator, so the
+    common shapes get dedicated fast paths: an all-column-reference list
+    becomes a single ``itemgetter``, the arithmetic/comparison subset is
+    code-generated into one function (see :func:`_codegen_many`), and
+    small arities unroll the tuple construction instead of paying a
+    generator per row.
+    """
+    if not expressions:
+        return lambda row: ()
+    if all(type(expression) is InputRef for expression in expressions):
+        indices = [expression.index for expression in expressions]
+        if len(indices) == 1:
+            index = indices[0]
+            return lambda row: (row[index],)
+        return operator.itemgetter(*indices)
+    generated = _codegen_many(expressions)
+    if generated is not None:
+        return generated
     compiled = [expression.compile() for expression in expressions]
+    if len(compiled) == 1:
+        only = compiled[0]
+        return lambda row: (only(row),)
+    if len(compiled) == 2:
+        first, second = compiled
+        return lambda row: (first(row), second(row))
+    if len(compiled) == 3:
+        first, second, third = compiled
+        return lambda row: (first(row), second(row), third(row))
+    if len(compiled) == 4:
+        first, second, third, fourth = compiled
+        return lambda row: (first(row), second(row), third(row), fourth(row))
     return lambda row: tuple(evaluator(row) for evaluator in compiled)
 
 
@@ -340,7 +593,7 @@ def stable_hash(fields: Tuple[object, ...]) -> int:
     """Deterministic cross-process hash of a key tuple (CRC32 of the wire
     encoding) — Python's builtin ``hash`` is salted per process, which
     would make the two engines partition differently."""
-    return zlib.crc32(serialize_kv(KeyValue(fields, ()))) & 0x7FFFFFFF
+    return zlib.crc32(serialize_fields(fields)) & 0x7FFFFFFF
 
 
 def require_boolean(expression: BoundExpression, context: str) -> BoundExpression:

@@ -52,12 +52,16 @@ class ExecMapper:
         self._closed = False
 
     def process_batch(self, rows: Iterable[Row]) -> int:
-        """Push a batch through the pipeline; returns rows consumed."""
-        pipeline = self.pipeline
-        count = 0
-        for row in rows:
-            pipeline.process(row)
-            count += 1
+        """Push a batch through the pipeline; returns rows consumed.
+
+        Rows travel the pipeline as one list per operator hop
+        (``process_rows``) instead of one Python call per row — same
+        semantics, an order of magnitude fewer interpreter frames.
+        """
+        if not isinstance(rows, list):
+            rows = list(rows)
+        self.pipeline.process_rows(rows)
+        count = len(rows)
         self.context.rows_read += count
         return count
 

@@ -13,12 +13,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
+from zlib import crc32
 
 from repro.common.errors import ExecutionError
-from repro.common.kv import KeyValue, kv_size
-from repro.exec.expressions import BoundExpression, compile_many, stable_hash
+from repro.common.kv import KeyValue, fields_size, serialize_fields
+from repro.exec.expressions import (
+    BoundExpression,
+    Const,
+    codegen_group_update,
+    compile_expression,
+    compile_many,
+    stable_hash,
+)
 
 Row = Tuple[object, ...]
+Rows = List[Row]
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +148,18 @@ class MapOperator:
     def process(self, row: Row) -> None:
         raise NotImplementedError
 
+    def process_rows(self, rows: Rows) -> None:
+        """Push a batch of rows; semantically one ``process`` per row.
+
+        The batch path is the hot path — every operator overrides it to
+        hoist attribute lookups out of the per-row loop and hand its
+        child one list instead of one Python call per row.  This default
+        keeps third-party operators correct without an override.
+        """
+        process = self.process
+        for row in rows:
+            process(row)
+
     def close(self) -> None:
         if self.child is not None:
             self.child.close()
@@ -147,11 +168,17 @@ class MapOperator:
 class FilterOperator(MapOperator):
     def __init__(self, desc: FilterDesc, child: MapOperator):
         super().__init__(child)
-        self._predicate = desc.predicate.compile()
+        self._predicate = compile_expression(desc.predicate)
 
     def process(self, row: Row) -> None:
         if self._predicate(row) is True:
             self.child.process(row)
+
+    def process_rows(self, rows: Rows) -> None:
+        predicate = self._predicate
+        batch = [row for row in rows if predicate(row) is True]
+        if batch:
+            self.child.process_rows(batch)
 
 
 class SelectOperator(MapOperator):
@@ -161,6 +188,10 @@ class SelectOperator(MapOperator):
 
     def process(self, row: Row) -> None:
         self.child.process(self._project(row))
+
+    def process_rows(self, rows: Rows) -> None:
+        project = self._project
+        self.child.process_rows([project(row) for row in rows])
 
 
 class MapGroupByOperator(MapOperator):
@@ -174,30 +205,100 @@ class MapGroupByOperator(MapOperator):
             (aggregate, arg.compile() if arg is not None else None)
             for aggregate, arg in desc.aggregates
         ]
+        # Batch path: one fused projection evaluates every aggregate
+        # argument (COUNT(*) takes the same True sentinel as `process`).
+        self._args_of = compile_many(
+            [
+                arg if arg is not None else Const(True)
+                for _aggregate, arg in desc.aggregates
+            ]
+        )
+        self._updates = [aggregate.update for aggregate, _arg in desc.aggregates]
+        self._creates = [aggregate.create for aggregate, _arg in desc.aggregates]
+        # Fully fused path (count/sum/avg over codegen-able args): one
+        # generated call updates a flat slot list in place per row.
+        fused = codegen_group_update(desc.aggregates)
+        if fused is not None:
+            self._fused_update, self._fused_initial = fused
+        else:
+            self._fused_update = None
+            self._fused_initial = None
         self._max_groups = desc.max_groups_in_memory
         self._table: Dict[Row, list] = {}
         self.flushes = 0
 
     def process(self, row: Row) -> None:
-        key = self._key(row)
-        accumulators = self._table.get(key)
-        if accumulators is None:
-            if len(self._table) >= self._max_groups:
-                self._flush()
-            accumulators = [aggregate.create() for aggregate, _arg in self._aggregates]
-            self._table[key] = accumulators
-        for position, (aggregate, arg) in enumerate(self._aggregates):
-            value = True if arg is None else arg(row)  # COUNT(*) sentinel
-            accumulators[position] = aggregate.update(accumulators[position], value)
+        # route through the batch path so the hash table always holds one
+        # accumulator layout (flat slots when fused, tuple lists otherwise)
+        self.process_rows((row,))
+
+    def process_rows(self, rows: Rows) -> None:
+        key_of = self._key
+        table = self._table
+        table_get = table.get
+        args_of = self._args_of
+        updates = self._updates
+        creates = self._creates
+        max_groups = self._max_groups
+        fused = self._fused_update
+        if fused is not None:
+            initial = self._fused_initial
+            for row in rows:
+                key = key_of(row)
+                accumulators = table_get(key)
+                if accumulators is None:
+                    if len(table) >= max_groups:
+                        self._flush()
+                    accumulators = initial[:]
+                    table[key] = accumulators
+                fused(row, accumulators)
+            return
+        if len(updates) == 1:
+            # single-aggregate GROUP BY (the HiBench/TPC-H common case):
+            # no inner loop, no accumulator-list indexing dance
+            update = updates[0]
+            create = creates[0]
+            for row in rows:
+                key = key_of(row)
+                accumulators = table_get(key)
+                if accumulators is None:
+                    if len(table) >= max_groups:
+                        self._flush()
+                    accumulators = [create()]
+                    table[key] = accumulators
+                accumulators[0] = update(accumulators[0], args_of(row)[0])
+            return
+        for row in rows:
+            key = key_of(row)
+            accumulators = table_get(key)
+            if accumulators is None:
+                if len(table) >= max_groups:
+                    self._flush()  # clears in place; `table` stays bound
+                accumulators = [create() for create in creates]
+                table[key] = accumulators
+            values = args_of(row)
+            position = 0
+            for update in updates:
+                accumulators[position] = update(accumulators[position], values[position])
+                position += 1
 
     def _flush(self) -> None:
         self.flushes += 1
-        for key, accumulators in self._table.items():
-            flat: List[object] = list(key)
-            for (aggregate, _arg), accumulator in zip(self._aggregates, accumulators):
-                flat.extend(aggregate.partial(accumulator))
-            self.child.process(tuple(flat))
+        if not self._table:
+            return
+        batch: Rows = []
+        if self._fused_update is not None:
+            # flat slots are exactly the concatenated partial tuples
+            for key, accumulators in self._table.items():
+                batch.append(tuple(key) + tuple(accumulators))
+        else:
+            for key, accumulators in self._table.items():
+                flat: List[object] = list(key)
+                for (aggregate, _arg), accumulator in zip(self._aggregates, accumulators):
+                    flat.extend(aggregate.partial(accumulator))
+                batch.append(tuple(flat))
         self._table.clear()
+        self.child.process_rows(batch)
 
     def close(self) -> None:
         self._flush()
@@ -241,6 +342,31 @@ class MapJoinOperator(MapOperator):
         elif self._join_type == "left":
             self.child.process(row + (None,) * self._small_width)
 
+    def process_rows(self, rows: Rows) -> None:
+        probe_key = self._probe_key
+        table = self._hash
+        swap = self._swap
+        left_join = self._join_type == "left"
+        null_pad = (None,) * self._small_width
+        batch: Rows = []
+        append = batch.append
+        for row in rows:
+            key = probe_key(row)
+            matches = None
+            if not any(part is None for part in key):
+                matches = table.get(key)
+            if matches:
+                if swap:
+                    for small_row in matches:
+                        append(small_row + row)
+                else:
+                    for small_row in matches:
+                        append(row + small_row)
+            elif left_join:
+                append(row + null_pad)
+        if batch:
+            self.child.process_rows(batch)
+
 
 class LimitOperator(MapOperator):
     def __init__(self, desc: LimitDesc, child: MapOperator):
@@ -251,6 +377,14 @@ class LimitOperator(MapOperator):
         if self._remaining > 0:
             self._remaining -= 1
             self.child.process(row)
+
+    def process_rows(self, rows: Rows) -> None:
+        if self._remaining <= 0:
+            return
+        if len(rows) > self._remaining:
+            rows = rows[: self._remaining]
+        self._remaining -= len(rows)
+        self.child.process_rows(rows)
 
 
 class ReduceSinkOperator(MapOperator):
@@ -269,12 +403,41 @@ class ReduceSinkOperator(MapOperator):
         pair = KeyValue(key, value)
         partition = stable_hash(key) % self._context.num_partitions
         context = self._context
-        size = kv_size(pair)
+        size = pair.serialized_size()
         context.kv_pairs_out += 1
         context.kv_bytes_out += size
         histogram = context.kv_size_histogram
         histogram[size] = histogram.get(size, 0) + 1
         context.collector.collect(partition, pair)
+
+    def process_rows(self, rows: Rows) -> None:
+        key_of = self._key
+        value_of = self._value
+        tag = self._tag
+        context = self._context
+        num_partitions = context.num_partitions
+        histogram = context.kv_size_histogram
+        histogram_get = histogram.get
+        collect = context.collector.collect
+        seed_size = object.__setattr__
+        pairs_out = 0
+        bytes_out = 0
+        for row in rows:
+            key = key_of(row)
+            # encode the key once: the bytes drive the partition hash
+            # (same bytes as stable_hash) and, minus the empty-value
+            # arity byte, the key's share of the wire size
+            key_bytes = serialize_fields(key)
+            value = (tag,) + value_of(row)
+            size = len(key_bytes) - 1 + fields_size(value)
+            pair = KeyValue(key, value)
+            seed_size(pair, "_size", size)  # pre-warm the memo
+            pairs_out += 1
+            bytes_out += size
+            histogram[size] = histogram_get(size, 0) + 1
+            collect((crc32(key_bytes) & 0x7FFFFFFF) % num_partitions, pair)
+        context.kv_pairs_out += pairs_out
+        context.kv_bytes_out += bytes_out
 
     def close(self) -> None:
         pass
@@ -290,6 +453,10 @@ class FileSinkOperator(MapOperator):
     def process(self, row: Row) -> None:
         self._context.rows_emitted += 1
         self._context.output_rows.append(row)
+
+    def process_rows(self, rows: Rows) -> None:
+        self._context.rows_emitted += len(rows)
+        self._context.output_rows.extend(rows)
 
     def close(self) -> None:
         pass

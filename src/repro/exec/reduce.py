@@ -10,6 +10,7 @@ operator tree rooted at a GroupBy/Join operator.
 from __future__ import annotations
 
 import functools
+import operator
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -118,19 +119,16 @@ class JoinReduceLogic(ReduceLogic):
         for value in values:
             (left_rows if value[0] == 0 else right_rows).append(value[1:])
         if right_rows:
-            for left in left_rows:
-                for right in right_rows:
-                    self.downstream.process(left + right)
+            batch = [left + right for left in left_rows for right in right_rows]
+            self.downstream.process_rows(batch)
         elif desc.join_type == "left":
             nulls = (None,) * desc.right_width
-            for left in left_rows:
-                self.downstream.process(left + nulls)
+            self.downstream.process_rows([left + nulls for left in left_rows])
 
 
 class SortReduceLogic(ReduceLogic):
     def reduce(self, key: Row, values: Sequence[Value]) -> None:
-        for value in values:
-            self.downstream.process(value[1:])
+        self.downstream.process_rows([value[1:] for value in values])
 
 
 class DistinctReduceLogic(ReduceLogic):
@@ -169,10 +167,53 @@ def key_comparator(directions: Optional[Sequence[bool]] = None):
     return compare
 
 
+_key_of = operator.attrgetter("key")
+
+
+def _keys_native_sortable(pairs: List[KeyValue]) -> bool:
+    """True when builtin tuple order coincides with :func:`key_comparator`.
+
+    That holds when no key field is ``None`` (NULLS FIRST differs from a
+    ``TypeError``) or ``bool`` (the comparator coerces the other operand),
+    and all keys share one arity (the comparator breaks ties by length
+    *without* direction flipping).  Beyond those cases the comparator is
+    plain ``<``/``>``, exactly the builtin order.
+    """
+    if not pairs:
+        return True
+    arity = len(pairs[0].key)
+    for pair in pairs:
+        key = pair.key
+        if len(key) != arity:
+            return False
+        for part in key:
+            if part is None or isinstance(part, bool):
+                return False
+    return True
+
+
 def sort_pairs(
     pairs: List[KeyValue], directions: Optional[Sequence[bool]] = None
 ) -> List[KeyValue]:
-    """Sort shuffle pairs by key (stable, direction-aware)."""
+    """Sort shuffle pairs by key (stable, direction-aware).
+
+    Every reduce task sorts its input, so the common cases — all fields
+    ascending, or all descending — go through the builtin tuple sort
+    (C-speed) when the keys are provably order-compatible; anything else
+    (NULLs, bools, mixed directions, incomparable type mixes) takes the
+    comparator path.
+    """
+    if directions is None or all(directions):
+        native_reverse: Optional[bool] = False
+    elif not any(directions) and pairs and len(directions) >= len(pairs[0].key):
+        native_reverse = True
+    else:
+        native_reverse = None
+    if native_reverse is not None and _keys_native_sortable(pairs):
+        try:
+            return sorted(pairs, key=_key_of, reverse=native_reverse)
+        except TypeError:
+            pass  # incomparable type mix: use the Hive comparator
     compare = key_comparator(directions)
     return sorted(pairs, key=functools.cmp_to_key(lambda a, b: compare(a.key, b.key)))
 

@@ -22,7 +22,8 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 from repro.common.errors import ExecutionError
 
@@ -164,11 +165,21 @@ class Process(Event):
         self._interrupt = Interrupt(cause)
         self.sim.call_soon(self._step, None)
 
+    def _wakeup(self, event: Event) -> None:
+        """Wakeup callback bound to one wait target.
+
+        After an interrupt the abandoned event may still fire and call
+        back into us; if our *new* wait target happens to be triggered
+        already, a bare ``_step`` would resume the process twice at the
+        same instant.  Binding the wakeup to the event it was registered
+        on makes stale wakeups exactly identifiable.
+        """
+        if event is self._waiting_on:
+            self._step(None)
+
     def _step(self, value: Any) -> None:
         if self.triggered:
             return
-        # Ignore stale wakeups from an event we stopped waiting on (after an
-        # interrupt the old event may still fire and call back into us).
         interrupt, self._interrupt = self._interrupt, None
         if interrupt is None and self._waiting_on is not None:
             waited = self._waiting_on
@@ -197,19 +208,20 @@ class Process(Event):
                 "yield Event objects"
             )
         self._waiting_on = target
-        target.add_callback(lambda _value: self._step(None))
+        target.add_callback(lambda _value, _event=target: self._wakeup(_event))
 
 
 class ScheduledCall:
     """Handle for one agenda entry; supports O(1) cancellation."""
 
-    __slots__ = ("daemon", "callback", "args", "cancelled")
+    __slots__ = ("daemon", "callback", "args", "cancelled", "executed")
 
     def __init__(self, daemon: bool, callback: Callable, args: tuple):
         self.daemon = daemon
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.executed = False
 
 
 class Simulator:
@@ -225,6 +237,11 @@ class Simulator:
         self.now: float = 0.0
         self.tracer = tracer
         self._agenda: List = []
+        # same-instant callbacks bypass the heap: a plain FIFO is both
+        # faster and order-equivalent (every entry appended here carries
+        # a later logical sequence than anything already in the heap at
+        # the current clock value, because due heap entries drain first)
+        self._soon: Deque[ScheduledCall] = deque()
         self._sequence = 0
         self._process_count = 0
         self._pending_regular = 0
@@ -241,23 +258,36 @@ class Simulator:
         """
         if when < self.now - 1e-12:
             raise ExecutionError(f"cannot schedule in the past ({when} < {self.now})")
-        self._sequence += 1
         handle = ScheduledCall(daemon, callback, args)
         if not daemon:
             self._pending_regular += 1
-        heapq.heappush(self._agenda, (when, self._sequence, handle))
+        if when <= self.now:
+            self._soon.append(handle)
+        else:
+            self._sequence += 1
+            heapq.heappush(self._agenda, (when, self._sequence, handle))
         return handle
 
     def cancel(self, handle: ScheduledCall) -> None:
-        """Cancel a scheduled call; the heap entry is skipped lazily."""
-        if handle.cancelled:
+        """Cancel a scheduled call; the agenda entry is skipped lazily.
+
+        Cancelling a handle whose callback already ran is a no-op: the
+        pending-work counter was consumed when the call executed, so a
+        post-fire cancel must not decrement it again (that would make
+        :meth:`run` stop early with regular work still on the agenda).
+        """
+        if handle.cancelled or handle.executed:
             return
         handle.cancelled = True
         if not handle.daemon:
             self._pending_regular -= 1
 
     def call_soon(self, callback: Callable, *args: Any) -> ScheduledCall:
-        return self.call_at(self.now, callback, *args)
+        """Schedule *callback(*args)* at the current instant (FIFO)."""
+        handle = ScheduledCall(False, callback, args)
+        self._pending_regular += 1
+        self._soon.append(handle)
+        return handle
 
     # -- user API --------------------------------------------------------------
     def timeout(self, delay: float, value: Any = None) -> Timeout:
@@ -283,19 +313,36 @@ class Simulator:
         *until* — once the clock would pass it (the clock is then set
         exactly to *until*).
         """
-        while self._agenda and self._pending_regular > 0:
-            when, _seq, handle = self._agenda[0]
+        agenda = self._agenda
+        soon = self._soon
+        heappop = heapq.heappop
+        while self._pending_regular > 0:
+            # heap entries due at the current instant run before anything
+            # in the FIFO: they were scheduled earlier (lower sequence)
+            if agenda:
+                when, _seq, handle = agenda[0]
+                if when <= self.now:
+                    heappop(agenda)
+                elif soon:
+                    handle = soon.popleft()
+                else:
+                    if handle.cancelled:
+                        heappop(agenda)  # skip without touching the clock
+                        continue
+                    if until is not None and when > until:
+                        self.now = until
+                        return self.now
+                    heappop(agenda)
+                    self.now = when
+            elif soon:
+                handle = soon.popleft()
+            else:
+                break
             if handle.cancelled:
-                heapq.heappop(self._agenda)  # skip without touching the clock
                 continue
-            if until is not None and when > until:
-                self.now = until
-                return self.now
-            heapq.heappop(self._agenda)
+            handle.executed = True
             if not handle.daemon:
                 self._pending_regular -= 1
-            if when > self.now:
-                self.now = when
             handle.callback(*handle.args)
         if until is not None and until > self.now:
             self.now = until

@@ -170,18 +170,26 @@ class Bandwidth:
         target, self._timer = self._timer_target, None
         self._timer_target = None
         self._update()
-        if target is not None and target.remaining > 0:
-            # the timer was computed for exactly this transfer: float
-            # residue must not keep it (and the loop) alive — credit the
-            # residue to the counters so byte conservation holds
-            self.bytes_moved += target.remaining
-            if target.category is not None:
-                self.categorized[target.category] = (
-                    self.categorized.get(target.category, 0.0) + target.remaining
-                )
-            target.remaining = 0.0
-        finished = [item for item in self._active if item.remaining <= _EPSILON_BYTES]
-        self._active = [item for item in self._active if item.remaining > _EPSILON_BYTES]
+        # every transfer that finishes in this tick — the timer target
+        # *and* any other whose remainder fell below epsilon — must have
+        # its float residue credited to the counters, otherwise
+        # bytes_moved/categorized drift below the true byte count
+        finished: List[_Transfer] = []
+        active: List[_Transfer] = []
+        for item in self._active:
+            if item is target or item.remaining <= _EPSILON_BYTES:
+                residue = item.remaining
+                if residue > 0:
+                    self.bytes_moved += residue
+                    if item.category is not None:
+                        self.categorized[item.category] = (
+                            self.categorized.get(item.category, 0.0) + residue
+                        )
+                    item.remaining = 0.0
+                finished.append(item)
+            else:
+                active.append(item)
+        self._active = active
         self._reschedule()
         for item in finished:
             item.event.trigger(None)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.common.kv import KeyValue, kv_size
+from repro.common.kv import fields_size
 from repro.common.rows import Schema
 from repro.storage.formats.base import (
     FileFormat,
@@ -27,7 +27,8 @@ _RECORD_HEADER_BYTES = 8  # record length + key length words
 
 def record_size(row: Row) -> int:
     """Encoded size of one row as a sequence-file record."""
-    return _RECORD_HEADER_BYTES + kv_size(KeyValue((), tuple(row)))
+    # empty key tuple contributes exactly its arity byte
+    return _RECORD_HEADER_BYTES + 1 + fields_size(row)
 
 
 class SequenceStoredFile(StoredFile):

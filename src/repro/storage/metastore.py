@@ -81,6 +81,9 @@ class Metastore:
     def __init__(self, hdfs: HDFS):
         self.hdfs = hdfs
         self._tables: Dict[str, TableDescriptor] = {}
+        # bumped on every catalog mutation; consumers (the driver's plan
+        # cache) use it as a cheap staleness check
+        self.version = 0
 
     def create_table(
         self,
@@ -107,6 +110,7 @@ class Metastore:
             partition_columns=partition_columns,
         )
         self._tables[key] = descriptor
+        self.version += 1
         return descriptor
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -116,12 +120,14 @@ class Metastore:
                 return
             raise SemanticError(f"no such table: {name}")
         descriptor = self._tables.pop(key)
+        self.version += 1
         self.hdfs.delete(descriptor.location)
 
     def truncate_table(self, name: str) -> None:
         """Remove a table's data files but keep the catalog entry
         (INSERT OVERWRITE semantics)."""
         descriptor = self.get_table(name)
+        self.version += 1
         self.hdfs.delete(descriptor.location)
 
     def get_table(self, name: str) -> TableDescriptor:

@@ -194,11 +194,13 @@ class TestReceiveManager:
             small = SendBuffer(0, pairs=[kv(1)], actual_bytes=60, scale=1.0)
             big = SendBuffer(0, pairs=[kv(2)], actual_bytes=60, scale=1.0)
             yield from manager.deliver(0, small)
-            yield from manager.deliver(0, big)  # over budget -> spilled
+            yield from manager.deliver(0, big)  # straddles the budget
 
         self.run(deliver(), sim)
         assert manager.received_bytes[0] == 120
-        assert manager.spilled_bytes[0] == 60
+        # the second buffer is split: 40 bytes still fit, 20 spill
+        assert manager.cached_partition_bytes[0] == 100
+        assert manager.spilled_bytes[0] == 20
         assert len(manager.pairs[0]) == 2
         assert sim.now > 0  # the spill paid disk time
 

@@ -118,3 +118,50 @@ class TestSessionFactory:
         result = local_session.query("SELECT count(*) FROM emp")
         assert result.compile_seconds > 0
         assert result.simulated_seconds >= result.compile_seconds
+
+
+class TestPlanCache:
+    def test_repeated_select_reuses_plan(self, local_session):
+        sql = "SELECT dept, count(*) c FROM emp GROUP BY dept ORDER BY dept"
+        first = local_session.query(sql)
+        assert len(local_session._plan_cache) == 1
+        (cached_plan, *_rest), = local_session._plan_cache.values()
+        second = local_session.query(sql)
+        assert second.rows == first.rows
+        assert len(local_session._plan_cache) == 1
+        assert second.plan is cached_plan  # same compiled object, not a re-plan
+
+    def test_different_statements_cache_separately(self, local_session):
+        local_session.query("SELECT count(*) FROM emp")
+        local_session.query("SELECT count(*) FROM dept")
+        assert len(local_session._plan_cache) == 2
+
+    def test_insert_invalidates_cached_plan(self, local_session):
+        local_session.execute(
+            "CREATE TABLE emp_copy AS SELECT * FROM emp WHERE dept = 'hr'"
+        )
+        sql = "SELECT count(*) FROM emp_copy"
+        assert local_session.query(sql).rows == [(1,)]
+        local_session.execute("INSERT OVERWRITE TABLE emp_copy SELECT * FROM emp")
+        # the input data moved: the stale plan must not serve old results
+        assert local_session.query(sql).rows == [(7,)]
+
+    def test_ddl_invalidates_cached_plan(self, local_session):
+        sql = "SELECT count(*) FROM emp"
+        first = local_session.query(sql)
+        (cached_plan, *_rest), = local_session._plan_cache.values()
+        local_session.execute("CREATE TABLE unrelated (a int)")
+        second = local_session.query(sql)  # catalog version moved
+        assert second.rows == first.rows
+        assert second.plan is not cached_plan
+
+    def test_cache_respects_mapjoin_threshold(self, local_session):
+        sql = (
+            "SELECT e.name, d.region FROM emp e JOIN dept d "
+            "ON e.dept = d.dept ORDER BY e.name"
+        )
+        first = local_session.query(sql)
+        local_session.execute("SET hive.mapjoin.smalltable.filesize = 1")
+        second = local_session.query(sql)  # new key: threshold is part of it
+        assert second.rows == first.rows
+        assert len(local_session._plan_cache) == 2

@@ -153,3 +153,165 @@ class TestStableHash:
 
     def test_distinguishes(self):
         assert stable_hash(("a",)) != stable_hash(("b",))
+
+
+class TestCodegenEquivalence:
+    """The generated straight-line evaluators must agree with the closure
+    compiler — the ground truth — on both values and types, including the
+    three-valued-logic corners and short-circuit laziness."""
+
+    ROWS = [
+        (None, None, None),
+        (0, 0, ""),
+        (1, -2, "a"),
+        (5, 5, "bb"),
+        (None, 3, "a"),
+        (7, None, None),
+        (-1, 10, "zz"),
+    ]
+
+    def _grid(self):
+        a, b = ref(0), ref(1)
+        comparisons = [
+            bexpr.Comparison(op, a, b)
+            for op in ("=", "<>", "<", "<=", ">", ">=")
+        ]
+        arith = [
+            bexpr.Arithmetic(op, a, b) for op in ("+", "-", "*", "/", "%")
+        ]
+        leaves = comparisons + arith + [
+            bexpr.InSet(operand=ref(2), values=frozenset({"a", "bb"})),
+            bexpr.InSet(operand=ref(2), values=frozenset({"a"}), negated=True),
+            bexpr.IsNullExpr(operand=a),
+            bexpr.IsNullExpr(operand=b, negated=True),
+            const(1),
+            const(0),
+            Const(None, DataType.BIGINT),
+        ]
+        composites = []
+        for i, x in enumerate(leaves):
+            y = leaves[(i + 3) % len(leaves)]
+            composites += [
+                bexpr.LogicalAnd(operands=[x, y]),
+                bexpr.LogicalOr(operands=[x, y]),
+                bexpr.LogicalNot(operand=x),
+                bexpr.LogicalAnd(
+                    operands=[bexpr.LogicalOr(operands=[x, y]),
+                              bexpr.LogicalNot(operand=y)]
+                ),
+            ]
+        return leaves + composites
+
+    def _outcome(self, fn, row):
+        try:
+            value = fn(row)
+        except TypeError:
+            return ("TypeError",)  # e.g. None < int must fail identically
+        return (type(value).__name__, value)
+
+    def test_matches_closure_compiler(self):
+        from repro.exec.expressions import compile_expression
+
+        for expression in self._grid():
+            closure = expression.compile()
+            generated = compile_expression(expression)
+            for row in self.ROWS:
+                assert self._outcome(generated, row) == \
+                    self._outcome(closure, row), (expression, row)
+
+    def test_compile_many_matches_per_expression(self):
+        expressions = [
+            ref(0),
+            bexpr.Arithmetic("*", ref(0), ref(1)),
+            bexpr.LogicalAnd(
+                operands=[bexpr.Comparison("<", ref(0), ref(1)),
+                          bexpr.IsNullExpr(operand=ref(2), negated=True)]
+            ),
+        ]
+        project = compile_many(expressions)
+        singles = [e.compile() for e in expressions]
+        for row in self.ROWS:
+            expected = tuple(self._outcome(fn, row) for fn in singles)
+            if ("TypeError",) in expected:
+                with pytest.raises(TypeError):
+                    project(row)
+            else:
+                got = project(row)
+                assert tuple(
+                    (type(v).__name__, v) for v in got
+                ) == expected, row
+
+    def test_unsupported_nodes_fall_back(self):
+        from repro.exec.expressions import compile_expression
+
+        expr = bexpr.CaseExpr(
+            branches=[(bexpr.Comparison(">", ref(0), const(3)), const("big"))],
+            else_value=const("small"),
+        )
+        fn = compile_expression(expr)
+        assert fn((5,)) == "big"
+        assert fn((1,)) == "small"
+
+
+class TestFusedGroupUpdate:
+    """codegen_group_update must replay exactly what the per-aggregate
+    create/update/partial protocol produces."""
+
+    ROWS = [(3, 1.5), (None, 2.0), (4, None), (0, -1.0), (7, 3.5)]
+
+    def _generic(self, aggregates, arg_fns, rows):
+        accs = [agg.create() for agg, _arg in aggregates]
+        for row in rows:
+            for i, (agg, _arg) in enumerate(aggregates):
+                accs[i] = agg.update(accs[i], arg_fns[i](row))
+        out = ()
+        for (agg, _arg), acc in zip(aggregates, accs):
+            out += tuple(agg.partial(acc))
+        return out
+
+    def test_count_sum_avg_fused(self):
+        from repro.exec.expressions import codegen_group_update
+        from repro.sql.functions import (
+            AvgAggregate,
+            CountAggregate,
+            SumAggregate,
+        )
+
+        aggregates = [
+            (CountAggregate(), None),  # COUNT(*)
+            (CountAggregate(), ref(0)),
+            (SumAggregate(), ref(0)),
+            (SumAggregate(), ref(1)),
+            (AvgAggregate(), ref(1)),
+        ]
+        fused = codegen_group_update(aggregates)
+        assert fused is not None
+        update, initial = fused
+        acc = initial[:]
+        for row in self.ROWS:
+            update(row, acc)
+
+        arg_fns = [
+            (arg.compile() if arg is not None else (lambda row: True))
+            for _agg, arg in aggregates
+        ]
+        assert tuple(acc) == self._generic(aggregates, arg_fns, self.ROWS)
+
+    def test_sum_of_all_nulls_stays_null(self):
+        from repro.exec.expressions import codegen_group_update
+        from repro.sql.functions import SumAggregate
+
+        update, initial = codegen_group_update([(SumAggregate(), ref(0))])
+        acc = initial[:]
+        for row in [(None,), (None,)]:
+            update(row, acc)
+        assert acc == [None]
+
+    def test_unsupported_aggregate_returns_none(self):
+        from repro.exec.expressions import codegen_group_update
+        from repro.sql.functions import MinAggregate, SumAggregate
+
+        assert codegen_group_update(
+            [(SumAggregate(), ref(0)), (MinAggregate(), ref(1))]
+        ) is None
+        assert codegen_group_update([]) is None

@@ -1,0 +1,284 @@
+"""Regression tests for DES-kernel and buffer accounting bugs.
+
+Each test here pins a specific accounting fix:
+
+* ``Simulator.cancel`` after the callback fired must not decrement the
+  pending-work counter a second time (the counter was consumed when the
+  call executed);
+* ``Bandwidth._on_timer`` must credit the float residue of *every*
+  transfer finishing in the tick, not just the timer target;
+* ``SendQueue`` capacity must count buffers popped by the sender but not
+  yet transmitting (the get -> transfer_started window);
+* ``ReceiveManager.deliver`` must split a buffer straddling the cache
+  budget and ``release_partition`` must free exactly what was cached;
+* a stale wakeup from an abandoned wait target must not double-resume a
+  process;
+* the same-instant FIFO fast path must preserve scheduling order.
+"""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.kv import KeyValue
+from repro.engines.datampi.buffers import ReceiveManager, SendBuffer, SendQueue
+from repro.simulate import Cluster, ClusterSpec, Interrupt, Simulator
+from repro.simulate.resources import Bandwidth
+
+
+class TestCancelAfterFire:
+    def test_cancel_of_executed_handle_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_at(1.0, lambda: fired.append("a"))
+        sim.run()
+        assert fired == ["a"]
+        # the buggy kernel decremented the pending counter here ...
+        sim.cancel(handle)
+        sim.cancel(handle)  # idempotent too
+        # ... which made the next run() stop with regular work pending
+        sim.call_at(2.0, lambda: fired.append("b"))
+        sim.call_at(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_cancel_before_fire_still_cancels(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_at(1.0, lambda: fired.append("a"))
+        sim.call_at(2.0, lambda: fired.append("b"))
+        sim.cancel(handle)
+        sim.run()
+        assert fired == ["b"]
+
+
+class TestBandwidthResidue:
+    def test_equal_transfers_finish_together(self):
+        sim = Simulator()
+        link = Bandwidth(sim, rate_bytes_per_s=100.0)
+        done = []
+        for label in ("x", "y"):
+            link.transfer(50.0, category=label).add_callback(
+                lambda _v, _l=label: done.append((_l, sim.now))
+            )
+        sim.run()
+        # two equal flows sharing the link finish at the same instant;
+        # the buggy timer left the non-target flow with a float residue
+        # and an extra (later) timer tick
+        assert [t for _l, t in done] == [1.0, 1.0]
+        assert link.active_transfers == 0
+
+    def test_residue_credited_to_byte_counters(self):
+        sim = Simulator()
+        link = Bandwidth(sim, rate_bytes_per_s=64.0)
+        # three unequal flows whose shares produce float residues
+        for nbytes in (10.0, 20.0, 30.0):
+            link.transfer(nbytes, category="c")
+        sim.run()
+        assert link.bytes_moved == pytest.approx(60.0, abs=1e-9)
+        assert link.categorized["c"] == pytest.approx(60.0, abs=1e-9)
+
+
+class TestSendQueueHandedWindow:
+    def test_put_blocked_between_get_and_transfer_started(self):
+        sim = Simulator()
+        queue = SendQueue(sim, capacity=1)
+        first, second = SendBuffer(0), SendBuffer(1)
+        assert queue.put(first).triggered
+        taken = queue.get()
+        assert taken.triggered and taken.value is first
+        # the slot is NOT free yet: the sender holds the buffer but has
+        # not started transmitting — the buggy backlog ignored this
+        blocked = queue.put(second)
+        assert not blocked.triggered
+        assert queue.backlog == 1
+        queue.transfer_started()
+        assert not blocked.triggered
+        queue.transfer_finished()
+        sim.run()
+        assert blocked.triggered
+
+    def test_transfer_started_requires_pending_get(self):
+        queue = SendQueue(Simulator(), capacity=2)
+        with pytest.raises(ExecutionError):
+            queue.transfer_started()
+
+
+@pytest.fixture()
+def cluster():
+    sim = Simulator()
+    return Cluster(sim, ClusterSpec())
+
+
+class TestReceivePartialSpill:
+    def _deliver(self, sim, manager, buffers):
+        def proc():
+            for buffer in buffers:
+                yield from manager.deliver(buffer.partition, buffer)
+
+        sim.spawn(proc())
+        sim.run()
+
+    def test_straddling_buffer_split_between_cache_and_disk(self, cluster):
+        sim = cluster.sim
+        manager = ReceiveManager(
+            sim, [cluster.workers[0]], cache_budget_per_node=100.0
+        )
+        pairs = [KeyValue((1,), ("v",))]
+        self._deliver(sim, manager, [
+            SendBuffer(0, pairs=pairs, actual_bytes=70, scale=1.0),
+            SendBuffer(0, pairs=pairs, actual_bytes=70, scale=1.0),
+        ])
+        # the all-or-nothing version spilled the whole second buffer (70);
+        # the fix caches the 30 bytes that still fit and spills 40
+        assert manager.cached_partition_bytes[0] == pytest.approx(100.0)
+        assert manager.spilled_bytes[0] == pytest.approx(40.0)
+        assert manager.received_bytes[0] == pytest.approx(140.0)
+
+    def test_release_partition_is_exact(self, cluster):
+        sim = cluster.sim
+        node = cluster.workers[0]
+        # two partitions sharing one node's cache budget
+        manager = ReceiveManager(sim, [node, node], cache_budget_per_node=100.0)
+        pairs = [KeyValue((1,), ("v",))]
+        self._deliver(sim, manager, [
+            SendBuffer(0, pairs=pairs, actual_bytes=60, scale=1.0),
+            SendBuffer(1, pairs=pairs, actual_bytes=60, scale=1.0),
+        ])
+        # partition 1 straddled: only 40 of its 60 bytes are cached
+        assert manager.cached_bytes[node] == pytest.approx(100.0)
+        manager.release_partition(1)
+        assert manager.cached_bytes[node] == pytest.approx(60.0)
+        assert manager.cached_partition_bytes[1] == 0.0
+        manager.release_partition(0)
+        assert manager.cached_bytes[node] == pytest.approx(0.0)
+
+    def test_double_release_is_noop(self, cluster):
+        sim = cluster.sim
+        node = cluster.workers[0]
+        manager = ReceiveManager(sim, [node], cache_budget_per_node=1000.0)
+        pairs = [KeyValue((1,), ("v",))]
+        self._deliver(
+            sim, manager,
+            [SendBuffer(0, pairs=pairs, actual_bytes=80, scale=1.0)],
+        )
+        manager.release_partition(0)
+        assert manager.cached_bytes[node] == pytest.approx(0.0)
+        manager.release_partition(0)  # nothing cached anymore: no-op
+        assert manager.cached_bytes[node] == pytest.approx(0.0)
+
+    def test_over_free_raises(self, cluster):
+        sim = cluster.sim
+        node = cluster.workers[0]
+        manager = ReceiveManager(sim, [node], cache_budget_per_node=1000.0)
+        pairs = [KeyValue((1,), ("v",))]
+        self._deliver(
+            sim, manager,
+            [SendBuffer(0, pairs=pairs, actual_bytes=80, scale=1.0)],
+        )
+        # corrupt the node-level ledger: the release now frees more than
+        # the node holds, which must surface as an error, not be clamped
+        manager.cached_bytes[node] = 30.0
+        with pytest.raises(ExecutionError):
+            manager.release_partition(0)
+
+
+class TestStaleWakeup:
+    def test_abandoned_event_does_not_double_resume(self):
+        sim = Simulator()
+        abandoned = sim.event()
+        log = []
+
+        def waiter():
+            try:
+                yield abandoned
+                log.append("unexpected")
+            except Interrupt as exc:
+                log.append(type(exc).__name__)
+            # new wait target; the stale wakeup from `abandoned` must not
+            # resume us early out of this timeout
+            yield sim.timeout(5.0)
+            log.append(sim.now)
+
+        process = sim.spawn(waiter())
+
+        def driver():
+            yield sim.timeout(1.0)
+            process.interrupt("test")
+            yield sim.timeout(1.0)
+            # fires the abandoned event while the process waits elsewhere
+            abandoned.trigger("late")
+
+        sim.spawn(driver())
+        sim.run()
+        assert log == ["Interrupt", 6.0]
+
+    def test_wakeup_after_normal_resume_is_ignored(self):
+        sim = Simulator()
+        first = sim.event()
+        second = sim.event()
+        log = []
+
+        def waiter():
+            value = yield first
+            log.append(value)
+            value = yield second
+            log.append(value)
+
+        sim.spawn(waiter())
+
+        def driver():
+            yield sim.timeout(1.0)
+            first.trigger("one")
+            yield sim.timeout(1.0)
+            second.trigger("two")
+
+        sim.spawn(driver())
+        sim.run()
+        assert log == ["one", "two"]
+
+
+class TestSameInstantFifo:
+    def test_call_soon_preserves_issue_order(self):
+        sim = Simulator()
+        order = []
+
+        def root():
+            for label in "abc":
+                sim.call_soon(order.append, label)
+            sim.call_at(sim.now, order.append, "d")  # same instant -> FIFO
+            sim.call_soon(order.append, "e")
+
+        sim.call_soon(root)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_due_heap_entries_run_before_soon_entries(self):
+        sim = Simulator()
+        order = []
+        # scheduled strictly in the future -> goes through the heap
+        sim.call_at(1.0, order.append, "heap")
+
+        def at_one():
+            # runs at t=1.0 *before* the heap entry?  No: the heap entry
+            # carries an earlier sequence, so it must run first once due.
+            order.append("starter")
+            sim.call_soon(order.append, "soon")
+
+        # both due at 1.0; the call_at above was scheduled first
+        sim.call_at(1.0, at_one)
+        sim.run()
+        assert order == ["heap", "starter", "soon"]
+
+    def test_nested_same_instant_callbacks_keep_clock(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            sim.call_soon(lambda: seen.append(sim.now))
+            sim.call_at(sim.now, lambda: seen.append(sim.now))
+
+        sim.call_at(2.5, outer)
+        sim.run()
+        assert seen == [2.5, 2.5]
+        assert sim.now == 2.5

@@ -1,5 +1,7 @@
 """Tests for the map-side runtime operators and reduce logics."""
 
+import functools
+
 import pytest
 
 from repro.common.errors import ExecutionError
@@ -266,3 +268,50 @@ class TestSortHelpers:
     def test_key_comparator_length_tiebreak(self):
         compare = key_comparator()
         assert compare((1,), (1, 2)) < 0
+
+
+class TestSortFastPathEquivalence:
+    """The native tuple-sort fast path must order exactly like the Hive
+    comparator (the ground truth), including the cases that force the
+    fallback: NULLs, bools, and incomparable type mixes."""
+
+    def _comparator_order(self, pairs, directions=None):
+        compare = key_comparator(directions)
+        return sorted(
+            pairs,
+            key=functools.cmp_to_key(lambda a, b: compare(a.key, b.key)),
+        )
+
+    def _assert_equivalent(self, keys, directions=None):
+        pairs = [KeyValue(key, (i,)) for i, key in enumerate(keys)]
+        fast = [p.key for p in sort_pairs(list(pairs), directions)]
+        slow = [p.key for p in self._comparator_order(list(pairs), directions)]
+        assert fast == slow, (keys, directions)
+
+    def test_native_sortable_int_keys(self):
+        self._assert_equivalent([(3,), (1,), (2,), (1,)])
+        self._assert_equivalent([(3,), (1,), (2,)], directions=[False])
+
+    def test_string_keys_both_directions(self):
+        keys = [("b", 2), ("a", 9), ("b", 1), ("a", 9)]
+        self._assert_equivalent(keys)
+        self._assert_equivalent(keys, directions=[False, False])
+
+    def test_null_keys_force_comparator(self):
+        self._assert_equivalent([(None,), (2,), (None,), (1,)])
+        self._assert_equivalent([(None,), (2,), (1,)], directions=[False])
+
+    def test_bool_keys_force_comparator(self):
+        self._assert_equivalent([(True,), (False,), (True,)])
+
+    def test_ragged_arity_forces_comparator(self):
+        # length tiebreak is NOT direction-flipped, so ragged keys must
+        # skip the native reverse sort and use the comparator
+        keys = [(1, 2), (1,), (0,), (1, 1)]
+        self._assert_equivalent(keys)
+        self._assert_equivalent(keys, directions=[False, False])
+
+    def test_stability_preserved(self):
+        pairs = [KeyValue((1,), (i,)) for i in range(5)]
+        assert [p.value for p in sort_pairs(list(pairs))] == \
+            [(i,) for i in range(5)]
