@@ -23,3 +23,14 @@ echo "== perf smoke (wall-clock guard) =="
 # BENCH_perf.json (full-mode numbers) is not clobbered.
 python benchmarks/bench_perf.py --smoke --guard-seconds 60 \
     --output "$(mktemp -d)/BENCH_perf_smoke.json"
+
+if [[ "${CHECK_PERF_FULL:-0}" == "1" ]]; then
+    echo "== perf full (compare vs committed baseline) =="
+    # Full-dataset run compared against the checked-in BENCH_perf.json:
+    # fails on >25 % total wall-clock regression over the workloads the
+    # two files share.  Opt-in (CHECK_PERF_FULL=1) because the full
+    # suite takes a few seconds and shared runners are noisy; run it
+    # before committing any perf-sensitive change.
+    python benchmarks/bench_perf.py --compare BENCH_perf.json \
+        --output "$(mktemp -d)/BENCH_perf_full.json"
+fi

@@ -15,7 +15,7 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.common.errors import SemanticError
+from repro.common.errors import ExecutionError, SemanticError
 
 
 class DataType(enum.Enum):
@@ -193,6 +193,104 @@ def compare_values(left, right) -> int:
     if left > right:
         return 1
     return 0
+
+
+class ColumnBatch:
+    """A batch of rows stored column-wise (Hive's VectorizedRowBatch).
+
+    ``columns`` holds one plain Python list per column, all of length
+    ``size``; NULLs are ``None`` entries inside the column lists (the
+    null mask is implicit — :meth:`null_mask` derives the explicit form
+    on demand).  ``sel`` is the selection vector: ``None`` means every
+    row 0..size-1 is live (a *dense* batch), otherwise only the listed
+    positions are.  Vectorized filters narrow ``sel`` instead of copying
+    column data; rows materialize back into tuples only at the
+    serde/shuffle boundary and at FileSink (:meth:`to_rows`).
+
+    ``len()`` and slicing deliberately mirror a row list over the
+    *unfiltered* batch so the engines' byte-proportional batching
+    (``_make_batches``) works identically on either representation.
+    """
+
+    __slots__ = ("columns", "size", "sel")
+
+    def __init__(self, columns: List[list], size: int,
+                 sel: Optional[List[int]] = None):
+        self.columns = columns
+        self.size = size
+        self.sel = sel
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Tuple[object, ...]],
+                  width: Optional[int] = None) -> "ColumnBatch":
+        """Transpose row tuples into a dense batch (Text/Sequence adapter)."""
+        if not rows:
+            return cls([[] for _ in range(width or 0)], 0)
+        return cls([list(column) for column in zip(*rows)], len(rows))
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    @property
+    def live_count(self) -> int:
+        """Rows surviving the selection vector."""
+        return self.size if self.sel is None else len(self.sel)
+
+    def null_mask(self, column: int) -> List[bool]:
+        """Explicit null mask for one column (True where NULL)."""
+        return [value is None for value in self.columns[column]]
+
+    def with_selection(self, sel: Optional[List[int]]) -> "ColumnBatch":
+        """Same columns, new selection vector (no data copied)."""
+        return ColumnBatch(self.columns, self.size, sel)
+
+    def take_first(self, count: int) -> "ColumnBatch":
+        """Keep only the first *count* live rows (batch-boundary LIMIT)."""
+        if count >= self.live_count:
+            return self
+        if self.sel is None:
+            return ColumnBatch(self.columns, self.size, list(range(count)))
+        return ColumnBatch(self.columns, self.size, self.sel[:count])
+
+    def to_rows(self) -> List[Tuple[object, ...]]:
+        """Late materialization: selected rows as plain tuples."""
+        if self.sel is None:
+            return list(zip(*self.columns)) if self.columns else []
+        sel = self.sel
+        packed = [[column[i] for i in sel] for column in self.columns]
+        return list(zip(*packed)) if packed else []
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, item):
+        """Dense slice (engine batching); mirrors ``rows[a:b]``.
+
+        Returns a zero-copy *window*: the columns are shared and the
+        window is expressed as a ``range`` selection vector, so slicing
+        a scan batch into engine-sized chunks copies nothing.  The
+        window's ``len()`` is the window length (chunk-proportional byte
+        accounting), which is why windows cannot be sliced again —
+        their positions index the original columns.
+        """
+        if not isinstance(item, slice):
+            raise ExecutionError("ColumnBatch indexing supports slices only")
+        if self.sel is not None:
+            raise ExecutionError("cannot slice a batch with a selection vector")
+        start, stop, step = item.indices(self.size)
+        if step != 1:
+            raise ExecutionError("ColumnBatch slices must be contiguous")
+        if start == 0 and stop == self.size:
+            return self
+        length = max(0, stop - start)
+        return ColumnBatch(self.columns, length, range(start, stop))
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnBatch(width={self.width}, size={self.size}, "
+            f"live={self.live_count})"
+        )
 
 
 def row_text_size(row: Sequence[object], delimiter: str = "\x01") -> int:

@@ -18,6 +18,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.config import (
     Configuration,
+    EXEC_VECTORIZED,
     HIVE_FILE_FORMAT,
     HIVE_MAPJOIN_SMALLTABLE_BYTES,
     RETRY_FALLBACK,
@@ -424,14 +425,17 @@ class Driver:
     def _plan_cache_key(self, statement) -> tuple:
         """Cache key: query structure plus everything compilation reads.
 
-        The AST repr stands in for normalized query text; the only
+        The AST repr stands in for normalized query text; the
         configuration the physical compiler consults is the map-join
-        small-table threshold (``hive.mapjoin.smalltable.filesize``).
+        small-table threshold (``hive.mapjoin.smalltable.filesize``),
+        and the execution mode decides which pipeline the cached plan's
+        descriptors get compiled into at task start.
         """
         return (
             repr(statement),
             self.engine.name,
             self.conf.get(HIVE_MAPJOIN_SMALLTABLE_BYTES, None),
+            self.conf.get(EXEC_VECTORIZED, None),
         )
 
     def _plan_snapshot(self, plan: PhysicalPlan) -> tuple:

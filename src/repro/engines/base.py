@@ -311,6 +311,23 @@ def scan_split(tagged: TaggedSplit) -> Tuple[List[Row], float]:
     return result.rows, result.bytes_read * tagged.split.scale
 
 
+def scan_split_batch(tagged: TaggedSplit):
+    """Columnar twin of :func:`scan_split` for the vectorized mode.
+
+    Returns (:class:`~repro.common.rows.ColumnBatch`, logical bytes) —
+    the batch holds the same rows in the same order and the byte charge
+    is identical, so simulated seconds cannot differ between modes.
+    """
+    hints = tagged.map_input.hints
+    result = tagged.split.stored.scan_batch(
+        tagged.split.row_start,
+        tagged.split.row_count,
+        columns=hints.columns,
+        stats_conjuncts=hints.stats_conjuncts or None,
+    )
+    return result.batch, result.bytes_read * tagged.split.scale
+
+
 def load_broadcast_tables(job: MRJob, hdfs: HDFS) -> Dict[str, List[Row]]:
     """Load + preprocess every broadcast (map-join) table of a job."""
     small: Dict[str, List[Row]] = {}

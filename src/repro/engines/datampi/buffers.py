@@ -74,6 +74,26 @@ class SendPartitionList:
             return buffer
         return None
 
+    def add_many(self, partitions, pairs, on_full) -> None:
+        """Bulk :meth:`add`: the vectorized sink's whole batch in one
+        frame.  Every pair arrives with its ``_size`` memo pre-seeded;
+        filled buffers go to *on_full* in the exact order per-pair
+        ``add`` would have produced them."""
+        buffers = self._buffers
+        capacity = self.capacity
+        nbytes = 0
+        for partition, pair in zip(partitions, pairs):
+            buffer = buffers[partition]
+            size = pair._size
+            buffer.pairs.append(pair)
+            buffer.actual_bytes += size
+            nbytes += size
+            if buffer.actual_bytes >= capacity:
+                buffers[partition] = SendBuffer(partition=partition)
+                on_full(buffer)
+        self.pairs_added += len(pairs)
+        self.bytes_added += nbytes
+
     def drain(self) -> List[SendBuffer]:
         """Remaining non-empty partial buffers (task close)."""
         out = [buffer for buffer in self._buffers if buffer.pairs]

@@ -40,6 +40,7 @@ from repro.common.config import (
     Configuration,
     DATAMPI_NONBLOCKING,
     DATAMPI_OVERLAP,
+    EXEC_VECTORIZED,
     HIVE_DATAMPI_DAG,
     HIVE_DATAMPI_MEM_USED_PERCENT,
     HIVE_DATAMPI_SEND_QUEUE,
@@ -70,6 +71,7 @@ from repro.engines.base import (
     record_job_metrics,
     run_reducer_functionally,
     scan_split,
+    scan_split_batch,
     write_task_output,
 )
 from repro.engines.datampi.buffers import (
@@ -139,6 +141,9 @@ class DataMPICollector(Collector):
         filled = self._add(partition, pair)
         if filled is not None:
             self._on_full(filled)
+
+    def collect_batch(self, partitions, pairs) -> None:
+        self.spl.add_many(partitions, pairs, self._on_full)
 
     def take_full(self) -> List[SendBuffer]:
         # clear in place: collect() holds a bound append to this list
@@ -381,6 +386,7 @@ class DataMPIEngine(Engine):
         queue_capacity = conf.get_int(HIVE_DATAMPI_SEND_QUEUE, costs.default_send_queue)
         nonblocking = conf.get_bool(DATAMPI_NONBLOCKING, True)
         overlap = conf.get_bool(DATAMPI_OVERLAP, True)
+        vectorized = conf.get_bool(EXEC_VECTORIZED, True)
         # the final permitted submission runs with injected task faults
         # disabled, so only repeated node crashes can exhaust the retries
         doom_ok = submission <= retry_max
@@ -465,7 +471,7 @@ class DataMPIEngine(Engine):
                         receive, barrier, queue_capacity, nonblocking,
                         gc_factor, mem_used, first_start_event,
                         pending_deliveries, scale, gang, doom,
-                        overlap, pipe_in, pipe_out,
+                        overlap, pipe_in, pipe_out, vectorized,
                     ),
                     f"{job.job_id}-s{submission}-o{index}",
                 )
@@ -521,7 +527,8 @@ class DataMPIEngine(Engine):
                 gc_factor: float, mem_used: float, first_start_event,
                 pending_deliveries: List, job_scale: float, gang: _Gang,
                 doom: Optional[float], overlap: bool = True,
-                pipe_in: bool = False, pipe_out: bool = False):
+                pipe_in: bool = False, pipe_out: bool = False,
+                vectorized: bool = False):
         costs = self.costs
         node = cluster.workers[node_index]
         task = TaskTiming(task_id=f"o{index}", kind="o", node=node_index,
@@ -580,7 +587,10 @@ class DataMPIEngine(Engine):
                     gang.add(sender_done)
                     sender_started = True
 
-                rows, bytes_to_read = scan_split(tagged)
+                if vectorized:
+                    rows, bytes_to_read = scan_split_batch(tagged)
+                else:
+                    rows, bytes_to_read = scan_split(tagged)
                 spl = SendPartitionList(
                     max(1, num_reducers),
                     self._partition_buffer_bytes(mem_used) / max(scale, 1e-9),
@@ -591,6 +601,7 @@ class DataMPIEngine(Engine):
                     collector=collector if not job.is_map_only else None,
                     num_partitions=num_reducers,
                     small_tables=small_tables,
+                    vectorized=vectorized,
                 )
 
                 orc = tagged.split.stored.__class__.__name__.startswith("Orc")

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.common.config import (
     BLACKLIST_THRESHOLD,
     Configuration,
+    EXEC_VECTORIZED,
     SPECULATIVE_EXECUTION,
     SPECULATIVE_SLOWDOWN,
     TASK_MAX_ATTEMPTS,
@@ -61,6 +62,7 @@ from repro.engines.base import (
     record_job_metrics,
     run_reducer_functionally,
     scan_split,
+    scan_split_batch,
     write_task_output,
 )
 from repro.exec.mapper import ExecMapper
@@ -122,6 +124,14 @@ class _MapOutputCollector(Collector):
         self.partitions[partition].append(pair)
         self.partition_bytes[partition] += pair.serialized_size()
 
+    def collect_batch(self, partitions, pairs) -> None:
+        # the vectorized sink pre-seeds every pair's _size memo
+        partition_lists = self.partitions
+        partition_bytes = self.partition_bytes
+        for partition, pair in zip(partitions, pairs):
+            partition_lists[partition].append(pair)
+            partition_bytes[partition] += pair._size
+
     @property
     def total_bytes(self) -> int:
         # summed on demand (per batch / at close) instead of maintaining
@@ -169,6 +179,7 @@ class _JobState:
         self.all_maps_event = sim.event()
         self.last_copy_done = 0.0
         self.compress_ratio = 1.0  # <1 when mapred.compress.map.output
+        self.vectorized = False  # repro.exec.vectorized, read at job start
         self.map_task_records: Dict[int, TaskTiming] = {}
         self.map_durations: List[float] = []  # successful runs, for speculation
 
@@ -329,6 +340,7 @@ class HadoopEngine(Engine):
 
         compress = conf.get_bool("mapred.compress.map.output", False)
         state.compress_ratio = self.costs.compress_ratio if compress else 1.0
+        state.vectorized = conf.get_bool(EXEC_VECTORIZED, True)
         map_processes = [
             sim.spawn(
                 self._map_task(
@@ -528,7 +540,10 @@ class HadoopEngine(Engine):
             if not first_start_event.triggered:
                 first_start_event.trigger(sim.now)
 
-            rows, bytes_to_read = scan_split(tagged)
+            if state.vectorized:
+                rows, bytes_to_read = scan_split_batch(tagged)
+            else:
+                rows, bytes_to_read = scan_split(tagged)
 
             if doom is not None:
                 # injected failure: burn the work done up to the doom point,
@@ -547,6 +562,7 @@ class HadoopEngine(Engine):
                 collector=collector if not job.is_map_only else None,
                 num_partitions=num_reducers,
                 small_tables=small_tables,
+                vectorized=state.vectorized,
             )
 
             scale = tagged.split.scale

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.common.config import Configuration
+from repro.common.config import Configuration, EXEC_VECTORIZED
 from repro.common.kv import KeyValue
 from repro.engines.base import (
     Engine,
@@ -22,6 +22,7 @@ from repro.engines.base import (
     load_broadcast_tables,
     run_reducer_functionally,
     scan_split,
+    scan_split_batch,
     write_task_output,
 )
 from repro.exec.mapper import ExecMapper
@@ -37,6 +38,11 @@ class _PartitionedCollector(Collector):
 
     def collect(self, partition: int, pair: KeyValue) -> None:
         self.partitions[partition].append(pair)
+
+    def collect_batch(self, partitions, pairs) -> None:
+        partition_lists = self.partitions
+        for partition, pair in zip(partitions, pairs):
+            partition_lists[partition].append(pair)
 
 
 class LocalEngine(Engine):
@@ -88,13 +94,15 @@ class LocalEngine(Engine):
             job, len(splits), total_bytes, conf, is_last, self.max_slots
         )
         timing = JobTiming(job_id=job.job_id, num_maps=len(splits), num_reducers=num_reducers)
+        vectorized = conf.get_bool(EXEC_VECTORIZED, True)
 
         if job.is_map_only:
             for task_index, tagged in enumerate(splits):
-                rows, _bytes = scan_split(tagged)
+                scan = scan_split_batch if vectorized else scan_split
+                rows, _bytes = scan(tagged)
                 mapper = ExecMapper(
                     tagged.operators, collector=None, num_partitions=1,
-                    small_tables=small_tables,
+                    small_tables=small_tables, vectorized=vectorized,
                 )
                 mapper.process_batch(rows)
                 result = mapper.close()
@@ -105,12 +113,14 @@ class LocalEngine(Engine):
 
         collector = _PartitionedCollector(num_reducers)
         for tagged in splits:
-            rows, _bytes = scan_split(tagged)
+            scan = scan_split_batch if vectorized else scan_split
+            rows, _bytes = scan(tagged)
             mapper = ExecMapper(
                 tagged.operators,
                 collector=collector,
                 num_partitions=num_reducers,
                 small_tables=small_tables,
+                vectorized=vectorized,
             )
             mapper.process_batch(rows)
             mapper.close()

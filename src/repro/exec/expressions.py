@@ -19,10 +19,17 @@ import operator
 import re
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError, SemanticError
-from repro.common.kv import serialize_fields
+from repro.common.kv import (
+    _F64,
+    _I64,
+    _U16,
+    KeyValue,
+    fields_size,
+    serialize_fields,
+)
 from repro.common.rows import DataType
 from repro.sql.functions import ScalarFunction
 
@@ -341,12 +348,36 @@ _ARITH_TEMPLATES = {
 _COMPARE_OPS = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
 
 
+def _cast_callable(target: DataType) -> Callable[[object], object]:
+    """Value-level CAST (same semantics as :meth:`CastExpr.compile`)."""
+    def cast(value):
+        if value is None:
+            return None
+        try:
+            if target in (DataType.INT, DataType.BIGINT):
+                return int(float(value))
+            if target is DataType.DOUBLE:
+                return float(value)
+            if target is DataType.BOOLEAN:
+                return bool(value)
+            return str(value)
+        except (TypeError, ValueError):
+            return None  # Hive casts malformed values to NULL
+    return cast
+
+
 def _emit(expression: BoundExpression, lines: List[str], env: dict,
-          counter: List[int], indent: str = "    ") -> str:
+          counter: List[int], indent: str = "    ",
+          ref: Optional[Callable[[int], str]] = None) -> str:
     """Append statements evaluating *expression*; returns a cheap atom
-    (a temp name, ``row[i]`` or a bound constant) holding its value."""
+    (a temp name, an input reference or a bound constant) holding its
+    value.  *ref* renders an :class:`InputRef` atom — the default is the
+    row form ``row[i]``; the column kernels pass ``col{i}[i]`` so the
+    same emitter serves both execution modes."""
     kind = type(expression)
     if kind is InputRef:
+        if ref is not None:
+            return ref(expression.index)
         return f"row[{expression.index}]"
     if kind is Const:
         name = f"c{len(env)}"
@@ -356,8 +387,8 @@ def _emit(expression: BoundExpression, lines: List[str], env: dict,
         template = _ARITH_TEMPLATES.get(expression.op)
         if template is None:
             raise _CodegenUnsupported
-        a = _emit(expression.left, lines, env, counter, indent)
-        b = _emit(expression.right, lines, env, counter, indent)
+        a = _emit(expression.left, lines, env, counter, indent, ref)
+        b = _emit(expression.right, lines, env, counter, indent, ref)
         name = f"v{counter[0]}"
         counter[0] += 1
         lines.append(indent + template.format(n=name, a=a, b=b))
@@ -366,8 +397,8 @@ def _emit(expression: BoundExpression, lines: List[str], env: dict,
         pyop = _COMPARE_OPS.get(expression.op)
         if pyop is None:
             raise _CodegenUnsupported
-        a = _emit(expression.left, lines, env, counter, indent)
-        b = _emit(expression.right, lines, env, counter, indent)
+        a = _emit(expression.left, lines, env, counter, indent, ref)
+        b = _emit(expression.right, lines, env, counter, indent, ref)
         name = f"v{counter[0]}"
         counter[0] += 1
         lines.append(
@@ -376,7 +407,10 @@ def _emit(expression: BoundExpression, lines: List[str], env: dict,
         )
         return name
     if kind is ScalarCall:
-        args = [_emit(arg, lines, env, counter, indent) for arg in expression.args]
+        args = [
+            _emit(arg, lines, env, counter, indent, ref)
+            for arg in expression.args
+        ]
         impl_name = f"f{len(env)}"
         env[impl_name] = expression.function.impl
         name = f"v{counter[0]}"
@@ -384,14 +418,14 @@ def _emit(expression: BoundExpression, lines: List[str], env: dict,
         lines.append(f"{indent}{name} = {impl_name}({', '.join(args)})")
         return name
     if kind is IsNullExpr:
-        atom = _emit(expression.operand, lines, env, counter, indent)
+        atom = _emit(expression.operand, lines, env, counter, indent, ref)
         name = f"v{counter[0]}"
         counter[0] += 1
         test = "is not None" if expression.negated else "is None"
         lines.append(f"{indent}{name} = {atom} {test}")
         return name
     if kind is InSet:
-        atom = _emit(expression.operand, lines, env, counter, indent)
+        atom = _emit(expression.operand, lines, env, counter, indent, ref)
         set_name = f"c{len(env)}"
         env[set_name] = expression.values
         name = f"v{counter[0]}"
@@ -402,22 +436,69 @@ def _emit(expression: BoundExpression, lines: List[str], env: dict,
             f"else {atom} {membership} {set_name}"
         )
         return name
+    if kind is LikeExpr:
+        atom = _emit(expression.operand, lines, env, counter, indent, ref)
+        match_name = f"f{len(env)}"
+        env[match_name] = re.compile(
+            _like_to_regex(expression.pattern), re.DOTALL
+        ).fullmatch
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        test = "is None" if expression.negated else "is not None"
+        lines.append(
+            f"{indent}{name} = None if {atom} is None "
+            f"else {match_name}(str({atom})) {test}"
+        )
+        return name
+    if kind is CastExpr:
+        atom = _emit(expression.operand, lines, env, counter, indent, ref)
+        cast_name = f"f{len(env)}"
+        env[cast_name] = _cast_callable(expression.dtype)
+        name = f"v{counter[0]}"
+        counter[0] += 1
+        lines.append(f"{indent}{name} = {cast_name}({atom})")
+        return name
+    if kind is CaseExpr:
+        name = f"v{counter[0]}"
+        counter[0] += 1
+
+        def emit_branches(branches, level: str) -> None:
+            if not branches:
+                if expression.else_value is not None:
+                    atom = _emit(
+                        expression.else_value, lines, env, counter, level, ref
+                    )
+                    lines.append(f"{level}{name} = {atom}")
+                else:
+                    lines.append(f"{level}{name} = None")
+                return
+            condition, value = branches[0]
+            cond_atom = _emit(condition, lines, env, counter, level, ref)
+            lines.append(f"{level}if {cond_atom}:")
+            value_atom = _emit(value, lines, env, counter, level + "    ", ref)
+            lines.append(f"{level}    {name} = {value_atom}")
+            lines.append(f"{level}else:")
+            emit_branches(branches[1:], level + "    ")
+
+        emit_branches(list(expression.branches), indent)
+        return name
     if kind is LogicalNot:
-        atom = _emit(expression.operand, lines, env, counter, indent)
+        atom = _emit(expression.operand, lines, env, counter, indent, ref)
         name = f"v{counter[0]}"
         counter[0] += 1
         lines.append(f"{indent}{name} = None if {atom} is None else not {atom}")
         return name
     if kind is LogicalAnd or kind is LogicalOr:
         return _emit_logical(
-            expression.operands, kind is LogicalAnd, lines, env, counter, indent
+            expression.operands, kind is LogicalAnd, lines, env, counter,
+            indent, ref,
         )
     raise _CodegenUnsupported
 
 
 def _emit_logical(operands: List[BoundExpression], is_and: bool,
                   lines: List[str], env: dict, counter: List[int],
-                  indent: str) -> str:
+                  indent: str, ref: Optional[Callable[[int], str]] = None) -> str:
     """Three-valued AND/OR with the closure compiler's exact short-circuit:
     stop at the first definitive operand (falsy for AND, truthy for OR),
     otherwise remember NULLs and keep going.  Later operands nest inside
@@ -437,7 +518,7 @@ def _emit_logical(operands: List[BoundExpression], is_and: bool,
                 f"{level}{result} = None if {saw_null} else {exhausted}"
             )
             return
-        atom = _emit(rest[0], lines, env, counter, level)
+        atom = _emit(rest[0], lines, env, counter, level, ref)
         lines.append(f"{level}if {atom} is None:")
         lines.append(f"{level}    {saw_null} = True")
         # continue past NULLs and non-definitive values
@@ -492,45 +573,62 @@ def codegen_group_update(
     partials at flush time), or None when any aggregate or argument
     falls outside the fusable subset.
     """
-    from repro.sql.functions import AvgAggregate, CountAggregate, SumAggregate
-
     if not aggregates:
         return None
     lines: List[str] = []
     env: dict = {}
     counter = [0]
-    initial: list = []
     try:
-        for aggregate, arg in aggregates:
-            kind = type(aggregate)
-            atom = _emit(
-                arg if arg is not None else Const(True), lines, env, counter
-            )
-            slot = len(initial)
-            if kind is CountAggregate:
-                initial.append(0)
-                lines.append(f"    if {atom} is not None:")
-                lines.append(f"        acc[{slot}] += 1")
-            elif kind is SumAggregate:
-                initial.append(None)
-                lines.append(f"    if {atom} is not None:")
-                lines.append(f"        s{slot} = acc[{slot}]")
-                lines.append(
-                    f"        acc[{slot}] = {atom} if s{slot} is None "
-                    f"else s{slot} + {atom}"
-                )
-            elif kind is AvgAggregate:
-                initial.extend([0.0, 0])
-                lines.append(f"    if {atom} is not None:")
-                lines.append(f"        acc[{slot}] += {atom}")
-                lines.append(f"        acc[{slot + 1}] += 1")
-            else:
-                raise _CodegenUnsupported
+        initial = _emit_aggregate_updates(aggregates, lines, env, counter, "    ")
     except _CodegenUnsupported:
         return None
     source = "def _update_group(row, acc):\n" + "\n".join(lines)
     exec(compile(source, "<repro-exec-codegen>", "exec"), env)
     return env["_update_group"], initial
+
+
+def _emit_aggregate_updates(
+    aggregates: List[Tuple[object, Optional[BoundExpression]]],
+    lines: List[str], env: dict, counter: List[int], indent: str,
+    ref: Optional[Callable[[int], str]] = None,
+) -> list:
+    """Emit per-row update statements over a flat slot list named ``acc``.
+
+    Shared by the row-path :func:`codegen_group_update` and the column
+    kernel :func:`codegen_group_kernel` so both execution modes perform
+    bit-identical accumulation.  Returns the initial slot list; raises
+    :class:`_CodegenUnsupported` outside the count/sum/avg subset.
+    """
+    from repro.sql.functions import AvgAggregate, CountAggregate, SumAggregate
+
+    initial: list = []
+    for aggregate, arg in aggregates:
+        kind = type(aggregate)
+        atom = _emit(
+            arg if arg is not None else Const(True), lines, env, counter,
+            indent, ref,
+        )
+        slot = len(initial)
+        if kind is CountAggregate:
+            initial.append(0)
+            lines.append(f"{indent}if {atom} is not None:")
+            lines.append(f"{indent}    acc[{slot}] += 1")
+        elif kind is SumAggregate:
+            initial.append(None)
+            lines.append(f"{indent}if {atom} is not None:")
+            lines.append(f"{indent}    s{slot} = acc[{slot}]")
+            lines.append(
+                f"{indent}    acc[{slot}] = {atom} if s{slot} is None "
+                f"else s{slot} + {atom}"
+            )
+        elif kind is AvgAggregate:
+            initial.extend([0.0, 0])
+            lines.append(f"{indent}if {atom} is not None:")
+            lines.append(f"{indent}    acc[{slot}] += {atom}")
+            lines.append(f"{indent}    acc[{slot + 1}] += 1")
+        else:
+            raise _CodegenUnsupported
+    return initial
 
 
 def compile_expression(expression: BoundExpression) -> Evaluator:
@@ -587,6 +685,368 @@ def compile_many(expressions: List[BoundExpression]) -> Callable[[Row], Row]:
         first, second, third, fourth = compiled
         return lambda row: (first(row), second(row), third(row), fourth(row))
     return lambda row: tuple(evaluator(row) for evaluator in compiled)
+
+
+# ---------------------------------------------------------------------------
+# column-loop codegen (vectorized execution; see repro.exec.vectorized)
+# ---------------------------------------------------------------------------
+#
+# Each kernel compiles one operator's whole per-batch work into a single
+# generated function running ONE ``for i in sel:`` loop over column lists
+# (``col{idx}`` locals — a distinct prefix from the ``c{n}`` environment
+# constants).  Every kernel returns None when any expression falls
+# outside the emitter's subset; the caller then drops the task back to
+# the row pipeline, which stays the ground truth.
+
+def _column_ref(used: set) -> Callable[[int], str]:
+    """Atom renderer for column kernels; records referenced columns."""
+    def ref(index: int) -> str:
+        used.add(index)
+        return f"col{index}[i]"
+    return ref
+
+
+def _column_bindings(used: set) -> List[str]:
+    return [f"    col{index} = cols[{index}]" for index in sorted(used)]
+
+
+def _tuple_src(atoms: List[str]) -> str:
+    if not atoms:
+        return "()"
+    if len(atoms) == 1:
+        return f"({atoms[0]},)"
+    return "(" + ", ".join(atoms) + ")"
+
+
+def _compile_kernel(source: str, env: dict, name: str):
+    exec(compile(source, "<repro-vector-codegen>", "exec"), env)
+    return env[name]
+
+
+def codegen_filter_kernel(
+    predicate: BoundExpression,
+) -> Optional[Callable[[List[list], Sequence[int]], List[int]]]:
+    """``(cols, sel) -> new_sel``: positions where the predicate is TRUE
+    (three-valued logic — NULL and FALSE rows are dropped alike)."""
+    lines: List[str] = []
+    env: dict = {}
+    counter = [0]
+    used: set = set()
+    try:
+        atom = _emit(predicate, lines, env, counter, "        ", _column_ref(used))
+    except _CodegenUnsupported:
+        return None
+    source = "\n".join(
+        ["def _filter_batch(cols, sel):"]
+        + _column_bindings(used)
+        + [
+            "    out = []",
+            "    append = out.append",
+            "    for i in sel:",
+        ]
+        + lines
+        + [
+            f"        if {atom} is True:",
+            "            append(i)",
+            "    return out",
+        ]
+    )
+    return _compile_kernel(source, env, "_filter_batch")
+
+
+def codegen_project_kernel(
+    expressions: List[BoundExpression],
+) -> Optional[Callable[[List[list], Sequence[int]], List[list]]]:
+    """``(cols, sel) -> out_cols``: evaluate a projection list over the
+    selected rows, producing dense output columns."""
+    lines: List[str] = []
+    env: dict = {}
+    counter = [0]
+    used: set = set()
+    try:
+        atoms = [
+            _emit(expression, lines, env, counter, "        ", _column_ref(used))
+            for expression in expressions
+        ]
+    except _CodegenUnsupported:
+        return None
+    header = ["def _project_batch(cols, sel):"] + _column_bindings(used)
+    for position in range(len(atoms)):
+        header.append(f"    out{position} = []")
+        header.append(f"    a{position} = out{position}.append")
+    body = ["    for i in sel:"] + lines + [
+        f"        a{position}({atom})" for position, atom in enumerate(atoms)
+    ]
+    outs = ", ".join(f"out{position}" for position in range(len(atoms)))
+    source = "\n".join(header + body + [f"    return [{outs}]"])
+    return _compile_kernel(source, env, "_project_batch")
+
+
+def codegen_keys_kernel(
+    expressions: List[BoundExpression],
+) -> Optional[Callable[[List[list], Sequence[int]], list]]:
+    """``(cols, sel) -> keys``: one key tuple per selected row, with
+    ``None`` standing for a key containing NULL (never matches an
+    equi-join; the probe loop handles outer-join padding)."""
+    lines: List[str] = []
+    env: dict = {}
+    counter = [0]
+    used: set = set()
+    try:
+        atoms = [
+            _emit(expression, lines, env, counter, "        ", _column_ref(used))
+            for expression in expressions
+        ]
+    except _CodegenUnsupported:
+        return None
+    header = ["def _keys_batch(cols, sel):"] + _column_bindings(used) + [
+        "    out = []",
+        "    append = out.append",
+        "    for i in sel:",
+    ]
+    tail: List[str] = []
+    if atoms:
+        null_test = " or ".join(f"{atom} is None" for atom in atoms)
+        tail += [
+            f"        if {null_test}:",
+            "            append(None)",
+            "        else:",
+            f"            append({_tuple_src(atoms)})",
+        ]
+    else:
+        tail += ["        append(())"]
+    source = "\n".join(header + lines + tail + ["    return out"])
+    return _compile_kernel(source, env, "_keys_batch")
+
+
+def codegen_group_kernel(
+    key_expressions: List[BoundExpression],
+    aggregates: List[Tuple[object, Optional[BoundExpression]]],
+    max_groups: int,
+) -> Optional[Tuple[Callable, list, bool]]:
+    """``(cols, sel, table, initial, flush) -> None``: the whole map-side
+    GROUP BY inner loop — key build, hash probe, pressure flush and the
+    fused count/sum/avg accumulator updates — in one generated frame.
+    Returns ``(kernel, initial_slots, scalar_key)``; accumulation
+    statements come from the same emitter as the row path, so partials
+    are identical.  Single-key grouping probes the table with the bare
+    value (``scalar_key`` True): no per-row 1-tuple allocation, and a
+    string key's cached hash is reused — equality over scalars matches
+    equality over their 1-tuples, so the groups are unchanged.
+    """
+    lines: List[str] = []
+    env: dict = {}
+    counter = [0]
+    used: set = set()
+    ref = _column_ref(used)
+    scalar_key = len(key_expressions) == 1
+    try:
+        key_atoms = [
+            _emit(expression, lines, env, counter, "        ", ref)
+            for expression in key_expressions
+        ]
+        probe = [
+            f"        k = {key_atoms[0] if scalar_key else _tuple_src(key_atoms)}",
+            "        acc = table_get(k)",
+            "        if acc is None:",
+            f"            if len(table) >= {int(max_groups)}:",
+            "                flush()",
+            "            acc = initial[:]",
+            "            table[k] = acc",
+        ]
+        agg_lines: List[str] = []
+        initial = _emit_aggregate_updates(
+            aggregates, agg_lines, env, counter, "        ", ref
+        ) if aggregates else []
+    except _CodegenUnsupported:
+        return None
+    source = "\n".join(
+        ["def _group_batch(cols, sel, table, initial, flush):"]
+        + _column_bindings(used)
+        + ["    table_get = table.get", "    for i in sel:"]
+        + lines
+        + probe
+        + agg_lines
+    )
+    return _compile_kernel(source, env, "_group_batch"), initial, scalar_key
+
+
+def _emit_inline_key_encode(
+    atoms: List[str], lines: List[str], indent: str
+) -> None:
+    """Emit statements computing ``kb = serialize_fields(key)`` inline.
+
+    Per field: an exact-type branch producing the same tagged bytes
+    :func:`repro.common.kv._encode_fields` would; any field outside the
+    exact primitive types sets its part to ``None`` and the assembly
+    falls back to ``_ser(key)``, so the bytes are identical by
+    construction in every case.
+    """
+    for position, atom in enumerate(atoms):
+        part = f"kp{position}"
+        lines += [
+            f"{indent}kt = type({atom})",
+            f"{indent}if kt is str:",
+            f"{indent}    kd = {atom}.encode('utf-8')",
+            f"{indent}    {part} = _TS + _u16(len(kd)) + kd",
+            f"{indent}elif kt is int:",
+            f"{indent}    {part} = _TI + _i64({atom})",
+            f"{indent}elif kt is float:",
+            f"{indent}    {part} = _TD + _f64({atom})",
+            f"{indent}elif {atom} is None:",
+            f"{indent}    {part} = _TN",
+            f"{indent}elif kt is bool:",
+            f"{indent}    {part} = _BT if {atom} else _BF",
+            f"{indent}else:",
+            f"{indent}    {part} = None",
+        ]
+    parts = [f"kp{position}" for position in range(len(atoms))]
+    if parts:
+        null_test = " or ".join(f"{part} is None" for part in parts)
+        lines += [
+            f"{indent}if {null_test}:",
+            f"{indent}    kb = _ser(key)",
+            f"{indent}else:",
+            f"{indent}    kb = _AR + {' + '.join(parts)} + _Z0",
+        ]
+    else:
+        lines.append(f"{indent}kb = _AR + _Z0")
+
+
+def _emit_inline_value_size(
+    atoms: List[str], base: int, lines: List[str], indent: str
+) -> None:
+    """Emit statements computing ``vsz = fields_size(value)`` inline.
+
+    *base* carries the statically-known bytes (arity byte plus the
+    integer tag's 9).  Mirrors :func:`repro.common.kv.fields_size`
+    branch for branch; any exotic field type makes the whole value fall
+    back to ``_fs(value)`` (``vsz`` set to ``None`` then resolved once).
+    """
+    lines.append(f"{indent}vsz = {base}")
+    for atom in atoms:
+        lines += [
+            f"{indent}if vsz is not None:",
+            f"{indent}    vt = type({atom})",
+            f"{indent}    if vt is str:",
+            f"{indent}        vsz += 3 + (len({atom}) if {atom}.isascii()"
+            f" else len({atom}.encode('utf-8')))",
+            f"{indent}    elif vt is int or vt is float:",
+            f"{indent}        vsz += 9",
+            f"{indent}    elif {atom} is None:",
+            f"{indent}        vsz += 1",
+            f"{indent}    elif vt is bool:",
+            f"{indent}        vsz += 2",
+            f"{indent}    else:",
+            f"{indent}        vsz = None",
+        ]
+    if atoms:
+        lines += [
+            f"{indent}if vsz is None:",
+            f"{indent}    vsz = _fs(value)",
+        ]
+
+
+def codegen_sink_kernel(
+    key_expressions: List[BoundExpression],
+    value_expressions: List[BoundExpression],
+    tag: int,
+) -> Optional[Callable]:
+    """``(cols, sel, num_partitions, collect, histogram) -> (pairs, bytes)``:
+    the entire ReduceSink row loop fused — key/value build, the single
+    key encoding that feeds both the partition hash and the wire size,
+    the memo pre-warm and the size histogram.  Key encoding and value
+    sizing are emitted inline (exact-type branches mirroring the kv
+    serde) so the per-pair work is branch arithmetic, not function
+    calls; exotic types fall back to the serde functions themselves.
+    """
+    key_lines: List[str] = []
+    env: dict = {}
+    counter = [0]
+    used: set = set()
+    ref = _column_ref(used)
+    try:
+        key_exprs = [
+            _emit(expression, key_lines, env, counter, "        ", ref)
+            for expression in key_expressions
+        ]
+        value_lines: List[str] = []
+        value_exprs = [
+            _emit(expression, value_lines, env, counter, "        ", ref)
+            for expression in value_expressions
+        ]
+    except _CodegenUnsupported:
+        return None
+    env.update({
+        "_ser": serialize_fields,
+        "_fs": fields_size,
+        "_crc": zlib.crc32,
+        "_KV": KeyValue,
+        "_new": object.__new__,
+        "_u16": _U16.pack,
+        "_i64": _I64.pack,
+        "_f64": _F64.pack,
+        "_TS": b"S",
+        "_TI": b"I",
+        "_TD": b"D",
+        "_TN": b"N",
+        "_BT": b"B\x01",
+        "_BF": b"B\x00",
+        "_AR": bytes([len(key_expressions)]),
+        "_Z0": b"\x00",
+    })
+    # alias every field into a plain local so the inline branches never
+    # re-evaluate an expression (column loads are cheap; temps are free)
+    key_atoms = []
+    for position, expr in enumerate(key_exprs):
+        key_lines.append(f"        kw{position} = {expr}")
+        key_atoms.append(f"kw{position}")
+    value_atoms = []
+    for position, expr in enumerate(value_exprs):
+        value_lines.append(f"        vw{position} = {expr}")
+        value_atoms.append(f"vw{position}")
+    key_lines.append(f"        key = {_tuple_src(key_atoms)}")
+    _emit_inline_key_encode(key_atoms, key_lines, "        ")
+    value_src = "(" + ", ".join([str(int(tag))] + value_atoms) + \
+        ("," if not value_atoms else "") + ")"
+    value_lines.append(f"        value = {value_src}")
+    # arity byte + the tag field, an exact int, is always 9 bytes
+    _emit_inline_value_size(value_atoms, 1 + 9, value_lines, "        ")
+    source = "\n".join(
+        ["def _sink_batch(cols, sel, num_partitions, collect_batch, histogram):"]
+        + _column_bindings(used)
+        + [
+            "    parts = []",
+            "    parts_append = parts.append",
+            "    out_pairs = []",
+            "    pairs_append = out_pairs.append",
+            "    sizes = []",
+            "    sizes_append = sizes.append",
+            "    for i in sel:",
+        ]
+        + key_lines
+        + value_lines
+        + [
+            "        size = len(kb) - 1 + vsz",
+            # KeyValue is a frozen dataclass: filling __dict__ directly
+            # skips its __init__ (two object.__setattr__ frames) and the
+            # size-memo seeding write; the resulting pair is
+            # indistinguishable from one built the normal way
+            "        pair = _new(_KV)",
+            "        state = pair.__dict__",
+            '        state["key"] = key',
+            '        state["value"] = value',
+            '        state["_size"] = size',
+            "        sizes_append(size)",
+            "        parts_append((_crc(kb) & 0x7FFFFFFF) % num_partitions)",
+            "        pairs_append(pair)",
+            # histogram is a Counter: update() counts the size list in C
+            "    histogram.update(sizes)",
+            "    collect_batch(parts, out_pairs)",
+            "    return len(out_pairs), sum(sizes)",
+        ]
+    )
+    return _compile_kernel(source, env, "_sink_batch")
 
 
 def stable_hash(fields: Tuple[object, ...]) -> int:

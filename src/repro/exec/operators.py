@@ -11,6 +11,7 @@ engine's collector — Hadoop's spill buffer or the DataMPICollector) or a
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 from zlib import crc32
@@ -104,6 +105,18 @@ class Collector:
     def collect(self, partition: int, pair: KeyValue) -> None:
         raise NotImplementedError
 
+    def collect_batch(self, partitions, pairs) -> None:
+        """Bulk :meth:`collect` over parallel partition/pair lists.
+
+        The vectorized ReduceSink emits one call per column batch;
+        engines override this with an inlined loop so the per-pair cost
+        is list appends, not method dispatch.  Pair order is preserved,
+        so buffer-fill sequences are identical to per-pair collect().
+        """
+        collect = self.collect
+        for partition, pair in zip(partitions, pairs):
+            collect(partition, pair)
+
 
 class ListCollector(Collector):
     """Test/reference collector: buffers everything."""
@@ -133,8 +146,9 @@ class OperatorContext:
         self.rows_emitted = 0
         self.kv_pairs_out = 0
         self.kv_bytes_out = 0
-        # serialized size -> pair count (Fig 2(c)/(d) instrumentation)
-        self.kv_size_histogram: Dict[int, int] = {}
+        # serialized size -> pair count (Fig 2(c)/(d) instrumentation);
+        # a Counter so the vectorized sink can batch-count sizes in C
+        self.kv_size_histogram: Dict[int, int] = Counter()
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import functools
 import operator
+from itertools import chain, groupby
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -114,16 +115,19 @@ class JoinReduceLogic(ReduceLogic):
 
     def reduce(self, key: Row, values: Sequence[Value]) -> None:
         desc = self.desc
-        left_rows: List[Row] = []
-        right_rows: List[Row] = []
-        for value in values:
-            (left_rows if value[0] == 0 else right_rows).append(value[1:])
+        # two comprehension passes beat one Python loop with a branch;
+        # the right side goes first so a right-empty inner-join group
+        # returns before materializing its left rows
+        right_rows = [value[1:] for value in values if value[0] != 0]
         if right_rows:
+            left_rows = [value[1:] for value in values if value[0] == 0]
             batch = [left + right for left in left_rows for right in right_rows]
             self.downstream.process_rows(batch)
         elif desc.join_type == "left":
             nulls = (None,) * desc.right_width
-            self.downstream.process_rows([left + nulls for left in left_rows])
+            self.downstream.process_rows(
+                [value[1:] + nulls for value in values if value[0] == 0]
+            )
 
 
 class SortReduceLogic(ReduceLogic):
@@ -181,15 +185,15 @@ def _keys_native_sortable(pairs: List[KeyValue]) -> bool:
     """
     if not pairs:
         return True
-    arity = len(pairs[0].key)
-    for pair in pairs:
-        key = pair.key
-        if len(key) != arity:
-            return False
-        for part in key:
-            if part is None or isinstance(part, bool):
-                return False
-    return True
+    keys = list(map(_key_of, pairs))
+    if len(set(map(len, keys))) != 1:
+        return False
+    part_types = set(map(type, chain.from_iterable(keys)))
+    if type(None) in part_types:
+        return False
+    # isinstance(..., bool) in the per-field loop this replaces only
+    # ever matched exact bools: bool is final (cannot be subclassed)
+    return bool not in part_types
 
 
 def sort_pairs(
@@ -218,21 +222,18 @@ def sort_pairs(
     return sorted(pairs, key=functools.cmp_to_key(lambda a, b: compare(a.key, b.key)))
 
 
+_value_of = operator.attrgetter("value")
+
+
 def group_sorted_pairs(
     pairs: Iterable[KeyValue],
 ) -> Iterable[Tuple[Row, List[Value]]]:
-    """Group consecutive equal keys of an already-sorted pair stream."""
-    current_key: Optional[Row] = None
-    bucket: List[Value] = []
-    for pair in pairs:
-        if current_key is None or pair.key != current_key:
-            if current_key is not None:
-                yield current_key, bucket
-            current_key = pair.key
-            bucket = []
-        bucket.append(pair.value)
-    if current_key is not None:
-        yield current_key, bucket
+    """Group consecutive equal keys of an already-sorted pair stream.
+
+    ``itertools.groupby`` does the consecutive-equality scan in C; the
+    per-group value extraction is a single ``map`` pass."""
+    for key, group in groupby(pairs, key=_key_of):
+        yield key, list(map(_value_of, group))
 
 
 def merge_sorted_runs(

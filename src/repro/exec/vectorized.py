@@ -1,0 +1,352 @@
+"""Vectorized map-side operators over :class:`~repro.common.rows.ColumnBatch`.
+
+The second execution mode of the map pipeline (``repro.exec.vectorized``,
+default on): instead of pushing one list of row tuples per operator hop,
+each operator runs a codegen'd whole-column loop (see the
+``codegen_*_kernel`` family in :mod:`repro.exec.expressions`) against a
+column batch.  Filters narrow the batch's *selection vector* rather than
+copying data; rows materialize back into tuples only at the serde/shuffle
+boundary (ReduceSink) and at FileSink — Hive's VectorizedRowBatch design.
+
+The mode is all-or-nothing per task: :func:`build_vector_pipeline` returns
+``None`` when any descriptor or expression falls outside the kernel
+subset, and :class:`~repro.exec.mapper.ExecMapper` then runs the row
+pipeline, which remains the ground truth.  Both modes are byte-identical:
+same rows in the same order, same shuffle pair sizes, same simulated
+seconds (the engines charge bytes, not Python frames).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ExecutionError
+from repro.common.rows import ColumnBatch
+from repro.exec.expressions import (
+    InputRef,
+    codegen_filter_kernel,
+    codegen_group_kernel,
+    codegen_keys_kernel,
+    codegen_project_kernel,
+    codegen_sink_kernel,
+    compile_many,
+)
+from repro.exec.operators import (
+    FileSinkDesc,
+    FilterDesc,
+    LimitDesc,
+    MapGroupByDesc,
+    MapJoinDesc,
+    OperatorContext,
+    ReduceSinkDesc,
+    SelectDesc,
+)
+
+Row = Tuple[object, ...]
+
+
+class VectorizationUnsupported(Exception):
+    """Raised while building a vector pipeline for an unsupported plan."""
+
+
+#: Compile-once cache for pure per-descriptor artifacts (kernels, map-join
+#: hash tables).  Descriptors live inside the driver's cached plans, so
+#: every task of every run re-sees the same objects; pinning the anchor
+#: objects in the value keeps their id()s from being recycled by the GC.
+_KERNEL_CACHE: Dict[tuple, tuple] = {}
+
+
+def _cached(kind: str, anchors: tuple, build):
+    key = (kind,) + tuple(id(anchor) for anchor in anchors)
+    hit = _KERNEL_CACHE.get(key)
+    if hit is not None and all(a is b for a, b in zip(hit[0], anchors)):
+        return hit[1]
+    value = build()
+    _KERNEL_CACHE[key] = (anchors, value)
+    return value
+
+
+def _live(batch: ColumnBatch):
+    """The batch's live positions (selection vector or the dense range)."""
+    return batch.sel if batch.sel is not None else range(batch.size)
+
+
+class VectorOperator:
+    def __init__(self, child: Optional["VectorOperator"]):
+        self.child = child
+
+    def process_batch(self, batch: ColumnBatch) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        if self.child is not None:
+            self.child.close()
+
+
+class VectorFilterOperator(VectorOperator):
+    """Narrows the selection vector; column data is never copied."""
+
+    def __init__(self, desc: FilterDesc, child: VectorOperator):
+        super().__init__(child)
+        self._kernel = _cached(
+            "filter", (desc,), lambda: codegen_filter_kernel(desc.predicate)
+        )
+        if self._kernel is None:
+            raise VectorizationUnsupported("filter predicate")
+
+    def process_batch(self, batch: ColumnBatch) -> None:
+        sel = self._kernel(batch.columns, _live(batch))
+        if sel:
+            self.child.process_batch(batch.with_selection(sel))
+
+
+class VectorSelectOperator(VectorOperator):
+    """Projection: pure column references re-point at the input columns
+    (zero copy, selection preserved); computed expressions evaluate over
+    the selected rows into dense output columns."""
+
+    def __init__(self, desc: SelectDesc, child: VectorOperator):
+        super().__init__(child)
+        if desc.expressions and all(
+            type(expression) is InputRef for expression in desc.expressions
+        ):
+            self._indices: Optional[List[int]] = [
+                expression.index for expression in desc.expressions
+            ]
+            self._kernel = None
+        else:
+            self._indices = None
+            self._kernel = _cached(
+                "project", (desc,),
+                lambda: codegen_project_kernel(desc.expressions),
+            )
+            if self._kernel is None or not desc.expressions:
+                raise VectorizationUnsupported("projection list")
+
+    def process_batch(self, batch: ColumnBatch) -> None:
+        if self._indices is not None:
+            columns = [batch.columns[index] for index in self._indices]
+            self.child.process_batch(ColumnBatch(columns, batch.size, batch.sel))
+            return
+        columns = self._kernel(batch.columns, _live(batch))
+        self.child.process_batch(ColumnBatch(columns, batch.live_count))
+
+
+class VectorMapGroupByOperator(VectorOperator):
+    """Map-side partial aggregation: the whole inner loop (key build,
+    hash probe, pressure flush, accumulator updates) is one generated
+    frame sharing its accumulation statements with the row path."""
+
+    def __init__(self, desc: MapGroupByDesc, child: VectorOperator):
+        super().__init__(child)
+        fused = _cached(
+            "group", (desc,),
+            lambda: codegen_group_kernel(
+                desc.key_expressions, desc.aggregates,
+                desc.max_groups_in_memory,
+            ),
+        )
+        if fused is None:
+            raise VectorizationUnsupported("group-by aggregates")
+        self._kernel, self._initial, self._scalar_key = fused
+        self._table: Dict[object, list] = {}
+        self.flushes = 0
+
+    def process_batch(self, batch: ColumnBatch) -> None:
+        self._kernel(
+            batch.columns, _live(batch), self._table, self._initial, self._flush
+        )
+
+    def _flush(self) -> None:
+        self.flushes += 1
+        if not self._table:
+            return
+        # flat slots are exactly the concatenated partial tuples
+        if self._scalar_key:
+            rows = [
+                (key,) + tuple(accumulators)
+                for key, accumulators in self._table.items()
+            ]
+        else:
+            rows = [
+                key + tuple(accumulators)
+                for key, accumulators in self._table.items()
+            ]
+        self._table.clear()
+        self.child.process_batch(ColumnBatch.from_rows(rows))
+
+    def close(self) -> None:
+        self._flush()
+        super().close()
+
+
+class VectorMapJoinOperator(VectorOperator):
+    """Broadcast hash join: probe keys come from a column kernel; matched
+    big-side rows are gathered as an index list (late materialization —
+    output columns are built straight from the input columns)."""
+
+    def __init__(self, desc: MapJoinDesc, child: VectorOperator,
+                 context: OperatorContext):
+        super().__init__(child)
+        self._probe_keys = _cached(
+            "probe-keys", (desc,),
+            lambda: codegen_keys_kernel(desc.probe_key_expressions),
+        )
+        if self._probe_keys is None:
+            raise VectorizationUnsupported("map-join probe keys")
+        self._left_join = desc.join_type == "left"
+        self._null_pad = (None,) * desc.small_width
+        self._swap = desc.swap_output
+        try:
+            small_rows = context.small_tables[desc.small_location]
+        except KeyError:
+            raise ExecutionError(
+                f"map-join small table not loaded: {desc.small_location}"
+            ) from None
+        # the hash table is read-only after the build, so every task of
+        # the job (they share the broadcast row list) reuses one build
+        self._hash: Dict[Row, List[Row]] = _cached(
+            "mapjoin-hash", (desc, small_rows),
+            lambda: self._build_hash(desc, small_rows),
+        )
+
+    @staticmethod
+    def _build_hash(desc: MapJoinDesc, small_rows) -> Dict[Row, List[Row]]:
+        build_key = compile_many(desc.build_key_expressions)
+        table: Dict[Row, List[Row]] = {}
+        for row in small_rows:
+            key = build_key(row)
+            if any(part is None for part in key):
+                continue  # NULL never matches an equi-join key
+            table.setdefault(key, []).append(row)
+        return table
+
+    def process_batch(self, batch: ColumnBatch) -> None:
+        keys = self._probe_keys(batch.columns, _live(batch))
+        table_get = self._hash.get
+        left_join = self._left_join
+        null_pad = self._null_pad
+        gather: List[int] = []
+        gather_append = gather.append
+        small_out: List[Row] = []
+        small_append = small_out.append
+        for position, key in zip(_live(batch), keys):
+            matches = table_get(key) if key is not None else None
+            if matches:
+                for small_row in matches:
+                    gather_append(position)
+                    small_append(small_row)
+            elif left_join:
+                gather_append(position)
+                small_append(null_pad)
+        if not gather:
+            return
+        big_columns = [
+            [column[i] for i in gather] for column in batch.columns
+        ]
+        small_columns = [list(values) for values in zip(*small_out)]
+        if self._swap:
+            columns = small_columns + big_columns
+        else:
+            columns = big_columns + small_columns
+        self.child.process_batch(ColumnBatch(columns, len(gather)))
+
+
+class VectorLimitOperator(VectorOperator):
+    def __init__(self, desc: LimitDesc, child: VectorOperator):
+        super().__init__(child)
+        self._remaining = desc.limit
+
+    def process_batch(self, batch: ColumnBatch) -> None:
+        if self._remaining <= 0:
+            return
+        batch = batch.take_first(self._remaining)
+        self._remaining -= batch.live_count
+        self.child.process_batch(batch)
+
+
+class VectorReduceSinkOperator(VectorOperator):
+    """Terminal: the fused sink kernel encodes each key once (the bytes
+    drive both the partition hash and the wire size), pre-warms the pair
+    size memo and feeds the engine's collector — identical pair stream
+    to the row path's ``ReduceSinkOperator.process_rows``."""
+
+    def __init__(self, desc: ReduceSinkDesc, context: OperatorContext):
+        super().__init__(None)
+        self._kernel = _cached(
+            "sink", (desc,),
+            lambda: codegen_sink_kernel(
+                desc.key_expressions, desc.value_expressions, desc.tag
+            ),
+        )
+        if self._kernel is None:
+            raise VectorizationUnsupported("reduce-sink key/value")
+        self._context = context
+
+    def process_batch(self, batch: ColumnBatch) -> None:
+        context = self._context
+        pairs, nbytes = self._kernel(
+            batch.columns,
+            _live(batch),
+            context.num_partitions,
+            context.collector.collect_batch,
+            context.kv_size_histogram,
+        )
+        context.kv_pairs_out += pairs
+        context.kv_bytes_out += nbytes
+
+    def close(self) -> None:
+        pass
+
+
+class VectorFileSinkOperator(VectorOperator):
+    """Terminal: the only place a map-only pipeline materializes rows."""
+
+    def __init__(self, desc: FileSinkDesc, context: OperatorContext):
+        super().__init__(None)
+        self._context = context
+
+    def process_batch(self, batch: ColumnBatch) -> None:
+        rows = batch.to_rows()
+        self._context.rows_emitted += len(rows)
+        self._context.output_rows.extend(rows)
+
+    def close(self) -> None:
+        pass
+
+
+def build_vector_pipeline(
+    descriptors: List[object], context: OperatorContext
+) -> Optional[VectorOperator]:
+    """Instantiate a vector pipeline from descriptors (sink must be last).
+
+    Returns ``None`` when the plan cannot be fully vectorized — the task
+    then runs the row pipeline instead (all-or-nothing per task, so the
+    two modes never mix within one operator chain).
+    """
+    if not descriptors:
+        return None
+    try:
+        tail = descriptors[-1]
+        if isinstance(tail, ReduceSinkDesc):
+            operator: VectorOperator = VectorReduceSinkOperator(tail, context)
+        elif isinstance(tail, FileSinkDesc):
+            operator = VectorFileSinkOperator(tail, context)
+        else:
+            return None
+        for descriptor in reversed(descriptors[:-1]):
+            if isinstance(descriptor, FilterDesc):
+                operator = VectorFilterOperator(descriptor, operator)
+            elif isinstance(descriptor, SelectDesc):
+                operator = VectorSelectOperator(descriptor, operator)
+            elif isinstance(descriptor, MapGroupByDesc):
+                operator = VectorMapGroupByOperator(descriptor, operator)
+            elif isinstance(descriptor, MapJoinDesc):
+                operator = VectorMapJoinOperator(descriptor, operator, context)
+            elif isinstance(descriptor, LimitDesc):
+                operator = VectorLimitOperator(descriptor, operator)
+            else:
+                return None
+    except VectorizationUnsupported:
+        return None
+    return operator

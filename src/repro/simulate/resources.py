@@ -145,7 +145,8 @@ class Bandwidth:
             return
         share = elapsed * self.rate / len(self._active)
         for item in self._active:
-            progressed = min(share, item.remaining)
+            remaining = item.remaining
+            progressed = share if share < remaining else remaining
             item.remaining -= progressed
             self.bytes_moved += progressed
             if item.category is not None:
@@ -161,8 +162,15 @@ class Bandwidth:
             self._timer_target = None
         if not self._active:
             return
-        shortest = min(self._active, key=lambda item: item.remaining)
-        delay = shortest.remaining * len(self._active) / self.rate
+        # manual argmin: min(key=lambda) pays one frame per transfer and
+        # this runs after every admit/finish on links with long queues
+        shortest = self._active[0]
+        smallest = shortest.remaining
+        for item in self._active:
+            if item.remaining < smallest:
+                smallest = item.remaining
+                shortest = item
+        delay = smallest * len(self._active) / self.rate
         self._timer_target = shortest
         self._timer = self.sim.call_at(self.sim.now + delay, self._on_timer)
 

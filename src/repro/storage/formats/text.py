@@ -11,11 +11,13 @@ from typing import List, Optional, Sequence
 
 from repro.common.rows import Schema, coerce_value
 from repro.storage.formats.base import (
+    BatchScanResult,
     FileFormat,
     Row,
     ScanResult,
     StatsConjunct,
     StoredFile,
+    contiguous_scan_batch,
     register_format,
 )
 
@@ -67,6 +69,16 @@ class TextStoredFile(StoredFile):
         row_end = min(row_start + row_count, self.row_count)
         rows = self.rows[row_start:row_end]
         return ScanResult(rows=rows, bytes_read=self.bytes_for_range(row_start, row_count))
+
+    def scan_batch(
+        self,
+        row_start: int,
+        row_count: int,
+        columns: Optional[Sequence[str]] = None,
+        stats_conjuncts: Optional[Sequence[StatsConjunct]] = None,
+    ) -> BatchScanResult:
+        # row-oriented: hints are ignored exactly as scan() ignores them
+        return contiguous_scan_batch(self, row_start, row_count)
 
 
 class TextFormat(FileFormat):

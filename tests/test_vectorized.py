@@ -1,0 +1,307 @@
+"""Vectorized execution: dual-mode equivalence and ColumnBatch semantics.
+
+The vectorized map pipeline (``repro.exec.vectorized``) must be
+indistinguishable from the row pipeline: same rows in the same order on
+every engine, same shuffle pair sizes.  The first half of this module
+replays a query corpus (plus a hypothesis-generated stream) through both
+modes and asserts identical results; the second half unit-tests the
+selection-vector contract of :class:`~repro.common.rows.ColumnBatch`
+(nulls, empty batches, batch-boundary LIMIT, zero-copy windows) and the
+byte accounting of the fused sink kernel.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import HDFS, Metastore, connect
+from repro.common.errors import ExecutionError
+from repro.common.kv import KeyValue
+from repro.common.rows import ColumnBatch, Schema
+from repro.engines.base import compare_result_rows
+from repro.exec.expressions import InputRef, codegen_sink_kernel
+from repro.exec.operators import LimitDesc
+from repro.exec.vectorized import VectorLimitOperator, build_vector_pipeline
+
+SCHEMA = Schema.parse("k int, grp string, val double, flag boolean")
+DIM_SCHEMA = Schema.parse("grp string, weight int")
+
+
+def _build_store():
+    rng = random.Random(20260806)
+    rows = [
+        (
+            i,
+            f"g{rng.randrange(8)}",
+            round(rng.uniform(-50, 50), 2) if rng.random() > 0.05 else None,
+            rng.random() > 0.5,
+        )
+        for i in range(400)
+    ]
+    dims = [(f"g{i}", i * 10) for i in range(6)]  # g6, g7 unmatched
+    hdfs = HDFS(num_workers=7)
+    metastore = Metastore(hdfs)
+    # same data in a row format (scan_batch adapter path) and in ORC
+    # (native columnar stripe path) so both producers are exercised
+    table = metastore.create_table("f", SCHEMA, format_name="sequence")
+    hdfs.write(f"{table.location}/p0", SCHEMA, rows[:200], "sequence", scale=5e4)
+    hdfs.write(f"{table.location}/p1", SCHEMA, rows[200:], "sequence", scale=5e4)
+    orc = metastore.create_table("fo", SCHEMA, format_name="orc")
+    hdfs.write(f"{orc.location}/p0", SCHEMA, rows[:200], "orc", scale=5e4)
+    hdfs.write(f"{orc.location}/p1", SCHEMA, rows[200:], "orc", scale=5e4)
+    dim = metastore.create_table("d", DIM_SCHEMA)
+    hdfs.write(f"{dim.location}/p0", DIM_SCHEMA, dims, scale=10.0)
+    return hdfs, metastore
+
+
+_STORE = _build_store()
+
+# deterministic corpus: one query per vectorized operator/shape, each
+# over the row-format table and its ORC twin
+_CORPUS = [
+    "SELECT k, grp, val FROM {t} WHERE val > 0 ORDER BY k LIMIT 40",
+    "SELECT k, val * 2.0, grp FROM {t} WHERE k BETWEEN 50 AND 250 "
+    "ORDER BY k DESC LIMIT 25",
+    "SELECT grp, count(*), sum(val), min(k), max(val), avg(val), count(val) "
+    "FROM {t} GROUP BY grp ORDER BY grp",
+    "SELECT grp, count(*) FROM {t} WHERE val IS NOT NULL AND flag "
+    "GROUP BY grp ORDER BY grp",
+    "SELECT weight, count(*), sum(val) FROM {t} JOIN d ON {t}.grp = d.grp "
+    "WHERE k % 2 = 0 GROUP BY weight ORDER BY weight",
+    "SELECT weight, count(*) FROM {t} LEFT JOIN d ON {t}.grp = d.grp "
+    "GROUP BY weight ORDER BY weight",
+    "SELECT grp, count(*) FROM {t} WHERE grp LIKE 'g%' AND NOT (grp = 'g0') "
+    "GROUP BY grp ORDER BY grp",
+    "SELECT grp, count(*) FROM {t} "
+    "WHERE grp IN (SELECT grp FROM d WHERE weight >= 20) "
+    "GROUP BY grp ORDER BY grp",
+    "SELECT grp, count(*) c FROM ("
+    "  SELECT grp FROM {t} WHERE val > 0 UNION ALL SELECT grp FROM d"
+    ") u GROUP BY grp ORDER BY grp",
+    "SELECT CASE WHEN val > 0 THEN 'pos' ELSE 'neg' END s, count(*) "
+    "FROM {t} WHERE val IS NOT NULL "
+    "GROUP BY CASE WHEN val > 0 THEN 'pos' ELSE 'neg' END "
+    "ORDER BY CASE WHEN val > 0 THEN 'pos' ELSE 'neg' END",
+]
+
+
+def _run(engine, sql, vectorized):
+    hdfs, metastore = _STORE
+    session = connect(
+        engine=engine, hdfs=hdfs, metastore=metastore,
+        conf={"repro.exec.vectorized": "true" if vectorized else "false"},
+    )
+    return session.query(sql).rows
+
+
+@pytest.mark.parametrize("engine", ["hadoop", "datampi"])
+@pytest.mark.parametrize("table", ["f", "fo"])
+def test_corpus_modes_agree(engine, table):
+    for template in _CORPUS:
+        sql = template.format(t=table)
+        expected = _run(engine, sql, vectorized=False)
+        actual = _run(engine, sql, vectorized=True)
+        assert compare_result_rows(expected, actual, ordered=True), (
+            f"{engine}/{table} modes disagree on: {sql}\n"
+            f"row-mode {expected[:5]}... vector-mode {actual[:5]}..."
+        )
+
+
+_columns = st.sampled_from(["k", "grp", "val", "flag"])
+_aggs = st.sampled_from(
+    ["count(*)", "sum(val)", "avg(val)", "min(k)", "max(val)", "count(val)"]
+)
+_filters = st.sampled_from([
+    "k < 200", "val > 0", "grp IN ('g1', 'g3', 'g5')", "grp LIKE 'g%'",
+    "val IS NOT NULL", "flag", "k BETWEEN 100 AND 300",
+    "NOT (grp = 'g0')", "val > 0 AND k % 2 = 0",
+])
+
+
+@st.composite
+def queries(draw):
+    table = draw(st.sampled_from(["f", "fo"]))
+    kind = draw(st.sampled_from(["project", "aggregate", "join"]))
+    if kind == "join":
+        # join scope sees both tables: keep filter columns qualified
+        join_filter = draw(st.sampled_from([
+            "", "k < 200", "val > 0", f"{table}.grp IN ('g1', 'g3', 'g5')",
+            "val IS NOT NULL", "flag", "k BETWEEN 100 AND 300",
+        ]))
+        where = f" WHERE {join_filter}" if join_filter else ""
+        return (
+            f"SELECT weight, {draw(_aggs)} AS m "
+            f"FROM {table} JOIN d ON {table}.grp = d.grp{where} "
+            "GROUP BY weight ORDER BY weight"
+        )
+    where = f" WHERE {draw(_filters)}" if draw(st.booleans()) else ""
+    if kind == "project":
+        cols = draw(st.lists(_columns, min_size=1, max_size=3, unique=True))
+        limit = draw(st.integers(min_value=1, max_value=40))
+        return (
+            f"SELECT {', '.join(cols)} FROM {table}{where} "
+            f"ORDER BY {', '.join(cols)} DESC, k LIMIT {limit}"
+        )
+    return (
+        f"SELECT grp, {draw(_aggs)} AS m FROM {table}{where} "
+        "GROUP BY grp ORDER BY grp"
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(sql=queries())
+def test_fuzz_modes_agree(sql):
+    expected = _run("datampi", sql, vectorized=False)
+    actual = _run("datampi", sql, vectorized=True)
+    assert compare_result_rows(expected, actual, ordered=True), (
+        f"modes disagree on: {sql}\nrow-mode {expected[:5]}... "
+        f"vector-mode {actual[:5]}..."
+    )
+
+
+# ---------------------------------------------------------------------------
+# ColumnBatch selection-vector semantics
+# ---------------------------------------------------------------------------
+
+def _batch():
+    return ColumnBatch.from_rows(
+        [(1, "a", None), (2, None, 1.5), (3, "c", -2.0), (4, "d", None)]
+    )
+
+
+def test_nulls_live_in_columns_and_null_mask():
+    batch = _batch()
+    assert batch.columns[2] == [None, 1.5, -2.0, None]
+    assert batch.null_mask(2) == [True, False, False, True]
+    assert batch.null_mask(0) == [False] * 4
+    # NULLs survive selection + materialization untouched
+    assert batch.with_selection([1, 3]).to_rows() == [
+        (2, None, 1.5), (4, "d", None)
+    ]
+
+
+def test_empty_batches():
+    empty = ColumnBatch.from_rows([], width=3)
+    assert empty.size == 0 and empty.width == 3
+    assert empty.live_count == 0
+    assert empty.to_rows() == []
+    # an emptied selection keeps the columns but exposes no rows
+    drained = _batch().with_selection([])
+    assert drained.live_count == 0 and drained.to_rows() == []
+
+
+def test_selection_vector_is_zero_copy():
+    batch = _batch()
+    narrowed = batch.with_selection([0, 2])
+    assert narrowed.columns is batch.columns
+    assert narrowed.live_count == 2
+    assert narrowed.to_rows() == [(1, "a", None), (3, "c", -2.0)]
+    # selection order is preserved, not re-sorted
+    assert batch.with_selection([2, 0]).to_rows() == [
+        (3, "c", -2.0), (1, "a", None)
+    ]
+
+
+def test_take_first_semantics():
+    batch = _batch()
+    assert batch.take_first(10) is batch  # no-op beyond live_count
+    assert batch.take_first(2).to_rows() == [(1, "a", None), (2, None, 1.5)]
+    narrowed = batch.with_selection([1, 2, 3])
+    assert narrowed.take_first(2).to_rows() == [(2, None, 1.5), (3, "c", -2.0)]
+
+
+class _CollectingSink:
+    def __init__(self):
+        self.rows = []
+
+    def process_batch(self, batch):
+        self.rows.extend(batch.to_rows())
+
+    def close(self):
+        pass
+
+
+def test_limit_across_batch_boundaries():
+    sink = _CollectingSink()
+    limit = VectorLimitOperator(LimitDesc(limit=5), sink)
+    limit.process_batch(ColumnBatch.from_rows([(1,), (2,), (3,)]))
+    limit.process_batch(ColumnBatch.from_rows([(4,), (5,), (6,)]))
+    limit.process_batch(ColumnBatch.from_rows([(7,)]))  # past the limit
+    limit.close()
+    assert sink.rows == [(1,), (2,), (3,), (4,), (5,)]
+
+
+def test_window_slices_are_zero_copy():
+    batch = _batch()
+    window = batch[1:3]
+    assert window.columns is batch.columns  # shared, nothing copied
+    assert len(window) == 2
+    assert window.sel == range(1, 3)
+    assert window.to_rows() == [(2, None, 1.5), (3, "c", -2.0)]
+    assert batch[0:4] is batch  # full-range slice is the identity
+
+
+def test_window_slice_contract_violations():
+    batch = _batch()
+    with pytest.raises(ExecutionError):
+        batch[1]  # only slices mirror the row-list protocol
+    with pytest.raises(ExecutionError):
+        batch[0:4:2]  # windows must be contiguous
+    with pytest.raises(ExecutionError):
+        batch.with_selection([0, 2])[0:1]  # windows index original columns
+
+
+def test_build_vector_pipeline_rejects_unknown_plans():
+    assert build_vector_pipeline([], None) is None
+    assert build_vector_pipeline([LimitDesc(limit=1)], None) is None
+
+
+# ---------------------------------------------------------------------------
+# fused sink kernel: byte accounting must match the kv serde exactly
+# ---------------------------------------------------------------------------
+
+def test_sink_kernel_sizes_match_serde():
+    # exercise every inline branch: ascii/non-ascii str, int, float,
+    # None, both bools — in keys and values
+    rows = [
+        (1, "ascii", 1.5, None, True),
+        (2, "héllo", -2.0, "x", False),
+        (3, "", 0.25, None, True),
+    ]
+    batch = ColumnBatch.from_rows(rows)
+    refs = [InputRef(i) for i in range(5)]
+    kernel = codegen_sink_kernel(refs[:2], refs[2:], tag=0)
+    assert kernel is not None
+
+    collected = []
+
+    def collect_batch(partitions, pairs):
+        collected.extend(zip(partitions, pairs))
+
+    histogram = Counter()
+    count, nbytes = kernel(
+        batch.columns, range(batch.size), 4, collect_batch, histogram
+    )
+    assert count == len(rows)
+    assert len(collected) == len(rows)
+    total = 0
+    for (partition, pair), row in zip(collected, rows):
+        assert 0 <= partition < 4
+        assert pair.key == row[:2]
+        assert pair.value == (0,) + row[2:]
+        # the memoized size the kernel pre-seeded must equal what the
+        # serde would compute from scratch for the same pair
+        fresh = KeyValue(pair.key, pair.value).serialized_size()
+        assert pair.serialized_size() == fresh
+        total += fresh
+    assert nbytes == total
+    assert histogram == Counter(
+        KeyValue(row[:2], (0,) + row[2:]).serialized_size() for row in rows
+    )
