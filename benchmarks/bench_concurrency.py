@@ -1,0 +1,176 @@
+"""Concurrent-workload benchmark: scheduling policies on one shared cluster.
+
+A mixed workload (long aggregation queries + short scans, several
+pools) is submitted concurrently to one simulated cluster under each
+scheduling policy, on both cluster engines.  Reported per policy:
+
+* **makespan** — simulated seconds until the last query finishes;
+* **per-query latency percentiles** (p50/p95, submit-to-finish);
+* **Jain's fairness index over slowdowns** — each query's latency
+  divided by its solo (empty-cluster) latency, so the index measures
+  how evenly the policies spread the cost of sharing, independent of
+  how long each query is intrinsically.
+
+Every run also cross-checks correctness: each query's rows under every
+policy must be byte-identical to its solo run.
+
+Standalone (the check.sh gate runs it with ``CHECK_CONCURRENCY_FULL=1``)::
+
+    python benchmarks/bench_concurrency.py [--smoke] [--output OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))  # benchhelpers
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # runnable without an installed package
+    sys.path.insert(0, _SRC)
+
+from benchhelpers import results_path  # noqa: E402
+
+from repro import connect  # noqa: E402
+from repro.bench import fresh_hibench  # noqa: E402
+from repro.common.config import (  # noqa: E402
+    SCHED_DEFAULT_POOL,
+    SCHED_POLICY,
+    SCHED_POOLS,
+)
+from repro.sched import POLICIES, jain_fairness_index  # noqa: E402
+
+LONG_QUERY = (
+    "SELECT sourceip, SUM(adrevenue), COUNT(*), AVG(adrevenue) "
+    "FROM uservisits GROUP BY sourceip"
+)
+# rankings is ~18x smaller than uservisits: a genuinely short scan, so
+# the fifo-vs-fair contrast measures scheduling, not intrinsic runtime
+SHORT_QUERY = "SELECT COUNT(*) FROM rankings"
+
+POOLS = "etl:weight=2; adhoc:weight=1"
+ENGINES = ("hadoop", "datampi")
+
+
+def workload(smoke: bool):
+    """(pool, sql) submission schedule: long ETL queries ahead of short
+    ad-hoc ones — the adversarial case for FIFO."""
+    longs = 2 if smoke else 3
+    shorts = 1 if smoke else 3
+    plan = [("etl", LONG_QUERY)] * longs + [("adhoc", SHORT_QUERY)] * shorts
+    return plan
+
+
+def _fresh(smoke: bool):
+    if smoke:
+        return fresh_hibench(5, sample_uservisits=2000)
+    return fresh_hibench(20, sample_uservisits=8000)
+
+
+def solo_latencies(engine: str, smoke: bool):
+    """Each distinct query's latency (and rows) on an empty cluster."""
+    hdfs, metastore = _fresh(smoke)
+    latencies = {}
+    rows = {}
+    for sql in dict.fromkeys(sql for _pool, sql in workload(smoke)):
+        with connect(engine=engine, hdfs=hdfs, metastore=metastore) as session:
+            result = session.query(sql)
+            latencies[sql] = result.simulated_seconds
+            rows[sql] = result.rows
+    return latencies, rows
+
+
+def run_policy(engine: str, policy: str, smoke: bool, solo_rows):
+    hdfs, metastore = _fresh(smoke)
+    conf = {SCHED_POLICY: policy, SCHED_POOLS: POOLS, SCHED_DEFAULT_POOL: "adhoc"}
+    with connect(engine=engine, hdfs=hdfs, metastore=metastore, conf=conf) as session:
+        handles = [
+            (pool, sql, session.submit(sql, pool=pool))
+            for pool, sql in workload(smoke)
+        ]
+        session.scheduler.drain()
+        latencies = []
+        for pool, sql, handle in handles:
+            result = handle.result()
+            if result.rows != solo_rows[sql]:
+                raise AssertionError(
+                    f"{engine}/{policy}: rows diverged from solo for {sql!r}"
+                )
+            latencies.append((pool, sql, handle.latency))
+        summary = session.scheduler.summary()
+        if summary["oversubscribed_pools"]:
+            raise AssertionError(
+                f"{engine}/{policy}: oversubscribed "
+                f"{summary['oversubscribed_pools']}"
+            )
+    return latencies, summary["makespan"]
+
+
+def percentile(values, fraction: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run(smoke: bool):
+    report = {}
+    for engine in ENGINES:
+        solo, solo_rows = solo_latencies(engine, smoke)
+        for policy in POLICIES:
+            latencies, makespan = run_policy(engine, policy, smoke, solo_rows)
+            slowdowns = [latency / solo[sql] for _pool, sql, latency in latencies]
+            values = [latency for _pool, _sql, latency in latencies]
+            adhoc = [latency for pool, _sql, latency in latencies
+                     if pool == "adhoc"]
+            report[f"{engine}/{policy}"] = {
+                "makespan": round(makespan, 3),
+                "p50_latency": round(percentile(values, 0.50), 3),
+                "p95_latency": round(percentile(values, 0.95), 3),
+                "adhoc_p50_latency": round(percentile(adhoc, 0.50), 3),
+                "fairness_jain_slowdown": round(
+                    jain_fairness_index(slowdowns), 4
+                ),
+                "latencies": [round(v, 3) for v in values],
+            }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small dataset + fewer queries (CI gate)")
+    parser.add_argument("--output", default=results_path("BENCH_concurrency.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run(args.smoke)
+
+    header = (f"{'engine/policy':>18} {'makespan':>9} {'p50':>8} {'p95':>8} "
+              f"{'adhoc50':>8} {'jain':>6}")
+    print(header)
+    for key, cell in report.items():
+        print(f"{key:>18} {cell['makespan']:>9.2f} {cell['p50_latency']:>8.2f} "
+              f"{cell['p95_latency']:>8.2f} {cell['adhoc_p50_latency']:>8.2f} "
+              f"{cell['fairness_jain_slowdown']:>6.3f}")
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {args.output}")
+
+    # shape check: fair sharing must help the short ad-hoc queries stuck
+    # behind the ETL pool on the task-granular engine
+    fifo = report["hadoop/fifo"]
+    fair = report["hadoop/fair"]
+    if not fair["adhoc_p50_latency"] < fifo["adhoc_p50_latency"]:
+        print("FAIL: fair-share did not beat FIFO ad-hoc latency on hadoop",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,23 @@ echo "== perf smoke (wall-clock guard) =="
 python benchmarks/bench_perf.py --smoke --guard-seconds 60 \
     --output "$(mktemp -d)/BENCH_perf_smoke.json"
 
+echo "== concurrency smoke (scheduler policies, shared cluster) =="
+# Small mixed workload under every scheduling policy on both engines;
+# cross-checks rows against solo runs and fails if fair-share does not
+# beat FIFO ad-hoc latency.  The tier-1 run above already covers the
+# deterministic-concurrency and differential-oracle suites
+# (tests/test_scheduler.py, tests/test_differential_oracle.py).
+python benchmarks/bench_concurrency.py --smoke \
+    --output "$(mktemp -d)/BENCH_concurrency_smoke.json"
+
+if [[ "${CHECK_CONCURRENCY_FULL:-0}" == "1" ]]; then
+    echo "== concurrency full (policy comparison report) =="
+    # Full-size workload (more queries, bigger warehouse) writing the
+    # policy comparison to results/.  Opt-in because it takes a while;
+    # run it before committing scheduler- or lease-sensitive changes.
+    python benchmarks/bench_concurrency.py
+fi
+
 if [[ "${CHECK_PERF_FULL:-0}" == "1" ]]; then
     echo "== perf full (compare vs committed baseline) =="
     # Full-dataset run compared against the checked-in BENCH_perf.json:

@@ -30,6 +30,7 @@ from repro.engines.datampi import DataMPIEngine
 from repro.engines.hadoop import HadoopEngine
 from repro.engines.local import LocalEngine
 from repro.obs import MetricsRegistry, Span, Tracer, get_metrics
+from repro.sched import Pool, QueryHandle, WorkloadScheduler
 from repro.session import Session, connect, hive_session
 from repro.simulate.cluster import ClusterSpec
 from repro.storage.hdfs import HDFS
@@ -51,6 +52,9 @@ __all__ = [
     "HadoopEngine",
     "DataMPIEngine",
     "LocalEngine",
+    "WorkloadScheduler",
+    "QueryHandle",
+    "Pool",
     "Span",
     "Tracer",
     "MetricsRegistry",

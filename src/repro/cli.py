@@ -24,7 +24,13 @@ import sys
 from typing import List, Optional
 
 from repro import connect, make_warehouse
-from repro.common.config import FAULT_SPEC
+from repro.common.config import (
+    FAULT_SPEC,
+    SCHED_DEFAULT_POOL,
+    SCHED_MAX_CONCURRENT,
+    SCHED_POLICY,
+    SCHED_POOLS,
+)
 from repro.common.errors import ReproError
 from repro.common.units import format_duration
 from repro.engines import available
@@ -71,6 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--interactive", action="store_true",
                         help="read statements from stdin")
     parser.add_argument("--quiet", action="store_true", help="rows only, no timing")
+    parser.add_argument("--scheduler", choices=["fifo", "fair", "capacity"],
+                        help="submit every statement concurrently to one "
+                             "shared cluster under this policy "
+                             "(docs/scheduling.md)")
+    parser.add_argument("--concurrency", type=int, default=0, metavar="N",
+                        help="global admission cap for --scheduler "
+                             "(0 = unlimited); implies --scheduler fifo")
+    parser.add_argument("--pool", action="append", default=[], metavar="SPEC",
+                        help="declare a scheduling pool, e.g. "
+                             "'etl:weight=2,cap=1,queue=4' (repeatable; the "
+                             "first one becomes the submit pool)")
     return parser
 
 
@@ -114,6 +131,45 @@ def run_statement(sessions, sql: str, quiet: bool, trace_roots=None) -> None:
             )
 
 
+def run_concurrent(sessions, statements: List[str], quiet: bool,
+                   trace_roots=None) -> None:
+    """Submit every statement script as its own concurrent query on each
+    engine's shared cluster, then drain and report the workload."""
+    for engine_name, session in sessions:
+        handles = []
+        for sql in statements:
+            try:
+                handles.append(session.submit(sql))
+            except ReproError as error:
+                print(f"[{engine_name}] REJECTED: {error}", file=sys.stderr)
+        session.scheduler.drain()
+        for handle in handles:
+            try:
+                handle.result()
+            except ReproError as error:
+                print(f"[{engine_name}] {handle.query_id} ERROR: {error}",
+                      file=sys.stderr)
+                continue
+            for result in handle.results:
+                if result.statement in ("select", "explain") and result.rows is not None:
+                    for row in result.rows:
+                        print("\t".join("NULL" if v is None else str(v) for v in row))
+                if trace_roots is not None and result.trace is not None:
+                    trace_roots.append(result.trace)
+        if not quiet:
+            summary = session.scheduler.summary()
+            latencies = summary["latencies"]
+            p50 = latencies[len(latencies) // 2] if latencies else 0.0
+            print(
+                f"[{engine_name}] {summary['queries']} quer(ies) under "
+                f"{summary['policy']}: makespan "
+                f"{format_duration(summary['makespan'])}, p50 latency "
+                f"{format_duration(p50)}, fairness "
+                f"{summary['fairness']:.3f}",
+                file=sys.stderr,
+            )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     engines = args.engine or ["datampi"]
@@ -121,6 +177,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     hdfs, metastore = make_warehouse(num_workers=7)
     load_workload(args, hdfs, metastore)
 
+    concurrent = bool(args.scheduler) or args.concurrency > 0
     sessions = []
     for engine_name in engines:
         session = connect(engine=engine_name, hdfs=hdfs, metastore=metastore)
@@ -129,6 +186,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             session.conf.set(key.strip(), value.strip())
         if args.faults:
             session.conf.set(FAULT_SPEC, args.faults)
+        if concurrent:
+            session.conf.set(SCHED_POLICY, args.scheduler or "fifo")
+            session.conf.set(SCHED_MAX_CONCURRENT, args.concurrency)
+            if args.pool:
+                session.conf.set(SCHED_POOLS, "; ".join(args.pool))
+                first = args.pool[0].partition(":")[0].strip()
+                session.conf.set(SCHED_DEFAULT_POOL, first)
         sessions.append((engine_name, session))
 
     trace_roots = [] if args.trace else None
@@ -148,8 +212,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.file) as handle:
             statements.append(handle.read())
 
-    for sql in statements:
-        run_statement(sessions, sql, args.quiet, trace_roots)
+    if concurrent and statements:
+        run_concurrent(sessions, statements, args.quiet, trace_roots)
+    else:
+        for sql in statements:
+            run_statement(sessions, sql, args.quiet, trace_roots)
 
     if args.interactive or not statements:
         print("repro> enter HiveQL (quit to exit)", file=sys.stderr)

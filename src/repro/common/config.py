@@ -44,6 +44,12 @@ SPECULATIVE_EXECUTION = "repro.speculative.execution"  # bool (mr stragglers)
 SPECULATIVE_SLOWDOWN = "repro.speculative.slowdown"  # lateness factor to trigger
 BLACKLIST_THRESHOLD = "repro.blacklist.failures"  # failures/node before blacklist
 
+# -- workload scheduler knobs (docs/scheduling.md) --------------------------
+SCHED_POLICY = "repro.sched.policy"  # "fifo" | "fair" | "capacity"
+SCHED_MAX_CONCURRENT = "repro.sched.max.concurrent"  # global cap (0 = unlimited)
+SCHED_POOLS = "repro.sched.pools"  # "etl:weight=2,cap=1,queue=4; adhoc:weight=1"
+SCHED_DEFAULT_POOL = "repro.sched.pool"  # pool for submits that don't name one
+
 
 class Configuration:
     """String-keyed configuration with typed accessors and defaults.

@@ -70,6 +70,34 @@ class RetryExhaustedError(ExecutionError):
         self.attempts = attempts
 
 
+class AdmissionRejectedError(ReproError):
+    """The workload scheduler refused to admit a submitted query.
+
+    Raised synchronously by ``Session.submit`` under the ``capacity``
+    policy when the target pool is running at its concurrency cap *and*
+    its bounded wait queue is full.  Carries the pool state so callers
+    can shed load or resubmit elsewhere.
+    """
+
+    def __init__(self, message: str, pool: str = "", running: int = 0,
+                 queued: int = 0, max_concurrent: int = 0, max_queue: int = 0):
+        super().__init__(message)
+        self.pool = pool
+        self.running = running
+        self.queued = queued
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+
+
+class QueryCancelledError(ReproError):
+    """``QueryHandle.result()`` was called on a query cancelled before it
+    started executing."""
+
+    def __init__(self, message: str, query_id: str = ""):
+        super().__init__(message)
+        self.query_id = query_id
+
+
 class StorageError(ReproError):
     """HDFS-simulation or file-format failure (missing path, corrupt
     stripe, bad split)."""

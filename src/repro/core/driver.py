@@ -14,7 +14,7 @@ Responsibilities (Hive's Driver + DDL task equivalents):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.config import (
     Configuration,
@@ -118,6 +118,26 @@ class QueryResult:
         }
 
 
+@dataclass
+class PreparedStatement:
+    """A compiled engine-bound statement, split from its execution.
+
+    The solo path (:meth:`Driver._execute_statement`) runs the plan
+    immediately; the workload scheduler (:mod:`repro.sched`) instead
+    carries many of these into one shared simulation and calls
+    ``finalize`` when each plan's jobs complete.  ``finalize`` performs
+    the host-side epilogue (register a CTAS table, drop the temp result
+    directory) and builds the :class:`QueryResult`.
+    """
+
+    kind: str  # 'ctas' | 'insert' | 'select'
+    plan: PhysicalPlan
+    query_id: str
+    clear_output: bool
+    compile_seconds: float
+    finalize: Callable[[Optional[PlanResult], Optional[Span]], QueryResult]
+
+
 def _append_constant_items(query, values):
     """Wrap/extend a SELECT so it also emits the given constant columns
     (used to widen INSERT ... PARTITION queries to full-width rows)."""
@@ -187,6 +207,24 @@ class Driver:
     def _execute_statement(
         self, statement: ast.Statement, with_metrics: bool
     ) -> QueryResult:
+        host = self._execute_host_statement(statement)
+        if host is not None:
+            return host
+        prepared = self.prepare(statement)
+        execution = self._run_plan(
+            prepared.plan, prepared.query_id, with_metrics,
+            clear_output=prepared.clear_output,
+        )
+        trace = self._assemble_trace(
+            prepared.kind, prepared.query_id, prepared.compile_seconds, execution
+        )
+        return prepared.finalize(execution, trace)
+
+    def _execute_host_statement(
+        self, statement: ast.Statement
+    ) -> Optional[QueryResult]:
+        """Run a statement that never touches the engine (``SET``, DDL,
+        ``EXPLAIN``); ``None`` means the statement needs a cluster."""
         if isinstance(statement, ast.SetOption):
             self.conf.set(statement.key, statement.value.strip())
             return QueryResult(statement="set")
@@ -215,19 +253,35 @@ class Driver:
             )
             return QueryResult(statement="create")
 
-        if isinstance(statement, ast.CreateTableAsSelect):
-            return self._run_ctas(statement, with_metrics)
-
-        if isinstance(statement, ast.InsertOverwrite):
-            return self._run_insert(statement, with_metrics)
-
-        if isinstance(statement, (ast.Select, ast.UnionAll)):
-            return self._run_select(statement, with_metrics)
-
         if isinstance(statement, ast.Explain):
             return self._run_explain(statement)
 
+        if isinstance(
+            statement,
+            (ast.CreateTableAsSelect, ast.InsertOverwrite, ast.Select, ast.UnionAll),
+        ):
+            return None
+
         raise SemanticError(f"unsupported statement {type(statement).__name__}")
+
+    def prepare(self, statement: ast.Statement,
+                use_cache: bool = True) -> PreparedStatement:
+        """Compile an engine-bound statement without running it.
+
+        The workload scheduler passes ``use_cache=False``: a cache hit
+        would hand two in-flight copies of one query the same plan —
+        and the same result directory — so concurrent submissions each
+        compile a fresh plan under their own query id.
+        """
+        if isinstance(statement, ast.CreateTableAsSelect):
+            return self._prepare_ctas(statement)
+        if isinstance(statement, ast.InsertOverwrite):
+            return self._prepare_insert(statement)
+        if isinstance(statement, (ast.Select, ast.UnionAll)):
+            return self._prepare_select(statement, use_cache=use_cache)
+        raise SemanticError(
+            f"statement {type(statement).__name__} does not run on an engine"
+        )
 
     # -- helpers ------------------------------------------------------------------
     def _default_format(self) -> str:
@@ -272,11 +326,7 @@ class Driver:
         from repro import engines as engine_registry
         from repro.obs import get_metrics
 
-        for job in plan.jobs:
-            prefix = f"{job.output_location.rstrip('/')}/{job.job_id}-part-"
-            for data_file in self.hdfs.list_dir(job.output_location):
-                if data_file.path.startswith(prefix):
-                    self.hdfs.delete(data_file.path)
+        self._discard_partial_outputs(plan)
         get_metrics().counter("engine.fallbacks").add(1)
         engine = engine_registry.create(
             fallback, self.hdfs, spec=getattr(self.engine, "spec", None)
@@ -284,6 +334,15 @@ class Driver:
         execution = engine.run_plan(plan, self.conf, with_metrics=with_metrics)
         execution.fallback_from = self.engine.name
         return execution
+
+    def _discard_partial_outputs(self, plan: PhysicalPlan) -> None:
+        """Remove part-files a failed run's earlier jobs committed so a
+        re-run (fallback engine, resubmission) can commit them again."""
+        for job in plan.jobs:
+            prefix = f"{job.output_location.rstrip('/')}/{job.job_id}-part-"
+            for data_file in self.hdfs.list_dir(job.output_location):
+                if data_file.path.startswith(prefix):
+                    self.hdfs.delete(data_file.path)
 
     @staticmethod
     def _compile_seconds(plan: PhysicalPlan) -> float:
@@ -312,30 +371,39 @@ class Driver:
                 root.adopt(job_span.shift(compile_seconds))
         return root.finish(compile_seconds + run_seconds)
 
-    def _run_ctas(self, statement: ast.CreateTableAsSelect,
-                  with_metrics: bool) -> QueryResult:
+    def _prepare_ctas(
+        self, statement: ast.CreateTableAsSelect
+    ) -> PreparedStatement:
         if self.metastore.has_table(statement.name):
             raise SemanticError(f"table already exists: {statement.name}")
         query_id = self._next_query_id()
         fmt = statement.format_name or self._default_format()
         location = f"/warehouse/{statement.name.lower()}"
         plan = self._compile(statement.query, location, fmt, query_id)
-        execution = self._run_plan(plan, query_id, with_metrics)
-        self.metastore.create_table(
-            statement.name, plan.output_schema, format_name=fmt, location=location
-        )
         compile_seconds = self._compile_seconds(plan)
-        return QueryResult(
-            statement="ctas",
-            schema=plan.output_schema,
-            plan=plan,
-            execution=execution,
-            compile_seconds=compile_seconds,
-            trace=self._assemble_trace("ctas", query_id, compile_seconds, execution),
+
+        def finalize(execution: Optional[PlanResult],
+                     trace: Optional[Span]) -> QueryResult:
+            self.metastore.create_table(
+                statement.name, plan.output_schema, format_name=fmt,
+                location=location,
+            )
+            return QueryResult(
+                statement="ctas",
+                schema=plan.output_schema,
+                plan=plan,
+                execution=execution,
+                compile_seconds=compile_seconds,
+                trace=trace,
+            )
+
+        return PreparedStatement(
+            "ctas", plan, query_id, True, compile_seconds, finalize
         )
 
-    def _run_insert(self, statement: ast.InsertOverwrite,
-                    with_metrics: bool) -> QueryResult:
+    def _prepare_insert(
+        self, statement: ast.InsertOverwrite
+    ) -> PreparedStatement:
         table = self.metastore.get_table(statement.table)
         query_id = self._next_query_id()
 
@@ -377,17 +445,22 @@ class Driver:
         plan.jobs[-1].output_schema = target_schema
         plan.jobs[-1].output_partition_values = partition_values
         plan.output_schema = target_schema
-        execution = self._run_plan(
-            plan, query_id, with_metrics, clear_output=statement.overwrite
-        )
         compile_seconds = self._compile_seconds(plan)
-        return QueryResult(
-            statement="insert",
-            schema=target_schema,
-            plan=plan,
-            execution=execution,
-            compile_seconds=compile_seconds,
-            trace=self._assemble_trace("insert", query_id, compile_seconds, execution),
+
+        def finalize(execution: Optional[PlanResult],
+                     trace: Optional[Span]) -> QueryResult:
+            return QueryResult(
+                statement="insert",
+                schema=target_schema,
+                plan=plan,
+                execution=execution,
+                compile_seconds=compile_seconds,
+                trace=trace,
+            )
+
+        return PreparedStatement(
+            "insert", plan, query_id, statement.overwrite, compile_seconds,
+            finalize,
         )
 
     def _run_explain(self, statement: ast.Explain) -> QueryResult:
@@ -476,24 +549,36 @@ class Driver:
             del self._plan_cache[key]  # stale: catalog or input data moved
         return key, None, ""
 
-    def _run_select(self, statement, with_metrics: bool) -> QueryResult:
-        key, plan, query_id = self._cached_select_plan(statement)
+    def _prepare_select(self, statement,
+                        use_cache: bool = True) -> PreparedStatement:
+        plan = None
+        if use_cache:
+            key, plan, query_id = self._cached_select_plan(statement)
         if plan is None:
             query_id = self._next_query_id()
             location = f"/tmp/results/{query_id}"
             plan = self._compile(statement, location, "text", query_id)
-            self._plan_cache[key] = (
-                plan, query_id, self.metastore.version, self._plan_snapshot(plan)
-            )
-        execution = self._run_plan(plan, query_id, with_metrics)
-        self.hdfs.delete(plan.output_location)
+            if use_cache:
+                self._plan_cache[key] = (
+                    plan, query_id, self.metastore.version,
+                    self._plan_snapshot(plan),
+                )
         compile_seconds = self._compile_seconds(plan)
-        return QueryResult(
-            statement="select",
-            rows=execution.rows,
-            schema=plan.output_schema,
-            plan=plan,
-            execution=execution,
-            compile_seconds=compile_seconds,
-            trace=self._assemble_trace("select", query_id, compile_seconds, execution),
+        bound_plan = plan
+
+        def finalize(execution: Optional[PlanResult],
+                     trace: Optional[Span]) -> QueryResult:
+            self.hdfs.delete(bound_plan.output_location)
+            return QueryResult(
+                statement="select",
+                rows=execution.rows if execution else [],
+                schema=bound_plan.output_schema,
+                plan=bound_plan,
+                execution=execution,
+                compile_seconds=compile_seconds,
+                trace=trace,
+            )
+
+        return PreparedStatement(
+            "select", bound_plan, query_id, True, compile_seconds, finalize
         )

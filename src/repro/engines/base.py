@@ -26,6 +26,17 @@ from repro.exec.operators import FileSinkDesc, ListCollector
 from repro.exec.reduce import group_sorted_pairs, key_comparator, sort_pairs
 from repro.obs import MetricsRegistry, Span, Tracer, get_metrics
 from repro.plan.physical import MapInput, MRJob, PhysicalPlan
+from repro.simulate import (
+    Cluster,
+    ClusterSpec,
+    FaultInjector,
+    FaultPlan,
+    LeaseManager,
+    LeaseOwner,
+    MetricsSampler,
+    Simulator,
+    SlotPool,
+)
 from repro.storage.hdfs import HDFS, FileSplit
 
 Row = Tuple[object, ...]
@@ -128,12 +139,18 @@ class PlanResult:
 # ---------------------------------------------------------------------------
 
 def open_job_span(tracer: Tracer, engine_name: str, job: MRJob,
-                  start: float) -> Span:
-    """Open the per-job root span (engine-relative simulated time)."""
-    return tracer.start(
-        job.job_id, start=start, category="job",
-        engine=engine_name, job_id=job.job_id,
-    )
+                  start: float,
+                  owner: Optional[LeaseOwner] = None) -> Span:
+    """Open the per-job root span (engine-relative simulated time).
+
+    Under the workload scheduler, *owner* attributes the span to the
+    submitting query and its scheduling pool so concurrent queries'
+    jobs stay distinguishable on the shared timeline."""
+    attributes = {"engine": engine_name, "job_id": job.job_id}
+    if owner is not None:
+        attributes["query"] = owner.query_id
+        attributes["pool"] = owner.pool
+    return tracer.start(job.job_id, start=start, category="job", **attributes)
 
 
 def close_job_span(timing: JobTiming) -> None:
@@ -482,6 +499,110 @@ def assign_splits_locality(splits: Sequence[TaggedSplit], num_workers: int) -> L
     return assignment
 
 
+class EngineRuntime:
+    """One shared simulated cluster any number of plan executions run in.
+
+    Solo mode builds a fresh runtime per ``run_plan`` (exactly the
+    simulator/cluster/injector/sampler setup the engines used to own
+    privately, in the same construction order, so agenda ordering — and
+    therefore every simulated second — is unchanged).  The workload
+    scheduler builds one runtime per session and drives many queries'
+    :meth:`Engine.plan_process` coroutines through it concurrently; the
+    engine-agnostic shape also lets a DataMPI query degrade onto the
+    Hadoop engine *inside the same simulation*.
+
+    Slot access goes through :attr:`leases`; engine-private per-node
+    pools (Hadoop reduce slots, DataMPI A slots) come from
+    :meth:`aux_slots` so concurrent queries on the same engine contend
+    for them too instead of conjuring private copies.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        conf: Optional[Configuration] = None,
+        with_metrics: bool = False,
+        tracer: Optional[Tracer] = None,
+        lease_policy: str = "fifo",
+    ):
+        conf = conf or Configuration()
+        self.spec = spec
+        self.sim = Simulator()
+        self.tracer = tracer or Tracer()
+        self.tracer.set_clock(lambda: self.sim.now)
+        self.cluster = Cluster(self.sim, spec, metrics=get_metrics())
+        self.injector = FaultInjector(
+            self.sim, self.cluster, FaultPlan.from_conf(conf),
+            tracer=self.tracer, metrics=get_metrics(),
+        )
+        self.injector.start()
+        self.leases = LeaseManager(self.sim, policy=lease_policy)
+        self.sampler = MetricsSampler(self.cluster) if with_metrics else None
+        if self.sampler is not None:
+            self.sampler.start()
+        self._aux_slots: Dict[str, List[SlotPool]] = {}
+        self._closed = False
+
+    def aux_slots(self, key: str, capacity: int, suffix: str) -> List[SlotPool]:
+        """Per-worker auxiliary slot pools, shared by every plan that asks
+        for the same *key* (lazy so unused engines cost nothing)."""
+        pools = self._aux_slots.get(key)
+        if pools is None:
+            pools = [
+                SlotPool(self.sim, capacity, f"{node.name}.{suffix}")
+                for node in self.cluster.workers
+            ]
+            self._aux_slots[key] = pools
+        return pools
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.sampler is not None:
+            self.sampler.stop()
+        self.injector.close()
+
+
+def collect_plan_result(
+    engine: "Engine",
+    runtime: EngineRuntime,
+    plan: PhysicalPlan,
+    timings: List[JobTiming],
+    started_at: float = 0.0,
+    include_injector_span: bool = True,
+) -> PlanResult:
+    """Assemble a :class:`PlanResult` for a plan that ran in *runtime*.
+
+    With *started_at* (scheduler mode: the plan began mid-simulation),
+    ``total_seconds`` is the plan's own duration and the fault events are
+    restricted to its execution window; the injector span stays out of
+    per-query results there because it belongs to the whole shared run.
+    """
+    sim = runtime.sim
+    rows = final_sorted_rows(plan, engine.hdfs)
+    spans = [timing.span for timing in timings if timing.span is not None]
+    if include_injector_span and runtime.injector.span is not None:
+        spans.append(runtime.injector.span)
+    if started_at > 0.0:
+        fault_events = [
+            event for event in runtime.injector.events
+            if started_at <= event.time <= sim.now
+        ]
+    else:
+        fault_events = list(runtime.injector.events)
+    return PlanResult(
+        rows=rows,
+        schema=plan.output_schema,
+        jobs=timings,
+        total_seconds=sim.now - started_at,
+        engine=engine.name,
+        metrics=runtime.sampler.samples if runtime.sampler else [],
+        spans=spans,
+        fault_events=fault_events,
+    )
+
+
 class Engine:
     """Interface every engine implements.
 
@@ -491,6 +612,12 @@ class Engine:
     the engine's job/task span tree — engines always build spans (cheap
     bookkeeping, no simulated cost), a caller-supplied tracer merely
     shares the root list.
+
+    ``plan_process`` is the re-entrant form the workload scheduler
+    drives: a coroutine executing one plan inside a caller-owned
+    :class:`EngineRuntime`, so several plans (and engines) share one
+    simulated cluster.  Engines that cannot run inside a shared
+    simulation (the local engine) simply don't implement it.
     """
 
     name = "abstract"
@@ -503,6 +630,20 @@ class Engine:
         tracer: Optional[Tracer] = None,
     ) -> PlanResult:
         raise NotImplementedError
+
+    def plan_process(
+        self,
+        runtime: EngineRuntime,
+        plan: PhysicalPlan,
+        conf: Optional[Configuration] = None,
+        owner: Optional[LeaseOwner] = None,
+    ):
+        """Generator executing *plan* in *runtime*; returns its job
+        timings.  *owner* attributes every slot lease and job span to the
+        submitting query."""
+        raise NotImplementedError(
+            f"engine {self.name!r} does not support shared-runtime execution"
+        )
 
 
 def compare_result_rows(left: List[Row], right: List[Row], ordered: bool) -> bool:

@@ -36,6 +36,8 @@ class SendBuffer:
     pairs: List[KeyValue] = field(default_factory=list)
     actual_bytes: int = 0
     scale: float = 1.0  # stamped by the O task when the buffer is emitted
+    sender: int = -1  # emitting O task index, stamped with scale
+    seq: int = -1  # per-sender emission sequence, stamped with scale
 
     @property
     def logical_bytes(self) -> float:
@@ -195,7 +197,9 @@ class ReceiveManager:
         self.sim = sim
         self.partition_nodes = partition_nodes
         self.cache_budget = cache_budget_per_node
-        self.pairs: List[List[KeyValue]] = [[] for _ in partition_nodes]
+        self._arrivals: List[List[Tuple[int, int, List[KeyValue]]]] = [
+            [] for _ in partition_nodes
+        ]
         self.cached_bytes: Dict[Node, float] = {}
         self.cached_partition_bytes: List[float] = [0.0] * len(partition_nodes)
         self.spilled_bytes: List[float] = [0.0] * len(partition_nodes)
@@ -203,6 +207,30 @@ class ReceiveManager:
 
     def node_for(self, partition: int) -> Node:
         return self.partition_nodes[partition]
+
+    def partition_pairs(self, partition: int) -> List[KeyValue]:
+        """The partition's pairs in canonical (sender, emission-seq)
+        order, regardless of network arrival interleaving.
+
+        Buffers race each other on shared links, and on a cluster shared
+        with other queries the winner can change run to run; sorting by
+        provenance keeps the reduce input — and hence float-aggregation
+        order — byte-stable, mirroring the Hadoop engine's fixed
+        map-index merge order.
+        """
+        chunks = sorted(self._arrivals[partition],
+                        key=lambda entry: (entry[0], entry[1]))
+        out: List[KeyValue] = []
+        for _sender, _seq, pairs in chunks:
+            out.extend(pairs)
+        return out
+
+    @property
+    def pairs(self) -> List[List[KeyValue]]:
+        """Canonically ordered pairs for every partition (see
+        :meth:`partition_pairs`)."""
+        return [self.partition_pairs(p)
+                for p in range(len(self.partition_nodes))]
 
     def deliver(self, partition: int, buffer: SendBuffer):
         """Coroutine: account a delivered buffer; spill when over budget.
@@ -214,7 +242,7 @@ class ReceiveManager:
         """
         node = self.partition_nodes[partition]
         logical = buffer.logical_bytes
-        self.pairs[partition].extend(buffer.pairs)
+        self._arrivals[partition].append((buffer.sender, buffer.seq, buffer.pairs))
         self.received_bytes[partition] += logical
         used = self.cached_bytes.get(node, 0.0)
         fit = min(logical, max(0.0, self.cache_budget - used))

@@ -34,7 +34,8 @@ Differences from the Hadoop engine, each mapped to a paper claim:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from itertools import count
+from typing import Dict, Iterator, List, Optional
 
 from repro.common.config import (
     Configuration,
@@ -52,6 +53,7 @@ from repro.common.kv import KeyValue
 from repro.common.units import MB
 from repro.engines.base import (
     Engine,
+    EngineRuntime,
     JobTiming,
     PlanResult,
     TaggedSplit,
@@ -59,10 +61,10 @@ from repro.engines.base import (
     assign_splits_locality,
     close_job_span,
     close_task_span,
+    collect_plan_result,
     hdfs_write_pipeline,
     decide_num_reducers,
     expand_job_splits,
-    final_sorted_rows,
     job_input_scale,
     load_broadcast_tables,
     open_job_span,
@@ -89,9 +91,10 @@ from repro.simulate import (
     Cluster,
     ClusterSpec,
     FaultInjector,
-    FaultPlan,
+    GangLease,
     Interrupt,
-    MetricsSampler,
+    LeaseManager,
+    LeaseOwner,
     Simulator,
     SlotPool,
 )
@@ -217,24 +220,38 @@ class DataMPIEngine(Engine):
         tracer: Optional[Tracer] = None,
     ) -> PlanResult:
         conf = conf or Configuration()
-        sim = Simulator()
-        tracer = tracer or Tracer()
-        tracer.set_clock(lambda: sim.now)
-        cluster = Cluster(sim, self.spec, metrics=get_metrics())
-        injector = FaultInjector(
-            sim, cluster, FaultPlan.from_conf(conf),
-            tracer=tracer, metrics=get_metrics(),
+        runtime = EngineRuntime(
+            self.spec, conf, with_metrics=with_metrics, tracer=tracer
         )
-        injector.start()
-        mpi = SimulatedMPI(cluster)
-        a_slots = [
-            SlotPool(sim, self.spec.slots_per_node, f"{node.name}.aslots")
-            for node in cluster.workers
-        ]
-        sampler = MetricsSampler(cluster) if with_metrics else None
-        if sampler:
-            sampler.start()
         timings: List[JobTiming] = []
+
+        def driver():
+            collected = yield from self.plan_process(runtime, plan, conf)
+            timings.extend(collected)
+
+        runtime.sim.spawn(driver(), "hive-driver")
+        try:
+            runtime.sim.run()
+        finally:
+            runtime.close()
+        return collect_plan_result(self, runtime, plan, timings)
+
+    def plan_process(
+        self,
+        runtime: EngineRuntime,
+        plan: PhysicalPlan,
+        conf: Optional[Configuration] = None,
+        owner: Optional[LeaseOwner] = None,
+    ):
+        """Execute *plan* inside a (possibly shared) runtime.  The MPI
+        substrate is per-plan (it only counts messages); the A-task slot
+        pools are runtime-shared so concurrent queries contend for them."""
+        conf = conf or Configuration()
+        sim = runtime.sim
+        mpi = SimulatedMPI(runtime.cluster)
+        a_slots = runtime.aux_slots(
+            "datampi.a", runtime.spec.slots_per_node, "aslots"
+        )
 
         # DAG mode (paper §VII future work 3): consecutive stages whose only
         # dependency is the previous stage's temp directory are pipelined —
@@ -252,38 +269,17 @@ class DataMPIEngine(Engine):
                 ):
                     pipelined_in.add(index)
 
-        def driver():
-            for index, job in enumerate(plan.jobs):
-                is_last = index == len(plan.jobs) - 1
-                timing = yield from self._run_job(
-                    sim, cluster, mpi, a_slots, job, conf, is_last, tracer,
-                    injector,
-                    pipe_in=index in pipelined_in,
-                    pipe_out=(index + 1) in pipelined_in,
-                )
-                timings.append(timing)
-
-        sim.spawn(driver(), "hive-driver")
-        try:
-            sim.run()
-        finally:
-            if sampler:
-                sampler.stop()
-            injector.close()
-        rows = final_sorted_rows(plan, self.hdfs)
-        spans = [timing.span for timing in timings if timing.span is not None]
-        if injector.span is not None:
-            spans.append(injector.span)
-        return PlanResult(
-            rows=rows,
-            schema=plan.output_schema,
-            jobs=timings,
-            total_seconds=sim.now,
-            engine=self.name,
-            metrics=sampler.samples if sampler else [],
-            spans=spans,
-            fault_events=list(injector.events),
-        )
+        timings: List[JobTiming] = []
+        for index, job in enumerate(plan.jobs):
+            is_last = index == len(plan.jobs) - 1
+            timing = yield from self._run_job(
+                sim, runtime.cluster, mpi, a_slots, job, conf, is_last,
+                runtime.tracer, runtime.injector, runtime.leases, owner,
+                pipe_in=index in pipelined_in,
+                pipe_out=(index + 1) in pipelined_in,
+            )
+            timings.append(timing)
+        return timings
 
     # -- knobs ------------------------------------------------------------------
     def _mem_used_percent(self, conf: Configuration) -> float:
@@ -311,6 +307,7 @@ class DataMPIEngine(Engine):
     def _run_job(self, sim: Simulator, cluster: Cluster, mpi: SimulatedMPI,
                  a_slots: List[SlotPool], job: MRJob, conf: Configuration,
                  is_last: bool, tracer: Tracer, injector: FaultInjector,
+                 leases: LeaseManager, owner: Optional[LeaseOwner],
                  pipe_in: bool = False, pipe_out: bool = False):
         """Submit the job; on a gang abort discard the attempt's output
         and resubmit under exponential backoff until ``repro.retry.max``
@@ -323,7 +320,7 @@ class DataMPIEngine(Engine):
             num_maps=0,
             num_reducers=0,
         )
-        timing.span = open_job_span(tracer, self.name, job, sim.now)
+        timing.span = open_job_span(tracer, self.name, job, sim.now, owner)
         submission = 0
         while True:
             submission += 1
@@ -331,7 +328,7 @@ class DataMPIEngine(Engine):
             try:
                 yield from self._attempt_job(
                     sim, cluster, mpi, a_slots, job, conf, is_last, timing,
-                    injector, gang, submission, retry_max,
+                    injector, gang, submission, retry_max, leases, owner,
                     pipe_in=pipe_in and submission == 1, pipe_out=pipe_out,
                 )
                 break
@@ -373,6 +370,7 @@ class DataMPIEngine(Engine):
                      a_slots: List[SlotPool], job: MRJob, conf: Configuration,
                      is_last: bool, timing: JobTiming, injector: FaultInjector,
                      gang: _Gang, submission: int, retry_max: int,
+                     leases: LeaseManager, owner: Optional[LeaseOwner],
                      pipe_in: bool = False, pipe_out: bool = False):
         costs = self.costs
         hdfs = self.hdfs
@@ -456,64 +454,102 @@ class DataMPIEngine(Engine):
             pending_deliveries: List = []
             first_start_event = sim.event()
 
-            o_processes = []
-            for index, (node_index, group) in enumerate(groups):
-                if not nonblocking:
-                    barrier.register()
-                doom = (
-                    injector.attempt_doom(job.job_id, f"o{index}", submission)
-                    if doom_ok else None
-                )
-                proc = sim.spawn(
-                    self._o_task(
-                        sim, cluster, mpi, job, timing, index, group,
-                        node_index, small_tables, num_reducers,
-                        receive, barrier, queue_capacity, nonblocking,
-                        gc_factor, mem_used, first_start_event,
-                        pending_deliveries, scale, gang, doom,
-                        overlap, pipe_in, pipe_out, vectorized,
-                    ),
-                    f"{job.job_id}-s{submission}-o{index}",
-                )
-                gang.add(proc)
-                o_processes.append(proc)
+            # DataMPI's scheduler is gang-granular: the job's whole O-slot
+            # set is leased atomically (all-or-nothing — a waiting gang
+            # holds nothing, so it can never wedge another query).  After
+            # a remap folds a dead node's groups onto survivors a node may
+            # carry more O tasks than slots; the gang claims only up to
+            # each pool's capacity and the overflow tasks wave through
+            # individual leases like any other request.
+            gang_counts: Dict[int, int] = {}
+            for node_index, _group in groups:
+                gang_counts[node_index] = gang_counts.get(node_index, 0) + 1
+            gang_budget = {
+                node_index: min(count, workers[node_index].slots.capacity)
+                for node_index, count in gang_counts.items()
+            }
+            gang_grant = leases.acquire_gang(
+                [
+                    (workers[node_index].slots, gang_budget[node_index])
+                    for node_index in sorted(gang_budget)
+                ],
+                owner,
+            )
+            yield gang_grant
+            gang_lease: GangLease = gang_grant.value
 
-            yield sim.all_of(o_processes)
-            if pending_deliveries and not gang.tripped:
-                yield sim.all_of(pending_deliveries)
-            check_abort()
-            timing.shuffle_done = sim.now  # O phase over: data on the A side
-            if not timing.first_task_started:
-                timing.first_task_started = (
-                    first_start_event.value if first_start_event.triggered
-                    else sim.now
-                )
-            timing.shuffle_logical_bytes = sum(receive.received_bytes)
-
-            if not job.is_map_only:
-                a_processes = []
-                for partition in range(num_reducers):
+            try:
+                check_abort()  # the gang may have tripped while we waited
+                o_processes = []
+                gang_spawned: Dict[int, int] = {}
+                for index, (node_index, group) in enumerate(groups):
+                    if not nonblocking:
+                        barrier.register()
                     doom = (
-                        injector.attempt_doom(job.job_id, f"a{partition}",
-                                              submission)
+                        injector.attempt_doom(job.job_id, f"o{index}", submission)
                         if doom_ok else None
                     )
+                    reserved = gang_spawned.get(node_index, 0)
+                    task_gang = (
+                        gang_lease if reserved < gang_budget[node_index] else None
+                    )
+                    gang_spawned[node_index] = reserved + 1
                     proc = sim.spawn(
-                        self._a_task(
-                            sim, cluster, a_slots, job, timing, partition,
-                            partition_nodes[partition].node_id - 1,
-                            small_tables, receive, gc_factor, scale,
-                            gang, doom, pipe_out,
+                        self._o_task(
+                            sim, cluster, mpi, job, timing, index, group,
+                            node_index, small_tables, num_reducers,
+                            receive, barrier, queue_capacity, nonblocking,
+                            gc_factor, mem_used, first_start_event,
+                            pending_deliveries, scale, gang, doom,
+                            leases, owner, task_gang,
+                            overlap, pipe_in, pipe_out, vectorized,
                         ),
-                        f"{job.job_id}-s{submission}-a{partition}",
+                        f"{job.job_id}-s{submission}-o{index}",
                     )
                     gang.add(proc)
-                    a_processes.append(proc)
-                yield sim.all_of(a_processes)
-                check_abort()
+                    o_processes.append(proc)
 
-            yield sim.timeout(costs.job_cleanup)
-            check_abort()
+                yield sim.all_of(o_processes)
+                if pending_deliveries and not gang.tripped:
+                    yield sim.all_of(pending_deliveries)
+                check_abort()
+                timing.shuffle_done = sim.now  # O phase over: data on the A side
+                if not timing.first_task_started:
+                    timing.first_task_started = (
+                        first_start_event.value if first_start_event.triggered
+                        else sim.now
+                    )
+                timing.shuffle_logical_bytes = sum(receive.received_bytes)
+
+                if not job.is_map_only:
+                    a_processes = []
+                    for partition in range(num_reducers):
+                        doom = (
+                            injector.attempt_doom(job.job_id, f"a{partition}",
+                                                  submission)
+                            if doom_ok else None
+                        )
+                        proc = sim.spawn(
+                            self._a_task(
+                                sim, cluster, a_slots, job, timing, partition,
+                                partition_nodes[partition].node_id - 1,
+                                small_tables, receive, gc_factor, scale,
+                                gang, doom, leases, owner, pipe_out,
+                            ),
+                            f"{job.job_id}-s{submission}-a{partition}",
+                        )
+                        gang.add(proc)
+                        a_processes.append(proc)
+                    yield sim.all_of(a_processes)
+                    check_abort()
+
+                yield sim.timeout(costs.job_cleanup)
+                check_abort()
+            finally:
+                # O tasks interrupted before their first step never ran
+                # their ``finally`` — their reserved slots are still
+                # checked in here and must go back exactly once
+                gang_lease.release_unclaimed()
         finally:
             for worker in attempt_workers:
                 worker.memory.free(process_heap)
@@ -526,7 +562,9 @@ class DataMPIEngine(Engine):
                 barrier: DynamicBarrier, queue_capacity: int, nonblocking: bool,
                 gc_factor: float, mem_used: float, first_start_event,
                 pending_deliveries: List, job_scale: float, gang: _Gang,
-                doom: Optional[float], overlap: bool = True,
+                doom: Optional[float], leases: LeaseManager,
+                owner: Optional[LeaseOwner],
+                gang_lease: Optional[GangLease], overlap: bool = True,
                 pipe_in: bool = False, pipe_out: bool = False,
                 vectorized: bool = False):
         costs = self.costs
@@ -536,15 +574,26 @@ class DataMPIEngine(Engine):
         timing.tasks.append(task)
         open_task_span(timing, task)
 
-        acquired = node.slots.acquire()
-        held_slot = False
+        if gang_lease is not None:
+            # slot was granted atomically with the rest of the gang before
+            # this process was spawned; claim release duty from the lease
+            gang_lease.checkout(node.slots)
+            acquired = None
+            held_slot = True
+        else:
+            # remap overflow beyond the node's slot capacity: wave through
+            # like any other single-slot request
+            acquired = leases.acquire(node.slots, owner)
+            held_slot = False
         queue = SendQueue(sim, queue_capacity)
         sender_done = None
         sender_started = False
+        emit_seq = count()  # provenance stamp for canonical receive order
         output_rows: List = []
         try:
-            yield acquired
-            held_slot = True
+            if acquired is not None:
+                yield acquired
+                held_slot = True
             yield from node.compute(costs.task_setup)
             task.started = sim.now
             if not first_start_event.triggered:
@@ -618,7 +667,7 @@ class DataMPIEngine(Engine):
                     yield from node.compute(cpu_ms * gc_factor / 1000.0)
                     mapper.process_batch(batch_rows)
                     task.collect_samples.append((sim.now, spl.bytes_added))
-                    fresh = _stamp(collector.take_full(), scale)
+                    fresh = _stamp(collector.take_full(), scale, index, emit_seq)
                     if overlap:
                         yield from self._emit_buffers(
                             sim, mpi, node, fresh, queue, receive,
@@ -628,7 +677,8 @@ class DataMPIEngine(Engine):
                         held.extend(fresh)
 
                 result = mapper.close()
-                fresh = _stamp(collector.take_full() + spl.drain(), scale)
+                fresh = _stamp(collector.take_full() + spl.drain(), scale,
+                               index, emit_seq)
                 if overlap:
                     yield from self._emit_buffers(
                         sim, mpi, node, fresh, queue, receive,
@@ -671,9 +721,9 @@ class DataMPIEngine(Engine):
             if sender_started:
                 queue.put(_SENTINEL)  # stop the sender thread
             if held_slot:
-                node.slots.release()
-            else:
-                node.slots.cancel_acquire(acquired)
+                leases.release(node.slots, owner)
+            elif acquired is not None:
+                leases.cancel(node.slots, acquired, owner)
         if sender_done is not None:
             yield sender_done
         task.finished = sim.now
@@ -760,6 +810,7 @@ class DataMPIEngine(Engine):
                 job: MRJob, timing: JobTiming, partition: int, node_index: int,
                 small_tables, receive: ReceiveManager, gc_factor: float,
                 scale: float, gang: _Gang, doom: Optional[float],
+                leases: LeaseManager, owner: Optional[LeaseOwner],
                 pipe_out: bool = False):
         costs = self.costs
         node = cluster.workers[node_index]
@@ -768,7 +819,7 @@ class DataMPIEngine(Engine):
         timing.tasks.append(task)
         open_task_span(timing, task)
 
-        acquired = a_slots[node_index].acquire()
+        acquired = leases.acquire(a_slots[node_index], owner)
         held_slot = False
         try:
             yield acquired
@@ -809,7 +860,7 @@ class DataMPIEngine(Engine):
                     received / MB * costs.cpu_sort_ms_per_mb * gc_factor / 1000.0
                 )
             output_rows = run_reducer_functionally(
-                job, receive.pairs[partition], small_tables
+                job, receive.partition_pairs(partition), small_tables
             )
             yield from node.compute(
                 received / MB * costs.cpu_reduce_ms_per_mb * gc_factor / 1000.0
@@ -834,9 +885,9 @@ class DataMPIEngine(Engine):
             return
         finally:
             if held_slot:
-                a_slots[node_index].release()
+                leases.release(a_slots[node_index], owner)
             else:
-                a_slots[node_index].cancel_acquire(acquired)
+                leases.cancel(a_slots[node_index], acquired, owner)
         task.finished = sim.now
         close_task_span(task)
 
@@ -849,10 +900,15 @@ class DataMPIEngine(Engine):
 _SENTINEL = SendBuffer(partition=-1)
 
 
-def _stamp(buffers: List[SendBuffer], scale: float) -> List[SendBuffer]:
-    """Stamp the producing split's byte-scale onto freshly filled buffers."""
+def _stamp(buffers: List[SendBuffer], scale: float, sender: int,
+           emit_seq: Iterator[int]) -> List[SendBuffer]:
+    """Stamp provenance onto freshly filled buffers: the producing
+    split's byte-scale plus the emitting O task and its emission
+    sequence (the receive side orders pairs by the latter two)."""
     for buffer in buffers:
         buffer.scale = scale
+        buffer.sender = sender
+        buffer.seq = next(emit_seq)
     return buffers
 
 

@@ -43,6 +43,7 @@ from repro.common.kv import KeyValue
 from repro.common.units import MB
 from repro.engines.base import (
     Engine,
+    EngineRuntime,
     JobTiming,
     PlanResult,
     TaskTiming,
@@ -50,10 +51,10 @@ from repro.engines.base import (
     assign_splits_locality,
     close_job_span,
     close_task_span,
+    collect_plan_result,
     hdfs_write_pipeline,
     decide_num_reducers,
     expand_job_splits,
-    final_sorted_rows,
     job_input_scale,
     load_broadcast_tables,
     open_job_span,
@@ -73,9 +74,9 @@ from repro.simulate import (
     Cluster,
     ClusterSpec,
     FaultInjector,
-    FaultPlan,
     Interrupt,
-    MetricsSampler,
+    LeaseManager,
+    LeaseOwner,
     Simulator,
     SlotPool,
 )
@@ -237,60 +238,51 @@ class HadoopEngine(Engine):
         tracer: Optional[Tracer] = None,
     ) -> PlanResult:
         conf = conf or Configuration()
-        sim = Simulator()
-        tracer = tracer or Tracer()
-        tracer.set_clock(lambda: sim.now)
-        cluster = Cluster(sim, self.spec, metrics=get_metrics())
-        injector = FaultInjector(
-            sim, cluster, FaultPlan.from_conf(conf),
-            tracer=tracer, metrics=get_metrics(),
+        runtime = EngineRuntime(
+            self.spec, conf, with_metrics=with_metrics, tracer=tracer
         )
-        injector.start()
-        reduce_slots = [
-            SlotPool(sim, self.spec.slots_per_node, f"{node.name}.rslots")
-            for node in cluster.workers
-        ]
-        sampler = MetricsSampler(cluster) if with_metrics else None
-        if sampler:
-            sampler.start()
         timings: List[JobTiming] = []
 
         def driver():
-            for index, job in enumerate(plan.jobs):
-                is_last = index == len(plan.jobs) - 1
-                timing = yield from self._run_job(
-                    sim, cluster, reduce_slots, job, conf, is_last, tracer,
-                    injector,
-                )
-                timings.append(timing)
+            collected = yield from self.plan_process(runtime, plan, conf)
+            timings.extend(collected)
 
-        sim.spawn(driver(), "hive-driver")
+        runtime.sim.spawn(driver(), "hive-driver")
         try:
-            sim.run()
+            runtime.sim.run()
         finally:
-            if sampler:
-                sampler.stop()
-            injector.close()
-        rows = final_sorted_rows(plan, self.hdfs)
-        spans = [timing.span for timing in timings if timing.span is not None]
-        if injector.span is not None:
-            spans.append(injector.span)
-        return PlanResult(
-            rows=rows,
-            schema=plan.output_schema,
-            jobs=timings,
-            total_seconds=sim.now,
-            engine=self.name,
-            metrics=sampler.samples if sampler else [],
-            spans=spans,
-            fault_events=list(injector.events),
+            runtime.close()
+        return collect_plan_result(self, runtime, plan, timings)
+
+    def plan_process(
+        self,
+        runtime: EngineRuntime,
+        plan: PhysicalPlan,
+        conf: Optional[Configuration] = None,
+        owner: Optional[LeaseOwner] = None,
+    ):
+        """Execute *plan* job-by-job inside a (possibly shared) runtime."""
+        conf = conf or Configuration()
+        reduce_slots = runtime.aux_slots(
+            "hadoop.reduce", runtime.spec.slots_per_node, "rslots"
         )
+        timings: List[JobTiming] = []
+        for index, job in enumerate(plan.jobs):
+            is_last = index == len(plan.jobs) - 1
+            timing = yield from self._run_job(
+                runtime.sim, runtime.cluster, reduce_slots, job, conf,
+                is_last, runtime.tracer, runtime.injector, runtime.leases,
+                owner,
+            )
+            timings.append(timing)
+        return timings
 
     # -- job execution -----------------------------------------------------------
     def _run_job(self, sim: Simulator, cluster: Cluster,
                  reduce_slots: List[SlotPool], job: MRJob,
                  conf: Configuration, is_last: bool, tracer: Tracer,
-                 injector: FaultInjector):
+                 injector: FaultInjector, leases: LeaseManager,
+                 owner: Optional[LeaseOwner]):
         costs = self.costs
         hdfs = self.hdfs
         workers = cluster.workers
@@ -307,7 +299,7 @@ class HadoopEngine(Engine):
             num_maps=len(splits),
             num_reducers=num_reducers,
         )
-        timing.span = open_job_span(tracer, self.name, job, sim.now)
+        timing.span = open_job_span(tracer, self.name, job, sim.now, owner)
         ctx = _FaultContext(
             injector=injector,
             max_attempts=max(1, conf.get_int(TASK_MAX_ATTEMPTS,
@@ -346,7 +338,7 @@ class HadoopEngine(Engine):
                 self._map_task(
                     sim, cluster, job, state, timing, index, tagged,
                     assignment[index], small_tables, num_reducers,
-                    first_start_event, scale, ctx,
+                    first_start_event, scale, ctx, leases, owner,
                 ),
                 f"{job.job_id}-m{index}",
             )
@@ -362,6 +354,7 @@ class HadoopEngine(Engine):
                         self._reduce_task(
                             sim, cluster, reduce_slots, job, state, timing,
                             partition, node_index, small_tables, scale, ctx,
+                            leases, owner,
                         ),
                         f"{job.job_id}-r{partition}",
                     )
@@ -386,7 +379,8 @@ class HadoopEngine(Engine):
                             sim, cluster, job, state, timing, map_index,
                             splits[map_index], assignment[map_index],
                             small_tables, num_reducers, first_start_event,
-                            scale, ctx, task=state.map_task_records[map_index],
+                            scale, ctx, leases, owner,
+                            task=state.map_task_records[map_index],
                         ),
                         f"{job.job_id}-m{map_index}-rerun",
                     )
@@ -444,7 +438,9 @@ class HadoopEngine(Engine):
                   state: _JobState, timing: JobTiming, index: int,
                   tagged: TaggedSplit, preferred: int, small_tables,
                   num_reducers: int, first_start_event, job_scale: float,
-                  ctx: _FaultContext, task: Optional[TaskTiming] = None):
+                  ctx: _FaultContext, leases: LeaseManager,
+                  owner: Optional[LeaseOwner],
+                  task: Optional[TaskTiming] = None):
         """Coordinator for one logical map: runs attempts (with optional
         speculative backups) until one succeeds, then publishes the map
         output."""
@@ -474,7 +470,7 @@ class HadoopEngine(Engine):
                 self._map_attempt(
                     sim, cluster, job, state, task, tagged, chosen,
                     small_tables, num_reducers, first_start_event, job_scale,
-                    index, doom, commit_cell,
+                    index, doom, commit_cell, leases, owner,
                 ),
                 f"{job.job_id}-{task.task_id}-e{execution}",
             )
@@ -485,7 +481,7 @@ class HadoopEngine(Engine):
                     lambda backup_node: self._map_attempt(
                         sim, cluster, job, state, task, tagged, backup_node,
                         small_tables, num_reducers, first_start_event,
-                        job_scale, index, None, commit_cell,
+                        job_scale, index, None, commit_cell, leases, owner,
                     ),
                     f"{job.job_id}-{task.task_id}",
                 )
@@ -516,13 +512,14 @@ class HadoopEngine(Engine):
                      state: _JobState, task: TaskTiming, tagged: TaggedSplit,
                      node_index: int, small_tables, num_reducers: int,
                      first_start_event, job_scale: float, index: int,
-                     doom: Optional[float], commit_cell: Dict[str, bool]):
+                     doom: Optional[float], commit_cell: Dict[str, bool],
+                     leases: LeaseManager, owner: Optional[LeaseOwner]):
         """One map attempt; returns ("ok", collector, result) or
         ("failed"|"killed"|"lost-race", cause).  All resources it holds
         are released on every exit path, interrupt included."""
         costs = self.costs
         node = cluster.workers[node_index]
-        acquired = node.slots.acquire()
+        acquired = leases.acquire(node.slots, owner)
         held_slot = False
         held_heap = 0.0
         committed = False
@@ -640,9 +637,9 @@ class HadoopEngine(Engine):
             if held_heap:
                 node.memory.free(held_heap)
             if held_slot:
-                node.slots.release()
+                leases.release(node.slots, owner)
             else:
-                node.slots.cancel_acquire(acquired)
+                leases.cancel(node.slots, acquired, owner)
 
     # -- speculative execution ---------------------------------------------------
     def _speculate(self, sim: Simulator, cluster: Cluster, state: _JobState,
@@ -708,7 +705,8 @@ class HadoopEngine(Engine):
     def _reduce_task(self, sim: Simulator, cluster: Cluster,
                      reduce_slots: List[SlotPool], job: MRJob, state: _JobState,
                      timing: JobTiming, partition: int, preferred: int,
-                     small_tables, scale: float, ctx: _FaultContext):
+                     small_tables, scale: float, ctx: _FaultContext,
+                     leases: LeaseManager, owner: Optional[LeaseOwner]):
         """Coordinator for one logical reduce: attempt-level retry, same
         contract as maps (covers ``repro.failure.rate`` for reduces too)."""
         task = TaskTiming(task_id=f"r{partition}", kind="reduce", node=preferred,
@@ -732,7 +730,8 @@ class HadoopEngine(Engine):
             proc = sim.spawn(
                 self._reduce_attempt(
                     sim, cluster, reduce_slots, job, state, task, partition,
-                    chosen, small_tables, scale, doom, commit_cell,
+                    chosen, small_tables, scale, doom, commit_cell, leases,
+                    owner,
                 ),
                 f"{job.job_id}-{task.task_id}-e{task.attempts}",
             )
@@ -755,10 +754,11 @@ class HadoopEngine(Engine):
                         reduce_slots: List[SlotPool], job: MRJob,
                         state: _JobState, task: TaskTiming, partition: int,
                         node_index: int, small_tables, scale: float,
-                        doom: Optional[float], commit_cell: Dict[str, bool]):
+                        doom: Optional[float], commit_cell: Dict[str, bool],
+                        leases: LeaseManager, owner: Optional[LeaseOwner]):
         costs = self.costs
         node = cluster.workers[node_index]
-        acquired = reduce_slots[node_index].acquire()
+        acquired = leases.acquire(reduce_slots[node_index], owner)
         held_slot = False
         held_heap = 0.0
         committed = False
@@ -839,9 +839,9 @@ class HadoopEngine(Engine):
             if held_heap:
                 node.memory.free(held_heap)
             if held_slot:
-                reduce_slots[node_index].release()
+                leases.release(reduce_slots[node_index], owner)
             else:
-                reduce_slots[node_index].cancel_acquire(acquired)
+                leases.cancel(reduce_slots[node_index], acquired, owner)
 
     def _fetch_map_output(self, sim: Simulator, cluster: Cluster,
                           state: _JobState, node, partition: int,

@@ -1,0 +1,44 @@
+"""Concurrent multi-query workload scheduling (``repro.sched``).
+
+One :class:`WorkloadScheduler` admits many in-flight queries into a
+single shared simulated cluster: :meth:`Session.submit` returns a
+:class:`QueryHandle` without advancing simulated time, and the handles'
+``result()`` calls drain the shared simulation, interleaving Hadoop task
+waves and DataMPI gang allocations from different queries on the same
+node slots (never oversubscribed — see :mod:`repro.simulate.leases`).
+
+Policies: ``fifo`` (slot arbitration in arrival order), ``fair``
+(weighted per-pool slot shares with per-query max-min), ``capacity``
+(fifo arbitration plus per-pool admission caps and bounded wait queues
+that reject with :class:`~repro.common.errors.AdmissionRejectedError`).
+
+See docs/scheduling.md for the paper mapping and semantics.
+"""
+
+from repro.sched.scheduler import (
+    CANCELLED,
+    FAILED,
+    POLICIES,
+    QUEUED,
+    RUNNING,
+    SUCCEEDED,
+    Pool,
+    QueryHandle,
+    WorkloadScheduler,
+    jain_fairness_index,
+    parse_pools,
+)
+
+__all__ = [
+    "WorkloadScheduler",
+    "QueryHandle",
+    "Pool",
+    "parse_pools",
+    "jain_fairness_index",
+    "POLICIES",
+    "QUEUED",
+    "RUNNING",
+    "SUCCEEDED",
+    "FAILED",
+    "CANCELLED",
+]

@@ -1,0 +1,507 @@
+"""The workload scheduler: admission control + shared-cluster execution.
+
+Layering (top to bottom):
+
+* **admission** (here) — whether a submitted query may run at all:
+  global ``max_concurrent``, per-pool concurrency caps, bounded wait
+  queues with typed rejection;
+* **slot arbitration** (:class:`repro.simulate.LeaseManager`) — which
+  *admitted* query's task gets the next free slot, per the ``fifo`` or
+  ``fair`` policy;
+* **execution** (:meth:`repro.engines.base.Engine.plan_process`) — each
+  query's job DAG runs as a coroutine inside one shared
+  :class:`~repro.engines.base.EngineRuntime`.
+
+``submit`` never advances simulated time; it parses, compiles nothing,
+and spawns the query's driver process into the shared simulator.  A
+handle's :meth:`QueryHandle.result` (or :meth:`WorkloadScheduler.drain`)
+runs the simulation until every runnable query completes.  Everything is
+deterministic: same seed + same submission sequence replays the exact
+same event order, timings and results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import engines as engine_registry
+from repro.common.config import Configuration, RETRY_FALLBACK
+from repro.common.errors import (
+    AdmissionRejectedError,
+    ConfigError,
+    ExecutionError,
+    QueryCancelledError,
+    RetryExhaustedError,
+)
+from repro.core.driver import Driver, PreparedStatement, QueryResult
+from repro.engines.base import Engine, EngineRuntime, PlanResult, collect_plan_result
+from repro.obs import Span, get_metrics
+from repro.simulate import LeaseOwner
+from repro.sql import parse_script
+
+POLICIES = ("fifo", "fair", "capacity")
+
+QUEUED = "queued"
+RUNNING = "running"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+@dataclass
+class Pool:
+    """One scheduling pool: a weight for fair sharing plus optional
+    admission limits (``max_concurrent`` running queries, ``max_queue``
+    waiting ones; ``None`` = unlimited)."""
+
+    name: str
+    weight: float = 1.0
+    max_concurrent: Optional[int] = None
+    max_queue: Optional[int] = None
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ConfigError(f"pool {self.name!r}: weight must be positive")
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ConfigError(f"pool {self.name!r}: cap must be >= 1")
+        if self.max_queue is not None and self.max_queue < 0:
+            raise ConfigError(f"pool {self.name!r}: queue must be >= 0")
+
+
+def parse_pools(spec: str) -> Dict[str, Pool]:
+    """Parse the ``repro.sched.pools`` grammar.
+
+    >>> pools = parse_pools("etl:weight=2,cap=1,queue=4; adhoc:weight=1")
+    >>> pools["etl"].max_concurrent
+    1
+    """
+    pools: Dict[str, Pool] = {}
+    for chunk in (spec or "").split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, _, options = chunk.partition(":")
+        name = name.strip()
+        if not name:
+            raise ConfigError(f"pool spec {chunk!r}: missing pool name")
+        if name in pools:
+            raise ConfigError(f"pool {name!r} declared twice")
+        kwargs: Dict[str, object] = {}
+        for option in options.split(","):
+            option = option.strip()
+            if not option:
+                continue
+            key, eq, raw = option.partition("=")
+            key = key.strip().lower()
+            if not eq:
+                raise ConfigError(f"pool {name!r}: malformed option {option!r}")
+            try:
+                if key == "weight":
+                    kwargs["weight"] = float(raw)
+                elif key == "cap":
+                    kwargs["max_concurrent"] = int(raw)
+                elif key == "queue":
+                    kwargs["max_queue"] = int(raw)
+                else:
+                    raise ConfigError(
+                        f"pool {name!r}: unknown option {key!r} "
+                        "(expected weight/cap/queue)"
+                    )
+            except ValueError as exc:
+                raise ConfigError(
+                    f"pool {name!r}: {key}={raw!r} is not a number"
+                ) from exc
+        pools[name] = Pool(name, **kwargs)
+    return pools
+
+
+def jain_fairness_index(values: List[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` — 1.0 when
+    every query got the same share, ``1/n`` when one got everything."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares <= 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+class QueryHandle:
+    """One submitted query (possibly a multi-statement script).
+
+    ``submit`` returns immediately in simulated time; :meth:`result`
+    drains the shared simulation and returns the script's primary
+    :class:`~repro.core.driver.QueryResult` (the last SELECT's, matching
+    ``Driver.query``), re-raising the query's failure if it had one.
+    """
+
+    def __init__(self, scheduler: "WorkloadScheduler", query_id: str,
+                 pool: Pool, statements: List[object]):
+        self._scheduler = scheduler
+        self.query_id = query_id
+        self.pool = pool.name
+        self.owner = LeaseOwner(query_id, pool=pool.name, weight=pool.weight)
+        self.statements = statements
+        self.results: List[QueryResult] = []
+        self.error: Optional[BaseException] = None
+        self.submitted_at = scheduler.runtime.sim.now
+        self.admitted_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._status = QUEUED
+        self._start_event = scheduler.runtime.sim.event()
+        self._cancel_requested = False
+
+    # -- public API ---------------------------------------------------------
+    def status(self) -> str:
+        return self._status
+
+    def done(self) -> bool:
+        return self._status in (SUCCEEDED, FAILED, CANCELLED)
+
+    def cancel(self) -> bool:
+        """Withdraw the query if it has not been admitted yet.  Returns
+        ``True`` when cancelled; ``False`` once it is running or done
+        (no preemption — the cluster finishes what it started)."""
+        return self._scheduler._cancel(self)
+
+    def result(self) -> QueryResult:
+        self._scheduler.drain()
+        if self._status == CANCELLED:
+            raise QueryCancelledError(
+                f"query {self.query_id} was cancelled before admission",
+                query_id=self.query_id,
+            )
+        if self.error is not None:
+            raise self.error
+        for result in reversed(self.results):
+            if result.statement == "select":
+                return result
+        return self.results[-1]
+
+    # -- timings (simulated seconds on the shared clock) ---------------------
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def queue_wait(self) -> Optional[float]:
+        if self.admitted_at is None:
+            return None
+        return self.admitted_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryHandle({self.query_id!r}, pool={self.pool!r}, "
+            f"status={self._status!r})"
+        )
+
+
+class WorkloadScheduler:
+    """Admits queries from one :class:`~repro.core.driver.Driver` into a
+    shared :class:`~repro.engines.base.EngineRuntime`."""
+
+    def __init__(
+        self,
+        driver: Driver,
+        policy: str = "fifo",
+        max_concurrent: int = 0,
+        pools: Optional[Dict[str, Pool]] = None,
+        default_pool: str = "default",
+    ):
+        if policy not in POLICIES:
+            raise ConfigError(
+                f"unknown scheduler policy {policy!r} (expected one of {POLICIES})"
+            )
+        if max_concurrent < 0:
+            raise ConfigError("repro.sched.max.concurrent must be >= 0")
+        self._require_plan_process(driver.engine)
+        self.driver = driver
+        self.policy = policy
+        self.max_concurrent = max_concurrent
+        self.pools: Dict[str, Pool] = dict(pools or {})
+        self.default_pool = default_pool
+        self.pools.setdefault(default_pool, Pool(default_pool))
+        self.runtime = EngineRuntime(
+            driver.engine.spec,
+            driver.conf,
+            lease_policy="fair" if policy == "fair" else "fifo",
+        )
+        #: deterministic audit trail: (time, action, query, pool) in
+        #: scheduling order — the concurrency suite replays and compares it
+        self.events: List[Tuple[float, str, str, str]] = []
+        self.handles: List[QueryHandle] = []
+        self._waiting: List[QueryHandle] = []
+        self._running_by_pool: Dict[str, int] = {}
+        self._running_total = 0
+        self._counter = 0
+        self._fallback_engines: Dict[str, Engine] = {}
+
+    @staticmethod
+    def _require_plan_process(engine: Engine) -> None:
+        if type(engine).plan_process is Engine.plan_process:
+            raise ConfigError(
+                f"engine {engine.name!r} does not support shared-runtime "
+                "execution; concurrent scheduling needs a cluster engine "
+                "(hadoop / datampi)"
+            )
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, sql: str, pool: Optional[str] = None) -> QueryHandle:
+        """Queue a script for execution; non-blocking in simulated time.
+
+        Raises :class:`AdmissionRejectedError` when the target pool's
+        concurrency cap is reached *and* its bounded wait queue is full.
+        """
+        statements = parse_script(sql)
+        if not statements:
+            raise ExecutionError("submit needs at least one statement")
+        pool_obj = self._resolve_pool(pool)
+        self._counter += 1
+        handle = QueryHandle(self, f"wq{self._counter}", pool_obj, statements)
+        self._check_admission(pool_obj, handle)
+        self.handles.append(handle)
+        self._waiting.append(handle)
+        self._log("submit", handle)
+        self.runtime.sim.spawn(self._query_process(handle), handle.query_id)
+        self._pump()
+        return handle
+
+    def _resolve_pool(self, pool: Optional[str]) -> Pool:
+        name = pool or self.default_pool
+        pool_obj = self.pools.get(name)
+        if pool_obj is None:
+            raise ConfigError(
+                f"unknown pool {name!r} (declared: {sorted(self.pools)})"
+            )
+        return pool_obj
+
+    def _check_admission(self, pool: Pool, handle: QueryHandle) -> None:
+        if pool.max_concurrent is None:
+            return
+        running = self._running_by_pool.get(pool.name, 0)
+        if running < pool.max_concurrent:
+            return
+        queued = sum(1 for waiting in self._waiting if waiting.pool == pool.name)
+        if pool.max_queue is not None and queued >= pool.max_queue:
+            self.events.append(
+                (self.runtime.sim.now, "reject", handle.query_id, pool.name)
+            )
+            raise AdmissionRejectedError(
+                f"pool {pool.name!r} is full: {running} running "
+                f"(cap {pool.max_concurrent}), {queued} queued "
+                f"(queue limit {pool.max_queue})",
+                pool=pool.name,
+                running=running,
+                queued=queued,
+                max_concurrent=pool.max_concurrent,
+                max_queue=pool.max_queue,
+            )
+
+    # -- draining ------------------------------------------------------------
+    def drain(self) -> None:
+        """Run the shared simulation until every runnable query is done."""
+        self._pump()
+        self.runtime.sim.run()
+
+    def close(self) -> None:
+        self.runtime.close()
+
+    # -- admission pump --------------------------------------------------------
+    def _fits(self, pool: Pool) -> bool:
+        if self.max_concurrent and self._running_total >= self.max_concurrent:
+            return False
+        if pool.max_concurrent is not None:
+            if self._running_by_pool.get(pool.name, 0) >= pool.max_concurrent:
+                return False
+        return True
+
+    def _pump(self) -> None:
+        """Admit waiting queries, in submission order, as capacity allows
+        (a full pool never blocks a later submission to another pool)."""
+        for handle in list(self._waiting):
+            pool = self.pools[handle.pool]
+            if not self._fits(pool):
+                continue
+            self._waiting.remove(handle)
+            self._running_by_pool[pool.name] = (
+                self._running_by_pool.get(pool.name, 0) + 1
+            )
+            self._running_total += 1
+            handle.admitted_at = self.runtime.sim.now
+            handle._status = RUNNING
+            self._log("admit", handle)
+            handle._start_event.trigger(None)
+
+    def _cancel(self, handle: QueryHandle) -> bool:
+        if handle._status != QUEUED:
+            return False
+        handle._cancel_requested = True
+        handle._status = CANCELLED
+        handle.finished_at = self.runtime.sim.now
+        if handle in self._waiting:
+            self._waiting.remove(handle)
+        self._log("cancel", handle)
+        handle._start_event.trigger(None)  # wake the process so it exits
+        return True
+
+    def _finish(self, handle: QueryHandle) -> None:
+        self._running_by_pool[handle.pool] -= 1
+        self._running_total -= 1
+        self._pump()
+
+    def _log(self, action: str, handle: QueryHandle) -> None:
+        self.events.append(
+            (self.runtime.sim.now, action, handle.query_id, handle.pool)
+        )
+
+    # -- the per-query driver process ------------------------------------------
+    def _query_process(self, handle: QueryHandle):
+        yield handle._start_event
+        if handle._cancel_requested:
+            return
+        sim = self.runtime.sim
+        try:
+            try:
+                for statement in handle.statements:
+                    host = self.driver._execute_host_statement(statement)
+                    if host is not None:
+                        handle.results.append(host)
+                        continue
+                    statement_start = sim.now
+                    prepared = self.driver.prepare(statement, use_cache=False)
+                    yield sim.timeout(prepared.compile_seconds)
+                    execution = yield from self._run_prepared(handle, prepared)
+                    trace = self._build_trace(
+                        handle, prepared, execution, statement_start
+                    )
+                    handle.results.append(prepared.finalize(execution, trace))
+                handle._status = SUCCEEDED
+            except Exception as exc:  # one query's failure never sinks the rest
+                handle._status = FAILED
+                handle.error = exc
+        finally:
+            handle.finished_at = sim.now
+            self._log("finish" if handle._status == SUCCEEDED else "fail", handle)
+            self._finish(handle)
+
+    def _run_prepared(self, handle: QueryHandle, prepared: PreparedStatement):
+        driver = self.driver
+        engine = driver.engine
+        sim = self.runtime.sim
+        if prepared.clear_output:
+            driver.hdfs.delete(prepared.plan.output_location)
+        started_at = sim.now
+        try:
+            timings = yield from engine.plan_process(
+                self.runtime, prepared.plan, driver.conf, handle.owner
+            )
+            execution = collect_plan_result(
+                engine, self.runtime, prepared.plan, timings,
+                started_at=started_at, include_injector_span=False,
+            )
+        except RetryExhaustedError:
+            fallback = (driver.conf.get(RETRY_FALLBACK, "") or "").strip()
+            if not fallback:
+                raise
+            execution = yield from self._run_fallback(
+                handle, prepared, fallback, started_at
+            )
+        driver.hdfs.delete(f"/tmp/hive/{prepared.query_id}")
+        return execution
+
+    def _run_fallback(self, handle: QueryHandle, prepared: PreparedStatement,
+                      fallback: str, started_at: float):
+        """Graceful degradation *inside the shared simulation*: the plan
+        re-runs on the fallback engine against the same cluster, so
+        bystander queries keep their slots and timeline."""
+        driver = self.driver
+        driver._discard_partial_outputs(prepared.plan)
+        get_metrics().counter("engine.fallbacks").add(1)
+        engine = self._fallback_engines.get(fallback)
+        if engine is None:
+            engine = engine_registry.create(
+                fallback, driver.hdfs, spec=driver.engine.spec
+            )
+            self._require_plan_process(engine)
+            self._fallback_engines[fallback] = engine
+        timings = yield from engine.plan_process(
+            self.runtime, prepared.plan, driver.conf, handle.owner
+        )
+        execution = collect_plan_result(
+            engine, self.runtime, prepared.plan, timings,
+            started_at=started_at, include_injector_span=False,
+        )
+        execution.fallback_from = driver.engine.name
+        return execution
+
+    def _build_trace(self, handle: QueryHandle, prepared: PreparedStatement,
+                     execution: PlanResult, statement_start: float) -> Span:
+        """Per-statement span tree on the *shared* simulated clock (the
+        solo driver rebases to statement-relative time; here absolute
+        times are the point — overlap between queries is visible)."""
+        root = Span(
+            "query", start=statement_start, category="query",
+            attributes={
+                "engine": execution.engine,
+                "query_id": prepared.query_id,
+                "statement": prepared.kind,
+                "query": handle.query_id,
+                "pool": handle.pool,
+                "policy": self.policy,
+                "queue_wait": handle.queue_wait or 0.0,
+            },
+        )
+        root.start_child("compile", statement_start, category="compile").finish(
+            statement_start + prepared.compile_seconds
+        )
+        for job_span in execution.spans:
+            root.adopt(job_span)  # already on the shared clock: no shift
+        return root.finish(self.runtime.sim.now)
+
+    # -- reporting -------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Workload-level numbers for the bench harness and tests."""
+        finished = [h for h in self.handles if h.finished_at is not None]
+        latencies = sorted(
+            h.latency for h in finished if h._status == SUCCEEDED
+        )
+        ledger = self.runtime.leases.ledger
+        return {
+            "policy": self.policy,
+            "queries": len(self.handles),
+            "succeeded": sum(1 for h in self.handles if h._status == SUCCEEDED),
+            "failed": sum(1 for h in self.handles if h._status == FAILED),
+            "cancelled": sum(1 for h in self.handles if h._status == CANCELLED),
+            "makespan": self.runtime.sim.now,
+            "latencies": latencies,
+            "fairness": jain_fairness_index(latencies),
+            "oversubscribed_pools": ledger.oversubscribed_pools(),
+            "slot_seconds": {
+                h.query_id: ledger.owner_usage(h.query_id).slot_seconds
+                for h in self.handles
+            },
+        }
+
+
+def scheduler_from_conf(driver: Driver,
+                        conf: Optional[Configuration] = None) -> WorkloadScheduler:
+    """Build a scheduler from the ``repro.sched.*`` configuration keys."""
+    from repro.common.config import (
+        SCHED_DEFAULT_POOL,
+        SCHED_MAX_CONCURRENT,
+        SCHED_POLICY,
+        SCHED_POOLS,
+    )
+
+    conf = conf or driver.conf
+    return WorkloadScheduler(
+        driver,
+        policy=(conf.get(SCHED_POLICY, "fifo") or "fifo").strip().lower(),
+        max_concurrent=conf.get_int(SCHED_MAX_CONCURRENT, 0),
+        pools=parse_pools(conf.get(SCHED_POOLS, "") or ""),
+        default_pool=conf.get(SCHED_DEFAULT_POOL, "default") or "default",
+    )

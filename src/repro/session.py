@@ -72,6 +72,7 @@ class Session(Driver):
             engine = engine_registry.create(engine, hdfs, spec=spec)
         super().__init__(hdfs, metastore, engine, conf=_as_configuration(conf))
         self._closed = False
+        self._scheduler = None
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -85,6 +86,9 @@ class Session(Driver):
     def close(self) -> None:
         """Refuse further statements (idempotent)."""
         self._closed = True
+        if self._scheduler is not None:
+            self._scheduler.close()
+            self._scheduler = None
 
     def __enter__(self) -> "Session":
         return self
@@ -96,6 +100,28 @@ class Session(Driver):
         if self._closed:
             raise ExecutionError("session is closed")
         return super().execute(sql, with_metrics=with_metrics)
+
+    # -- concurrent submission (repro.sched) --------------------------------
+    @property
+    def scheduler(self):
+        """The session's lazily-built workload scheduler, configured from
+        the ``repro.sched.*`` keys (policy, pools, caps)."""
+        if self._closed:
+            raise ExecutionError("session is closed")
+        if self._scheduler is None:
+            from repro.sched.scheduler import scheduler_from_conf
+
+            self._scheduler = scheduler_from_conf(self)
+        return self._scheduler
+
+    def submit(self, sql: str, pool: Optional[str] = None):
+        """Queue a script on the shared simulated cluster and return a
+        :class:`repro.sched.QueryHandle`; non-blocking in simulated time
+        (``handle.result()`` drains the simulation).  Concurrent submits
+        interleave on the same cluster under the configured policy."""
+        if self._closed:
+            raise ExecutionError("session is closed")
+        return self.scheduler.submit(sql, pool=pool)
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"

@@ -13,6 +13,7 @@ Layers:
 * :mod:`repro.simulate.cluster` — nodes and the cluster topology
 * :mod:`repro.simulate.metrics` — dstat-style 1 Hz utilization sampler
 * :mod:`repro.simulate.faults` — declarative fault plans and the injector
+* :mod:`repro.simulate.leases` — multi-query slot arbitration + attribution
 """
 
 from repro.simulate.events import Simulator, Event, Process, Interrupt
@@ -26,6 +27,13 @@ from repro.simulate.faults import (
     FaultPlan,
     NodeCrash,
     Straggler,
+)
+from repro.simulate.leases import (
+    GangLease,
+    LeaseLedger,
+    LeaseManager,
+    LeaseOwner,
+    OwnerUsage,
 )
 
 __all__ = [
@@ -47,4 +55,9 @@ __all__ = [
     "NodeCrash",
     "Degradation",
     "Straggler",
+    "LeaseManager",
+    "LeaseOwner",
+    "LeaseLedger",
+    "GangLease",
+    "OwnerUsage",
 ]

@@ -255,3 +255,60 @@ class TestRetryExhaustionAndFallback:
     def test_no_fallback_marker_on_clean_run(self, big_warehouse):
         hdfs, metastore = big_warehouse
         assert _run("datampi", hdfs, metastore).fallback_engine is None
+
+
+COUNT_SQL = "SELECT count(*) FROM facts"
+
+
+class TestConcurrentFailureIsolation:
+    """Faults striking one query in a shared cluster fell only that
+    query: it alone retries or falls back, while concurrently running
+    bystanders keep their engine, timeline and rows."""
+
+    def test_crash_fells_only_the_struck_query(self, big_warehouse):
+        hdfs, metastore = big_warehouse
+        solo = {sql: connect(engine="datampi", hdfs=hdfs,
+                             metastore=metastore).query(sql).rows
+                for sql in (SQL, COUNT_SQL)}
+        conf = {FAULT_SPEC: "crash:w1@5-7; crash:w2@9-11",
+                RETRY_MAX: "1", RETRY_BACKOFF: "0.5", RETRY_FALLBACK: "mr"}
+        with connect(engine="datampi", hdfs=hdfs, metastore=metastore,
+                     conf=conf) as session:
+            struck = session.submit(SQL)
+            # let both crash windows land while only the struck query
+            # runs; it exhausts its retry budget and degrades to hadoop
+            session.scheduler.runtime.sim.run(until=15.0)
+            bystanders = [session.submit(SQL), session.submit(COUNT_SQL)]
+            session.scheduler.drain()
+
+            struck_result = struck.result()
+            assert struck_result.fallback_engine == "hadoop"
+            assert compare_result_rows(solo[SQL], struck_result.rows,
+                                       ordered=True)
+            # the bystanders overlapped the struck query's fallback run
+            # on the shared cluster, yet stayed on datampi untouched
+            assert struck.finished_at > bystanders[0].admitted_at
+            for handle, sql in zip(bystanders, (SQL, COUNT_SQL)):
+                result = handle.result()
+                assert result.fallback_engine is None
+                assert result.execution.total_attempts == sum(
+                    len(job.tasks) for job in result.execution.jobs
+                ), "bystander tasks must succeed on their first attempt"
+                assert compare_result_rows(solo[sql], result.rows,
+                                           ordered=True)
+
+    def test_transient_failures_retry_without_crosstalk(self, big_warehouse):
+        """Random task failures under a shared injector: every query
+        retries its own tasks; results all match the clean solo run."""
+        hdfs, metastore = big_warehouse
+        solo = connect(engine="datampi", hdfs=hdfs,
+                       metastore=metastore).query(SQL).rows
+        conf = _faulty_conf(0.05, seed=11)
+        with connect(engine="datampi", hdfs=hdfs, metastore=metastore,
+                     conf=conf) as session:
+            handles = [session.submit(SQL) for _ in range(3)]
+            session.scheduler.drain()
+            for handle in handles:
+                result = handle.result()
+                assert result.fallback_engine is None
+                assert compare_result_rows(solo, result.rows, ordered=True)
