@@ -54,14 +54,17 @@ LIMIT 5
 
 
 def main():
+    from repro.engines import capabilities
+
     hdfs, metastore = build_warehouse()
 
-    print("running the same query on both execution engines...\n")
-    for engine in ("hadoop", "datampi"):
+    print("running the same query on the cluster engines...\n")
+    for engine in ("hadoop", "datampi", "llap"):
         session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
         result = session.query(QUERY)
         timing = result.execution
         print(f"== {engine} ==")
+        print(f"  capabilities: {', '.join(capabilities(engine).enabled())}")
         print(f"  physical plan: {len(result.plan.jobs)} MapReduce job(s)")
         print(f"  simulated time: {timing.total_seconds:.1f}s "
               f"(startup {sum(j.startup for j in timing.jobs):.1f}s, "

@@ -33,6 +33,23 @@ echo "== concurrency smoke (scheduler policies, shared cluster) =="
 python benchmarks/bench_concurrency.py --smoke \
     --output "$(mktemp -d)/BENCH_concurrency_smoke.json"
 
+echo "== llap smoke (persistent daemons + caches, oracle-checked) =="
+# Repeated-query workload on all engines: every row cross-checked
+# against the local oracle, and the run fails unless warm llap beats
+# both baselines >=3x, warm fragment dispatch undercuts hadoop's
+# per-job startup, and re-scans hit the decoded-stripe cache.  The
+# wall-clock guard only trips on order-of-magnitude regressions.
+python benchmarks/bench_llap.py --smoke --guard-seconds 60 \
+    --output "$(mktemp -d)/BENCH_llap_smoke.json"
+
+if [[ "${CHECK_LLAP_FULL:-0}" == "1" ]]; then
+    echo "== llap full (warm/cold + cache economics report) =="
+    # Full-size repeated workload writing the committed report to
+    # results/BENCH_llap.json.  Opt-in because it takes a while; run it
+    # before committing llap- or cache-sensitive changes.
+    python benchmarks/bench_llap.py
+fi
+
 if [[ "${CHECK_CONCURRENCY_FULL:-0}" == "1" ]]; then
     echo "== concurrency full (policy comparison report) =="
     # Full-size workload (more queries, bigger warehouse) writing the

@@ -26,22 +26,23 @@ architecture and docs/observability.md for tracing.
 
 from repro.common.config import Configuration
 from repro.core.driver import Driver, QueryResult, make_warehouse
+from repro.engines import EngineCapabilities, EngineSpec, capabilities
 from repro.engines.datampi import DataMPIEngine
 from repro.engines.hadoop import HadoopEngine
+from repro.engines.llap import LlapEngine
 from repro.engines.local import LocalEngine
 from repro.obs import MetricsRegistry, Span, Tracer, get_metrics
 from repro.sched import Pool, QueryHandle, WorkloadScheduler
-from repro.session import Session, connect, hive_session
+from repro.session import Session, connect
 from repro.simulate.cluster import ClusterSpec
 from repro.storage.hdfs import HDFS
 from repro.storage.metastore import Metastore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "connect",
     "Session",
-    "hive_session",
     "make_warehouse",
     "Driver",
     "QueryResult",
@@ -51,7 +52,11 @@ __all__ = [
     "ClusterSpec",
     "HadoopEngine",
     "DataMPIEngine",
+    "LlapEngine",
     "LocalEngine",
+    "EngineCapabilities",
+    "EngineSpec",
+    "capabilities",
     "WorkloadScheduler",
     "QueryHandle",
     "Pool",

@@ -26,6 +26,9 @@ from typing import List, Optional
 from repro import connect, make_warehouse
 from repro.common.config import (
     FAULT_SPEC,
+    LLAP_CACHE_MB,
+    RESULT_CACHE_ENABLED,
+    RESULT_CACHE_ENTRIES,
     SCHED_DEFAULT_POOL,
     SCHED_MAX_CONCURRENT,
     SCHED_POLICY,
@@ -88,6 +91,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="declare a scheduling pool, e.g. "
                              "'etl:weight=2,cap=1,queue=4' (repeatable; the "
                              "first one becomes the submit pool)")
+    parser.add_argument("--llap-cache-mb", type=float, metavar="MB",
+                        help="per-node decoded-stripe cache capacity for "
+                             "--engine llap (repro.llap.cache.mb)")
+    parser.add_argument("--result-cache-entries", type=int, metavar="N",
+                        help="driver result-cache LRU capacity "
+                             "(repro.result.cache.entries)")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="disable the driver result cache "
+                             "(repro.result.cache.enabled=false)")
     return parser
 
 
@@ -186,6 +198,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             session.conf.set(key.strip(), value.strip())
         if args.faults:
             session.conf.set(FAULT_SPEC, args.faults)
+        if args.llap_cache_mb is not None:
+            session.conf.set(LLAP_CACHE_MB, args.llap_cache_mb)
+        if args.result_cache_entries is not None:
+            session.conf.set(RESULT_CACHE_ENTRIES, args.result_cache_entries)
+        if args.no_result_cache:
+            session.conf.set(RESULT_CACHE_ENABLED, False)
         if concurrent:
             session.conf.set(SCHED_POLICY, args.scheduler or "fifo")
             session.conf.set(SCHED_MAX_CONCURRENT, args.concurrency)

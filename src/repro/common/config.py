@@ -44,6 +44,12 @@ SPECULATIVE_EXECUTION = "repro.speculative.execution"  # bool (mr stragglers)
 SPECULATIVE_SLOWDOWN = "repro.speculative.slowdown"  # lateness factor to trigger
 BLACKLIST_THRESHOLD = "repro.blacklist.failures"  # failures/node before blacklist
 
+# -- llap persistent-daemon engine knobs (docs/llap_engine.md) ---------------
+LLAP_CACHE_MB = "repro.llap.cache.mb"  # per-node decoded-stripe cache capacity
+LLAP_DAEMON_SLOTS = "repro.llap.daemon.slots"  # executors per daemon (0 = all)
+RESULT_CACHE_ENABLED = "repro.result.cache.enabled"  # bool; driver result cache
+RESULT_CACHE_ENTRIES = "repro.result.cache.entries"  # LRU capacity (queries)
+
 # -- workload scheduler knobs (docs/scheduling.md) --------------------------
 SCHED_POLICY = "repro.sched.policy"  # "fifo" | "fair" | "capacity"
 SCHED_MAX_CONCURRENT = "repro.sched.max.concurrent"  # global cap (0 = unlimited)

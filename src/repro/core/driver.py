@@ -13,6 +13,7 @@ Responsibilities (Hive's Driver + DDL task equivalents):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -21,6 +22,8 @@ from repro.common.config import (
     EXEC_VECTORIZED,
     HIVE_FILE_FORMAT,
     HIVE_MAPJOIN_SMALLTABLE_BYTES,
+    RESULT_CACHE_ENABLED,
+    RESULT_CACHE_ENTRIES,
     RETRY_FALLBACK,
 )
 from repro.common.errors import RetryExhaustedError, SemanticError
@@ -52,6 +55,13 @@ class QueryResult:
     ``job`` → ``task``/``shuffle``/``spill``) in simulated seconds from
     statement start; ``None`` for statements that execute nothing
     (``SET``, DDL).
+
+    ``engine`` names the engine that produced the rows (the fallback
+    engine when graceful degradation kicked in; ``None`` for host-only
+    statements).  ``cache_hit`` is ``True`` when the rows were served
+    from the driver's result cache without touching the cluster — the
+    statement then costs ~0 simulated seconds and ``execution`` is
+    ``None``.
     """
 
     statement: str  # 'select' | 'create' | 'ctas' | 'insert' | 'drop' | 'set' | 'explain'
@@ -61,6 +71,8 @@ class QueryResult:
     execution: Optional[PlanResult] = None
     compile_seconds: float = 0.0
     trace: Optional[Span] = None
+    cache_hit: bool = False
+    engine: Optional[str] = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -115,6 +127,82 @@ class QueryResult:
         names = self.column_names()
         return {
             name: [row[i] for row in self.rows] for i, name in enumerate(names)
+        }
+
+
+@dataclass
+class ResultCacheEntry:
+    """One cached SELECT: the rows plus everything needed to prove they
+    are still current (metastore version + input-file fingerprint)."""
+
+    plan: PhysicalPlan
+    query_id: str
+    version: int
+    snapshot: tuple
+    rows: List[tuple]
+    schema: Optional[Schema]
+    engine: str
+
+
+class ResultCache:
+    """Driver-level LRU cache of complete SELECT results.
+
+    Hive's ``hive.query.results.cache`` equivalent: a repeated identical
+    query whose inputs are untouched is answered without scheduling
+    anything, in ~0 simulated seconds.  Entries are keyed by the same
+    key as the compiled-plan cache (AST + engine + the config the
+    compiler reads) and validated on every hit against the live
+    metastore version and input snapshot; results observed while a
+    writer overlapped the query are never admitted (the caller checks
+    the version/snapshot it captured at compile time against the state
+    at completion before storing).
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = max(1, capacity)
+        self._entries: Dict[tuple, ResultCacheEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple, version: int,
+               snapshot_of: Callable[[PhysicalPlan], tuple]
+               ) -> Optional[ResultCacheEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.version != version or entry.snapshot != snapshot_of(entry.plan):
+                # the catalog or the input files moved under the entry
+                del self._entries[key]
+                self.invalidations += 1
+                entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple, entry: ResultCacheEntry) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+            self.evictions += 1
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for ``Session.caches()`` (public introspection)."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
 
@@ -185,6 +273,9 @@ class Driver:
         # so a hit skips only host-side work; the modeled compile latency
         # is still charged, keeping simulated seconds identical.
         self._plan_cache: Dict[tuple, tuple] = {}
+        # result cache (capability-gated): built on first use so the
+        # configured capacity is read after any SET statements ran
+        self._result_cache: Optional[ResultCache] = None
 
     # -- public API ---------------------------------------------------------
     def execute(self, sql: str, with_metrics: bool = False) -> List[QueryResult]:
@@ -210,7 +301,12 @@ class Driver:
         host = self._execute_host_statement(statement)
         if host is not None:
             return host
+        cached = self.result_cache_lookup(statement)
+        if cached is not None:
+            return cached
+        version_at_compile = self.metastore.version
         prepared = self.prepare(statement)
+        snapshot_at_compile = self._plan_snapshot(prepared.plan)
         execution = self._run_plan(
             prepared.plan, prepared.query_id, with_metrics,
             clear_output=prepared.clear_output,
@@ -218,7 +314,11 @@ class Driver:
         trace = self._assemble_trace(
             prepared.kind, prepared.query_id, prepared.compile_seconds, execution
         )
-        return prepared.finalize(execution, trace)
+        result = prepared.finalize(execution, trace)
+        self.result_cache_store(
+            statement, prepared, result, version_at_compile, snapshot_at_compile
+        )
+        return result
 
     def _execute_host_statement(
         self, statement: ast.Statement
@@ -395,6 +495,7 @@ class Driver:
                 execution=execution,
                 compile_seconds=compile_seconds,
                 trace=trace,
+                engine=execution.engine if execution else self.engine.name,
             )
 
         return PreparedStatement(
@@ -456,6 +557,7 @@ class Driver:
                 execution=execution,
                 compile_seconds=compile_seconds,
                 trace=trace,
+                engine=execution.engine if execution else self.engine.name,
             )
 
         return PreparedStatement(
@@ -492,6 +594,87 @@ class Driver:
             schema=Schema([Column("plan", DataType.STRING)]),
             plan=plan,
             trace=self._assemble_trace("explain", query_id, compile_seconds, None),
+        )
+
+    # -- result cache -------------------------------------------------------
+    def result_cache(self) -> Optional[ResultCache]:
+        """The driver's result cache, or ``None`` when the session's
+        engine does not advertise the ``result_cache`` capability or
+        ``repro.result.cache.enabled`` is off."""
+        if not self.engine.capabilities.result_cache:
+            return None
+        if not self.conf.get_bool(RESULT_CACHE_ENABLED, True):
+            return None
+        if self._result_cache is None:
+            self._result_cache = ResultCache(
+                self.conf.get_int(RESULT_CACHE_ENTRIES, 64)
+            )
+        return self._result_cache
+
+    def result_cache_lookup(self, statement) -> Optional[QueryResult]:
+        """A finished :class:`QueryResult` for *statement* if the result
+        cache holds a still-valid entry, else ``None``.  A hit costs no
+        compile time and no cluster work (~0 simulated seconds)."""
+        cache = self.result_cache()
+        if cache is None or not isinstance(statement, (ast.Select, ast.UnionAll)):
+            return None
+        entry = cache.lookup(
+            self._plan_cache_key(statement), self.metastore.version,
+            self._plan_snapshot,
+        )
+        if entry is None:
+            return None
+        trace = Span(
+            "query", start=0.0, category="query",
+            attributes={
+                "engine": entry.engine,
+                "query_id": entry.query_id,
+                "statement": "select",
+                "cache_hit": True,
+            },
+        ).finish(0.0)
+        return QueryResult(
+            statement="select",
+            rows=list(entry.rows),
+            schema=entry.schema,
+            plan=entry.plan,
+            execution=None,
+            compile_seconds=0.0,
+            trace=trace,
+            cache_hit=True,
+            engine=entry.engine,
+        )
+
+    def result_cache_store(self, statement, prepared: "PreparedStatement",
+                           result: QueryResult, version_at_compile: int,
+                           snapshot_at_compile: tuple) -> None:
+        """Admit a completed SELECT, unless a writer overlapped it.
+
+        The metastore version and input snapshot captured at compile
+        time must still hold now that the query finished — otherwise the
+        rows may reflect a half-updated input (a concurrent INSERT under
+        ``Session.submit``) and are not safe to replay.
+        """
+        cache = self.result_cache()
+        if cache is None or result.statement != "select" or result.cache_hit:
+            return
+        if result.execution is None:
+            return
+        if self.metastore.version != version_at_compile:
+            return
+        if self._plan_snapshot(prepared.plan) != snapshot_at_compile:
+            return
+        cache.store(
+            self._plan_cache_key(statement),
+            ResultCacheEntry(
+                plan=prepared.plan,
+                query_id=prepared.query_id,
+                version=version_at_compile,
+                snapshot=snapshot_at_compile,
+                rows=list(result.rows),
+                schema=result.schema,
+                engine=result.engine or self.engine.name,
+            ),
         )
 
     # -- plan cache ---------------------------------------------------------
@@ -577,6 +760,7 @@ class Driver:
                 execution=execution,
                 compile_seconds=compile_seconds,
                 trace=trace,
+                engine=execution.engine if execution else self.engine.name,
             )
 
         return PreparedStatement(

@@ -22,7 +22,7 @@ from repro.common.kv import KeyValue
 from repro.common.rows import Schema
 from repro.common.units import GB
 from repro.exec.mapper import ExecMapper, ExecReducer
-from repro.exec.operators import FileSinkDesc, ListCollector
+from repro.exec.operators import Collector, FileSinkDesc, ListCollector
 from repro.exec.reduce import group_sorted_pairs, key_comparator, sort_pairs
 from repro.obs import MetricsRegistry, Span, Tracer, get_metrics
 from repro.plan.physical import MapInput, MRJob, PhysicalPlan
@@ -42,6 +42,41 @@ from repro.storage.hdfs import HDFS, FileSplit
 Row = Tuple[object, ...]
 
 BYTES_PER_REDUCER_DEFAULT = 1 * GB  # hive.exec.reducers.bytes.per.reducer
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """Declared behaviours of an engine, used by the driver and workload
+    scheduler to branch on *what an engine can do* rather than on its
+    name or concrete class.
+
+    ``shared_runtime`` marks engines whose :meth:`Engine.plan_process`
+    can execute inside a caller-owned :class:`EngineRuntime` (required
+    for concurrent scheduling).  ``persistent`` marks engines that keep
+    daemon state (and caches) alive across queries; ``result_cache``
+    opts the engine into the driver-level result cache.
+    """
+
+    vectorized: bool = False
+    speculative: bool = False
+    gang_scheduling: bool = False
+    persistent: bool = False
+    result_cache: bool = False
+    shared_runtime: bool = False
+
+    def as_dict(self) -> Dict[str, bool]:
+        return {
+            "vectorized": self.vectorized,
+            "speculative": self.speculative,
+            "gang_scheduling": self.gang_scheduling,
+            "persistent": self.persistent,
+            "result_cache": self.result_cache,
+            "shared_runtime": self.shared_runtime,
+        }
+
+    def enabled(self) -> List[str]:
+        """Sorted names of the capabilities that are on."""
+        return sorted(name for name, on in self.as_dict().items() if on)
 
 
 # ---------------------------------------------------------------------------
@@ -345,6 +380,37 @@ def scan_split_batch(tagged: TaggedSplit):
     return result.batch, result.bytes_read * tagged.split.scale
 
 
+class MapOutputCollector(Collector):
+    """Per-map collector bucketing pairs by reduce partition.
+
+    Shared by every cluster engine that materializes map output for a
+    shuffle (Hadoop spills it to local disk; LLAP keeps it in daemon
+    memory) — the bucketing and byte accounting are identical.
+    """
+
+    def __init__(self, num_partitions: int):
+        self.partitions: List[List[KeyValue]] = [[] for _ in range(num_partitions)]
+        self.partition_bytes: List[int] = [0] * num_partitions
+
+    def collect(self, partition: int, pair: KeyValue) -> None:
+        self.partitions[partition].append(pair)
+        self.partition_bytes[partition] += pair.serialized_size()
+
+    def collect_batch(self, partitions, pairs) -> None:
+        # the vectorized sink pre-seeds every pair's _size memo
+        partition_lists = self.partitions
+        partition_bytes = self.partition_bytes
+        for partition, pair in zip(partitions, pairs):
+            partition_lists[partition].append(pair)
+            partition_bytes[partition] += pair._size
+
+    @property
+    def total_bytes(self) -> int:
+        # summed on demand (per batch / at close) instead of maintaining
+        # a third counter on the per-pair path
+        return sum(self.partition_bytes)
+
+
 def load_broadcast_tables(job: MRJob, hdfs: HDFS) -> Dict[str, List[Row]]:
     """Load + preprocess every broadcast (map-join) table of a job."""
     small: Dict[str, List[Row]] = {}
@@ -621,6 +687,16 @@ class Engine:
     """
 
     name = "abstract"
+    capabilities = EngineCapabilities()
+
+    def cache_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-node cache statistics for persistent engines.
+
+        Engines without node-local caches return an empty mapping; the
+        llap engine overrides this with per-daemon columnar-cache
+        counters (see ``Session.caches()``).
+        """
+        return {}
 
     def run_plan(
         self,

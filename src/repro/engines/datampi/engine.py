@@ -53,6 +53,7 @@ from repro.common.kv import KeyValue
 from repro.common.units import MB
 from repro.engines.base import (
     Engine,
+    EngineCapabilities,
     EngineRuntime,
     JobTiming,
     PlanResult,
@@ -200,6 +201,9 @@ class _Gang:
 
 class DataMPIEngine(Engine):
     name = "datampi"
+    capabilities = EngineCapabilities(
+        vectorized=True, gang_scheduling=True, shared_runtime=True
+    )
 
     def __init__(
         self,

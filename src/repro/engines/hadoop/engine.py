@@ -43,8 +43,10 @@ from repro.common.kv import KeyValue
 from repro.common.units import MB
 from repro.engines.base import (
     Engine,
+    EngineCapabilities,
     EngineRuntime,
     JobTiming,
+    MapOutputCollector,
     PlanResult,
     TaskTiming,
     TaggedSplit,
@@ -67,7 +69,6 @@ from repro.engines.base import (
     write_task_output,
 )
 from repro.exec.mapper import ExecMapper
-from repro.exec.operators import Collector
 from repro.obs import Tracer, get_metrics
 from repro.plan.physical import MRJob, PhysicalPlan
 from repro.simulate import (
@@ -114,30 +115,7 @@ DEFAULT_BLACKLIST_FAILURES = 3  # mapred.max.tracker.failures (per job)
 DEFAULT_SPECULATIVE_SLOWDOWN = 1.5  # lateness multiple that triggers a backup
 
 
-class _MapOutputCollector(Collector):
-    """Per-map collector bucketing pairs by reduce partition."""
-
-    def __init__(self, num_partitions: int):
-        self.partitions: List[List[KeyValue]] = [[] for _ in range(num_partitions)]
-        self.partition_bytes: List[int] = [0] * num_partitions
-
-    def collect(self, partition: int, pair: KeyValue) -> None:
-        self.partitions[partition].append(pair)
-        self.partition_bytes[partition] += pair.serialized_size()
-
-    def collect_batch(self, partitions, pairs) -> None:
-        # the vectorized sink pre-seeds every pair's _size memo
-        partition_lists = self.partitions
-        partition_bytes = self.partition_bytes
-        for partition, pair in zip(partitions, pairs):
-            partition_lists[partition].append(pair)
-            partition_bytes[partition] += pair._size
-
-    @property
-    def total_bytes(self) -> int:
-        # summed on demand (per batch / at close) instead of maintaining
-        # a third counter on the per-pair path
-        return sum(self.partition_bytes)
+_MapOutputCollector = MapOutputCollector  # shared with the llap engine
 
 
 @dataclass
@@ -218,6 +196,9 @@ class _JobState:
 
 class HadoopEngine(Engine):
     name = "hadoop"
+    capabilities = EngineCapabilities(
+        vectorized=True, speculative=True, shared_runtime=True
+    )
 
     def __init__(
         self,

@@ -1,0 +1,123 @@
+"""Node-local LRU cache of decoded ORC stripes (LLAP's data cache).
+
+Each daemon keeps the decoded per-column value lists of recently scanned
+stripes resident in its off-heap cache.  A hit means the fragment skips
+both the simulated disk read (local or remote) *and* the ORC decode
+charge for that stripe; a miss reads, decodes, and inserts.  Entries are
+keyed by :meth:`~repro.storage.formats.orc.OrcStoredFile.stripe_cache_key`
+— *(path, stripe row offset, column signature)* — and additionally pin
+the identity of the stored file they came from, so a path rewritten by
+DROP + re-CREATE or INSERT OVERWRITE can never serve stale data: the
+identity mismatch is treated as a miss and the dead entry is dropped.
+
+Eviction is strict LRU by cached (logical) bytes against a configurable
+capacity (``repro.llap.cache.mb``).  Every transition is counted, and
+because the discrete-event simulation is deterministic, the hit/miss/
+eviction sequence is reproducible for a given seed and workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+
+@dataclass
+class CacheEntry:
+    """One resident stripe: the decoded columns plus enough identity to
+    detect a rewritten file."""
+
+    stored: object  # the OrcStoredFile the decoded columns belong to
+    nbytes: float  # logical (scaled) encoded bytes this entry accounts for
+    columns: List[list]  # decoded per-column value lists (shared, read-only)
+
+
+class StripeCache:
+    """LRU cache of decoded stripe columns for one daemon node.
+
+    A non-positive *capacity_bytes* disables caching entirely (every
+    lookup misses, nothing is inserted) — used to model cache-less
+    daemons and to force deterministic miss paths in tests.
+    """
+
+    def __init__(self, node_name: str, capacity_bytes: float):
+        self.node_name = node_name
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self.bytes = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.hit_bytes = 0.0
+        self.miss_bytes = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable, stored: object,
+               nbytes: float) -> Optional[List[list]]:
+        """The decoded columns for *key*, or ``None`` on a miss.
+
+        *stored* must be the live stored-file object for the path in the
+        key; an entry recorded against a different object (the path was
+        rewritten) is discarded rather than served.  *nbytes* is the
+        scaled byte weight of the access, accounted to the hit/miss
+        byte counters either way.
+        """
+        entry = self._entries.get(key)
+        if entry is not None and entry.stored is not stored:
+            self._drop(key)
+            entry = None
+        if entry is None:
+            self.misses += 1
+            self.miss_bytes += nbytes
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self.hit_bytes += nbytes
+        return entry.columns
+
+    def insert(self, key: Hashable, stored: object, nbytes: float,
+               columns: List[list]) -> None:
+        """Make *key* resident, evicting LRU entries to fit; entries
+        larger than the whole cache are not admitted."""
+        if self.capacity_bytes <= 0 or nbytes > self.capacity_bytes:
+            return
+        if key in self._entries:
+            self._drop(key)
+        self._entries[key] = CacheEntry(stored=stored, nbytes=nbytes,
+                                        columns=columns)
+        self.bytes += nbytes
+        while self.bytes > self.capacity_bytes and self._entries:
+            victim, _entry = next(iter(self._entries.items()))
+            self._drop(victim)
+            self.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop everything (the daemon died); returns entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.bytes = 0.0
+        self.invalidations += dropped
+        return dropped
+
+    def _drop(self, key: Hashable) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.bytes -= entry.nbytes
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for ``Session.caches()`` (public introspection)."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "capacity_bytes": self.capacity_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_bytes": self.hit_bytes,
+            "miss_bytes": self.miss_bytes,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -13,6 +13,7 @@ from repro.common.config import Configuration, EXEC_VECTORIZED
 from repro.common.kv import KeyValue
 from repro.engines.base import (
     Engine,
+    EngineCapabilities,
     JobTiming,
     PlanResult,
     decide_num_reducers,
@@ -49,6 +50,7 @@ class LocalEngine(Engine):
     """Single-process, zero-latency execution of a physical plan."""
 
     name = "local"
+    capabilities = EngineCapabilities(vectorized=True)
 
     def __init__(self, hdfs: HDFS, max_slots: int = 28):
         self.hdfs = hdfs

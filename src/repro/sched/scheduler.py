@@ -242,11 +242,12 @@ class WorkloadScheduler:
 
     @staticmethod
     def _require_plan_process(engine: Engine) -> None:
-        if type(engine).plan_process is Engine.plan_process:
+        if not engine.capabilities.shared_runtime:
             raise ConfigError(
                 f"engine {engine.name!r} does not support shared-runtime "
                 "execution; concurrent scheduling needs a cluster engine "
-                "(hadoop / datampi)"
+                "(one whose capabilities advertise shared_runtime, e.g. "
+                "hadoop / datampi / llap)"
             )
 
     # -- submission ----------------------------------------------------------
@@ -371,14 +372,32 @@ class WorkloadScheduler:
                     if host is not None:
                         handle.results.append(host)
                         continue
+                    # result cache: checked on the shared clock at the
+                    # moment this query gets to run, so a hit reflects
+                    # every write that committed before it (and a bump
+                    # mid-workload invalidates stale entries right here)
+                    cached = self.driver.result_cache_lookup(statement)
+                    if cached is not None:
+                        self._log("cache-hit", handle)
+                        handle.results.append(cached)
+                        continue
                     statement_start = sim.now
+                    version_at_compile = self.driver.metastore.version
                     prepared = self.driver.prepare(statement, use_cache=False)
+                    snapshot_at_compile = self.driver._plan_snapshot(
+                        prepared.plan
+                    )
                     yield sim.timeout(prepared.compile_seconds)
                     execution = yield from self._run_prepared(handle, prepared)
                     trace = self._build_trace(
                         handle, prepared, execution, statement_start
                     )
-                    handle.results.append(prepared.finalize(execution, trace))
+                    result = prepared.finalize(execution, trace)
+                    handle.results.append(result)
+                    self.driver.result_cache_store(
+                        statement, prepared, result, version_at_compile,
+                        snapshot_at_compile,
+                    )
                 handle._status = SUCCEEDED
             except Exception as exc:  # one query's failure never sinks the rest
                 handle._status = FAILED

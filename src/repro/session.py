@@ -1,5 +1,4 @@
-"""The public session API: :func:`connect`, :class:`Session`, and the
-deprecated :func:`hive_session` alias.
+"""The public session API: :func:`connect` and :class:`Session`.
 
 A :class:`Session` is a Hive driver bound to a registry-resolved engine
 with context-manager lifecycle::
@@ -15,12 +14,18 @@ with context-manager lifecycle::
 
 Engines are looked up in :mod:`repro.engines`' registry, so anything
 registered with ``repro.engines.register(...)`` — including third-party
-engines — connects the same way as the built-ins.
+engines — connects the same way as the built-ins.  Per-engine options
+go through ``engine_config``, validated against the engine's declared
+:class:`~repro.engines.EngineSpec.options`::
+
+    with repro.connect(engine="llap",
+                       engine_config={"cache_mb": 1024}) as session:
+        ...
+        session.caches()  # live result-/columnar-cache counters
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Optional, Union
 
 from repro import engines as engine_registry
@@ -62,15 +67,25 @@ class Session(Driver):
         spec: Optional[ClusterSpec] = None,
         hdfs: Optional[HDFS] = None,
         metastore: Optional[Metastore] = None,
+        engine_config: Optional[Dict[str, object]] = None,
     ):
         if hdfs is None:
             hdfs = HDFS(num_workers=num_workers)
         if metastore is None:
             metastore = Metastore(hdfs)
+        configuration = _as_configuration(conf) or Configuration()
+        if engine_config:
+            # typed per-engine namespace: option names are validated and
+            # coerced against the registry spec's declared options, then
+            # land on their full repro.* keys in the session conf
+            name = engine if isinstance(engine, str) else engine.name
+            engine_spec = engine_registry.get_spec(name)
+            for key, value in engine_spec.validate_config(engine_config).items():
+                configuration.set(key, value)
         if isinstance(engine, str):
             spec = spec or ClusterSpec(num_nodes=hdfs.num_workers + 1)
             engine = engine_registry.create(engine, hdfs, spec=spec)
-        super().__init__(hdfs, metastore, engine, conf=_as_configuration(conf))
+        super().__init__(hdfs, metastore, engine, conf=configuration)
         self._closed = False
         self._scheduler = None
 
@@ -100,6 +115,22 @@ class Session(Driver):
         if self._closed:
             raise ExecutionError("session is closed")
         return super().execute(sql, with_metrics=with_metrics)
+
+    # -- cache introspection -------------------------------------------------
+    def caches(self) -> Dict[str, object]:
+        """Live counters for the session's caches.
+
+        ``"result"`` — the driver result cache's hit/miss/eviction/
+        invalidation counters (``None`` when the engine doesn't support
+        it or it is disabled); ``"columnar"`` — per-node decoded-stripe
+        cache counters from the engine (empty for engines without a
+        persistent data cache).
+        """
+        result_cache = self.result_cache()
+        return {
+            "result": result_cache.stats() if result_cache is not None else None,
+            "columnar": self.engine.cache_stats(),
+        }
 
     # -- concurrent submission (repro.sched) --------------------------------
     @property
@@ -135,15 +166,22 @@ def connect(
     spec: Optional[ClusterSpec] = None,
     hdfs: Optional[HDFS] = None,
     metastore: Optional[Metastore] = None,
+    engine_config: Optional[Dict[str, object]] = None,
 ) -> Session:
     """Open a :class:`Session` on a registered engine.
 
     *engine* is a registry name/alias (``"datampi"``/``"dm"``,
-    ``"hadoop"``/``"mr"``, ``"local"``, or anything added via
-    ``repro.engines.register``) or an already-built :class:`Engine`.
+    ``"hadoop"``/``"mr"``, ``"llap"``, ``"local"``, or anything added
+    via ``repro.engines.register``) or an already-built :class:`Engine`.
     Pass an existing *hdfs*/*metastore* pair to share one warehouse
     between sessions (e.g. to run the same tables on both engines);
     *conf* accepts a :class:`Configuration` or a plain dict.
+
+    *engine_config* is the engine's typed option namespace (e.g.
+    ``{"cache_mb": 1024}`` for llap): names and value types are checked
+    against the engine's declared options and a
+    :class:`~repro.common.errors.EngineConfigError` names the offending
+    key on a mismatch.
     """
     return Session(
         engine=engine,
@@ -152,32 +190,8 @@ def connect(
         spec=spec,
         hdfs=hdfs,
         metastore=metastore,
+        engine_config=engine_config,
     )
 
 
-def hive_session(
-    engine: str = "datampi",
-    num_workers: int = 7,
-    conf: Configuration = None,
-    spec: ClusterSpec = None,
-    hdfs: HDFS = None,
-    metastore: Metastore = None,
-) -> Session:
-    """Deprecated alias for :func:`connect` (kept for pre-1.1 callers)."""
-    warnings.warn(
-        "hive_session() is deprecated; use repro.connect(engine=...) "
-        "(a context manager) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return connect(
-        engine=engine,
-        num_workers=num_workers,
-        conf=conf,
-        spec=spec,
-        hdfs=hdfs,
-        metastore=metastore,
-    )
-
-
-__all__ = ["Session", "connect", "hive_session", "make_warehouse"]
+__all__ = ["Session", "connect", "make_warehouse"]

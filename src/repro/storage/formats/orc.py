@@ -431,6 +431,36 @@ class OrcStoredFile(StoredFile):
             rows_skipped=skipped,
         )
 
+    def stripe_cache_key(
+        self,
+        path: str,
+        stripe_index: int,
+        columns: Optional[Sequence[str]] = None,
+    ) -> Tuple[str, int, Optional[Tuple[str, ...]]]:
+        """Stable identity of one stripe's decoded streams for node-local
+        caching (the LLAP engine's columnar cache).
+
+        Keyed by *(file path, stripe row offset, requested-column
+        signature)*: the path names the file, the row offset names the
+        stripe within it, and the column signature distinguishes
+        projections (ORC caches column chunks, not whole rows).  Cache
+        consumers must additionally verify the stored-file identity —
+        a path rewritten after DROP/INSERT OVERWRITE reuses keys but
+        not data (see ``repro.engines.llap.cache``).
+        """
+        stripe = self.stripes[stripe_index]
+        if columns is None:
+            signature = None
+        else:
+            signature = tuple(sorted({name.lower() for name in columns}))
+        return (path, stripe.row_start, signature)
+
+    def decoded_stripe_columns(self, stripe_index: int) -> List[list]:
+        """One stripe's decoded per-column value lists (shared,
+        read-only).  This is the object a daemon cache retains so a hit
+        skips both the simulated disk read and the decode work."""
+        return self._stripe_columns[stripe_index]
+
     def decode_stripe(self, stripe_index: int) -> List[Row]:
         """Fully decode one stripe from its encoded streams (round-trip
         path; the fast path above serves rows from memory)."""

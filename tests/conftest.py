@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro import HDFS, Metastore, hive_session
+from repro import HDFS, Metastore, connect
 from repro.common.rows import Schema
 
 EMP_SCHEMA = Schema.parse("emp_id int, name string, dept string, salary double, hired date")
@@ -46,7 +46,7 @@ def warehouse():
 @pytest.fixture()
 def local_session(warehouse):
     hdfs, metastore = warehouse
-    return hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    return connect(engine="local", hdfs=hdfs, metastore=metastore)
 
 
 def build_big_warehouse():

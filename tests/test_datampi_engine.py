@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import hive_session
+from repro import connect
 from repro.common.config import Configuration
 from repro.core.driver import Driver
 from repro.engines.base import compare_result_rows
@@ -16,8 +16,8 @@ GROUP_QUERY = "SELECT grp, count(*) c, sum(val) s FROM facts GROUP BY grp ORDER 
 def sessions(big_warehouse):
     hdfs, metastore = big_warehouse
     return (
-        hive_session(engine="local", hdfs=hdfs, metastore=metastore),
-        hive_session(engine="datampi", hdfs=hdfs, metastore=metastore),
+        connect(engine="local", hdfs=hdfs, metastore=metastore),
+        connect(engine="datampi", hdfs=hdfs, metastore=metastore),
     )
 
 
@@ -30,10 +30,10 @@ class TestCorrectness:
 
     def test_blocking_style_same_rows(self, big_warehouse):
         hdfs, metastore = big_warehouse
-        local = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+        local = connect(engine="local", hdfs=hdfs, metastore=metastore)
         expected = local.query(GROUP_QUERY).rows
         conf = Configuration({"datampi.shuffle.nonblocking": "false"})
-        blocking = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
+        blocking = connect(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
         assert compare_result_rows(expected, blocking.query(GROUP_QUERY).rows, ordered=True)
 
     def test_map_only(self, sessions):
@@ -80,16 +80,16 @@ class TestBipartiteStructure:
 class TestPaperBehaviours:
     def test_faster_than_hadoop(self, big_warehouse):
         hdfs, metastore = big_warehouse
-        hadoop = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore)
-        datampi = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        hadoop = connect(engine="hadoop", hdfs=hdfs, metastore=metastore)
+        datampi = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
         hadoop_time = hadoop.query(GROUP_QUERY).execution.total_seconds
         datampi_time = datampi.query(GROUP_QUERY).execution.total_seconds
         assert datampi_time < hadoop_time
 
     def test_startup_shorter_than_hadoop(self, big_warehouse):
         hdfs, metastore = big_warehouse
-        hadoop = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore)
-        datampi = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        hadoop = connect(engine="hadoop", hdfs=hdfs, metastore=metastore)
+        datampi = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
         hadoop_startup = hadoop.query(GROUP_QUERY).execution.jobs[0].startup
         datampi_startup = datampi.query(GROUP_QUERY).execution.jobs[0].startup
         assert datampi_startup < hadoop_startup
@@ -99,7 +99,7 @@ class TestPaperBehaviours:
         times = {}
         for label, flag in (("nb", "true"), ("blk", "false")):
             conf = Configuration({"datampi.shuffle.nonblocking": flag})
-            session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
+            session = connect(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
             times[label] = session.query(GROUP_QUERY).execution.total_seconds
         assert times["blk"] >= times["nb"]
 
@@ -108,7 +108,7 @@ class TestPaperBehaviours:
         times = {}
         for percent in ("0.4", "0.95"):
             conf = Configuration({"hive.datampi.memusedpercent": percent})
-            session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
+            session = connect(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
             times[percent] = session.query(GROUP_QUERY).execution.total_seconds
         assert times["0.95"] > times["0.4"]
 
@@ -117,7 +117,7 @@ class TestPaperBehaviours:
         counts = {}
         for mode in ("default", "enhanced"):
             conf = Configuration({"hive.datampi.parallelism": mode})
-            session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
+            session = connect(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
             result = session.query(GROUP_QUERY)
             jobs = result.execution.jobs
             counts[mode] = (jobs[0].num_reducers, jobs[-1].num_reducers)
@@ -130,7 +130,7 @@ class TestPaperBehaviours:
         times = []
         for _ in range(2):
             hdfs, metastore = big_warehouse_factory()
-            session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+            session = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
             times.append(session.query(GROUP_QUERY).execution.total_seconds)
         assert times[0] == times[1]
 

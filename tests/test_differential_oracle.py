@@ -2,8 +2,8 @@
 
 All 22 TPC-H queries run solo on the reference (local) executor to
 produce oracle rows, then are submitted *concurrently* in batches to a
-shared simulated cluster — for each engine (hadoop, datampi) in both
-row-at-a-time and vectorized execution modes.  Every query's rows under
+shared simulated cluster — for each engine (hadoop, datampi, llap) in
+both row-at-a-time and vectorized execution modes.  Every query's rows under
 concurrency must match its solo oracle exactly: scheduling may reorder
 work in time, never change answers.
 
@@ -22,7 +22,7 @@ from repro.workloads.tpch import TPCH_QUERY_IDS, tpch_query
 SF = 1
 LINEITEM_SAMPLE = 800
 BATCH_SIZE = 8
-ENGINES = ("hadoop", "datampi")
+ENGINES = ("hadoop", "datampi", "llap")
 MODES = (False, True)  # row-at-a-time, vectorized
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import SemanticError
-from repro import hive_session
+from repro import connect
 
 
 class TestDdl:
@@ -106,13 +106,13 @@ class TestInsertOverwrite:
 
 class TestSessionFactory:
     def test_engine_selection(self):
-        assert hive_session(engine="mr").engine.name == "hadoop"
-        assert hive_session(engine="dm").engine.name == "datampi"
-        assert hive_session(engine="local").engine.name == "local"
+        assert connect(engine="mr").engine.name == "hadoop"
+        assert connect(engine="dm").engine.name == "datampi"
+        assert connect(engine="local").engine.name == "local"
 
     def test_unknown_engine(self):
         with pytest.raises(ValueError):
-            hive_session(engine="spark")
+            connect(engine="spark")
 
     def test_compile_seconds_accounted(self, local_session):
         result = local_session.query("SELECT count(*) FROM emp")

@@ -3,7 +3,7 @@ overlap ablation switch."""
 
 import pytest
 
-from repro import hive_session
+from repro import connect
 from repro.common.config import Configuration
 from repro.common.errors import SemanticError
 from repro.engines.base import compare_result_rows
@@ -73,7 +73,7 @@ class TestUnionExecution:
         )
         rows = {}
         for engine in ("local", "hadoop", "datampi"):
-            session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+            session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
             rows[engine] = session.query(sql).rows
         assert compare_result_rows(rows["local"], rows["hadoop"], ordered=True)
         assert compare_result_rows(rows["local"], rows["datampi"], ordered=True)
@@ -121,10 +121,10 @@ class TestDagMode:
 
     def test_dag_faster_and_correct(self, big_warehouse):
         hdfs, metastore = big_warehouse
-        plain = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        plain = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
         expected = plain.query(self._group_sql())
         conf = Configuration({"hive.datampi.dag": "true"})
-        dag = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
+        dag = connect(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
         actual = dag.query(self._group_sql())
         assert compare_result_rows(expected.rows, actual.rows, ordered=True)
         assert actual.execution.total_seconds < expected.execution.total_seconds
@@ -132,7 +132,7 @@ class TestDagMode:
     def test_dag_skips_respawn_on_pipelined_stage(self, big_warehouse):
         hdfs, metastore = big_warehouse
         conf = Configuration({"hive.datampi.dag": "true"})
-        session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
+        session = connect(engine="datampi", hdfs=hdfs, metastore=metastore, conf=conf)
         result = session.query(self._group_sql())
         jobs = result.execution.jobs
         assert len(jobs) == 2
@@ -141,7 +141,7 @@ class TestDagMode:
 
     def test_dag_off_by_default(self, big_warehouse):
         hdfs, metastore = big_warehouse
-        session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        session = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
         result = session.query(self._group_sql())
         jobs = result.execution.jobs
         assert jobs[1].startup >= 2.0  # full respawn
@@ -151,9 +151,9 @@ class TestOverlapSwitch:
     def test_overlap_off_not_faster(self, big_warehouse):
         hdfs, metastore = big_warehouse
         sql = "SELECT k, grp, val FROM facts ORDER BY val DESC LIMIT 3"
-        on = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        on = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
         off_conf = Configuration({"datampi.shuffle.overlap": "false"})
-        off = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore, conf=off_conf)
+        off = connect(engine="datampi", hdfs=hdfs, metastore=metastore, conf=off_conf)
         on_result = on.query(sql)
         off_result = off.query(sql)
         assert compare_result_rows(on_result.rows, off_result.rows, ordered=True)

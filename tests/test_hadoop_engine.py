@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import hive_session
+from repro import connect
 from repro.engines.base import compare_result_rows
 from repro.engines.hadoop import HadoopCosts, HadoopEngine
 from repro.simulate import ClusterSpec
@@ -12,8 +12,8 @@ from repro.simulate import ClusterSpec
 def sessions(big_warehouse):
     hdfs, metastore = big_warehouse
     return (
-        hive_session(engine="local", hdfs=hdfs, metastore=metastore),
-        hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore),
+        connect(engine="local", hdfs=hdfs, metastore=metastore),
+        connect(engine="hadoop", hdfs=hdfs, metastore=metastore),
     )
 
 
@@ -66,7 +66,7 @@ class TestTimingStructure:
     def test_waves_respect_slots(self, big_warehouse):
         hdfs, metastore = big_warehouse
         spec = ClusterSpec(num_nodes=3, slots_per_node=2)  # 4 map slots total
-        session = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore, spec=spec)
+        session = connect(engine="hadoop", hdfs=hdfs, metastore=metastore, spec=spec)
         result = session.query("SELECT count(*) FROM facts")
         job = result.execution.jobs[0]
         maps = sorted(
@@ -92,7 +92,7 @@ class TestTimingStructure:
 
     def test_more_data_takes_longer(self, big_warehouse):
         hdfs, metastore = big_warehouse
-        session = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore)
+        session = connect(engine="hadoop", hdfs=hdfs, metastore=metastore)
         small = session.query("SELECT count(*) FROM facts WHERE k < 100")
         big = session.query(GROUP_QUERY)
         # the grouped query shuffles and reduces; must cost more
@@ -104,7 +104,7 @@ class TestTimingStructure:
         times = []
         for _ in range(2):
             hdfs, metastore = big_warehouse_factory()
-            session = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore)
+            session = connect(engine="hadoop", hdfs=hdfs, metastore=metastore)
             times.append(session.query(GROUP_QUERY).execution.total_seconds)
         assert times[0] == times[1]
 

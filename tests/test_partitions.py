@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import hive_session
+from repro import connect
 from repro.common.errors import SemanticError
 from repro.common.rows import Schema
 from repro.sql import ast, parse_statement
@@ -11,7 +11,7 @@ from repro.sql import ast, parse_statement
 @pytest.fixture()
 def part_session(warehouse):
     hdfs, metastore = warehouse
-    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="local", hdfs=hdfs, metastore=metastore)
     session.execute(
         "CREATE TABLE emp_p (name string, salary double) PARTITIONED BY (dept string)"
     )
@@ -97,7 +97,7 @@ class TestQueries:
     def test_pruning_drops_map_tasks(self, part_session):
         hdfs = part_session.hdfs
         metastore = part_session.metastore
-        hadoop = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore)
+        hadoop = connect(engine="hadoop", hdfs=hdfs, metastore=metastore)
         full = hadoop.query("SELECT count(*) FROM emp_p")
         pruned = hadoop.query("SELECT count(*) FROM emp_p WHERE dept = 'eng'")
         assert pruned.execution.jobs[0].num_maps < full.execution.jobs[0].num_maps
@@ -107,7 +107,7 @@ class TestQueries:
         hdfs = part_session.hdfs
         metastore = part_session.metastore
         for engine in ("hadoop", "datampi"):
-            session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+            session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
             rows = session.query(
                 "SELECT name FROM emp_p WHERE dept = 'eng' ORDER BY name"
             ).rows

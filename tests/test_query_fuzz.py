@@ -13,7 +13,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import HDFS, Metastore, hive_session
+from repro import HDFS, Metastore, connect
 from repro.common.rows import Schema
 from repro.engines.base import compare_result_rows
 
@@ -108,10 +108,10 @@ def queries(draw):
 @given(sql=queries())
 def test_fuzz_engines_agree(sql):
     hdfs, metastore = _STORE
-    reference = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    reference = connect(engine="local", hdfs=hdfs, metastore=metastore)
     expected = reference.query(sql).rows
     for engine in ("hadoop", "datampi"):
-        session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+        session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
         actual = session.query(sql).rows
         assert compare_result_rows(expected, actual, ordered=True), (
             f"{engine} disagrees on: {sql}\nexpected {expected[:5]}... "
@@ -124,5 +124,5 @@ def test_fuzz_engines_agree(sql):
 @given(sql=queries())
 def test_fuzz_queries_are_deterministic(sql):
     hdfs, metastore = _STORE
-    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="local", hdfs=hdfs, metastore=metastore)
     assert session.query(sql).rows == session.query(sql).rows

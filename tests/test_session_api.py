@@ -1,12 +1,12 @@
 """The public session API: engine registry, connect()/Session lifecycle,
-the deprecated hive_session alias, and the QueryResult cursor surface."""
+capability specs, and the QueryResult cursor surface."""
 
 import pytest
 
 import repro
-from repro import Session, connect, hive_session, make_warehouse
+from repro import Session, connect, make_warehouse
 from repro import engines as registry
-from repro.common.errors import ExecutionError
+from repro.common.errors import EngineConfigError, ExecutionError
 from repro.engines.local import LocalEngine
 from repro.storage.hdfs import DEFAULT_BLOCK_SIZE
 from repro.common.units import MB
@@ -91,6 +91,7 @@ class TestConnect:
         hdfs, metastore = warehouse
         engine = LocalEngine(hdfs)
         session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
+        assert isinstance(session, Session)
         assert session.engine is engine
         assert session.engine_name == "local"
 
@@ -107,18 +108,91 @@ class TestConnect:
         assert "closed" in repr(session)
 
 
-class TestHiveSessionAlias:
-    def test_emits_deprecation_warning(self, warehouse):
-        hdfs, metastore = warehouse
-        with pytest.warns(DeprecationWarning, match="repro.connect"):
-            session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
-        assert isinstance(session, Session)
+class TestHiveSessionRemoved:
+    def test_shim_is_gone(self):
+        assert not hasattr(repro, "hive_session")
+        import repro.session as session_module
 
-    def test_still_executes(self, warehouse):
+        assert not hasattr(session_module, "hive_session")
+        assert "hive_session" not in repro.__all__
+
+
+# ---------------------------------------------------------------------------
+# Capability registry + typed engine config
+# ---------------------------------------------------------------------------
+
+
+class TestCapabilities:
+    def test_builtin_capability_matrix(self):
+        assert registry.capabilities("hadoop").speculative
+        assert registry.capabilities("hadoop").shared_runtime
+        assert not registry.capabilities("hadoop").persistent
+        assert registry.capabilities("datampi").gang_scheduling
+        assert registry.capabilities("llap").persistent
+        assert registry.capabilities("llap").result_cache
+        assert not registry.capabilities("local").shared_runtime
+
+    def test_capabilities_resolves_aliases(self):
+        assert registry.capabilities("mr") == registry.capabilities("hadoop")
+        assert registry.capabilities("live") == registry.capabilities("llap")
+
+    def test_capabilities_dict_and_enabled(self):
+        caps = registry.capabilities("llap")
+        assert caps.as_dict()["persistent"] is True
+        assert "result_cache" in caps.enabled()
+
+    def test_get_spec_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            registry.get_spec("spark")
+
+    def test_spec_carries_options(self):
+        spec = registry.get_spec("llap")
+        names = {option.name for option in spec.options}
+        assert {"cache_mb", "daemon_slots", "result_cache",
+                "result_cache_entries"} <= names
+
+    def test_engine_config_lands_on_conf_keys(self, warehouse):
         hdfs, metastore = warehouse
-        with pytest.warns(DeprecationWarning):
-            session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
-        assert session.query("SELECT count(*) FROM emp").rows == [(7,)]
+        session = connect(engine="llap", hdfs=hdfs, metastore=metastore,
+                          engine_config={"cache_mb": 64,
+                                         "result_cache": False})
+        assert session.conf.get_float("repro.llap.cache.mb", 0.0) == 64.0
+        assert session.conf.get_bool("repro.result.cache.enabled", True) is False
+
+    def test_engine_config_unknown_key_is_typed_error(self, warehouse):
+        hdfs, metastore = warehouse
+        with pytest.raises(EngineConfigError, match="cache_mbs") as excinfo:
+            connect(engine="llap", hdfs=hdfs, metastore=metastore,
+                    engine_config={"cache_mbs": 64})
+        assert excinfo.value.engine == "llap"
+        assert excinfo.value.key == "cache_mbs"
+
+    def test_engine_config_bad_value_type(self, warehouse):
+        hdfs, metastore = warehouse
+        with pytest.raises(EngineConfigError, match="daemon_slots"):
+            connect(engine="llap", hdfs=hdfs, metastore=metastore,
+                    engine_config={"daemon_slots": "lots"})
+
+    def test_engine_config_bool_parsing(self):
+        option = registry.get_spec("llap").option("result_cache")
+        assert option.parse("llap", "off") is False
+        assert option.parse("llap", "Yes") is True
+        with pytest.raises(EngineConfigError):
+            option.parse("llap", "sometimes")
+
+    def test_engine_config_rejected_for_option_less_engine(self, warehouse):
+        hdfs, metastore = warehouse
+        with pytest.raises(EngineConfigError):
+            connect(engine="local", hdfs=hdfs, metastore=metastore,
+                    engine_config={"cache_mb": 64})
+
+    def test_registered_engine_derives_capabilities_from_class(self):
+        registry.register("mine2", LocalEngine, aliases=("m2",))
+        try:
+            assert registry.capabilities("mine2").vectorized
+            assert not registry.capabilities("mine2").persistent
+        finally:
+            registry.unregister("mine2")
 
 
 # ---------------------------------------------------------------------------

@@ -3,7 +3,7 @@ ordinal, INSERT INTO, map-output compression."""
 
 import pytest
 
-from repro import hive_session
+from repro import connect
 from repro.common.config import Configuration
 from repro.common.errors import SemanticError
 from repro.engines.base import compare_result_rows
@@ -80,7 +80,7 @@ class TestInSubqueryExecution:
         )
         rows = {}
         for engine in ("local", "hadoop", "datampi"):
-            session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+            session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
             rows[engine] = session.query(sql).rows
         assert rows["local"] == rows["hadoop"] == rows["datampi"]
 
@@ -118,7 +118,7 @@ class TestInsertInto:
 
     def test_append_on_engines(self, warehouse):
         hdfs, metastore = warehouse
-        session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        session = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
         session.execute("CREATE TABLE sink2 (a string)")
         session.execute("INSERT INTO TABLE sink2 SELECT name FROM emp WHERE dept = 'eng'")
         session.execute("INSERT INTO TABLE sink2 SELECT name FROM emp WHERE dept = 'hr'")
@@ -130,9 +130,9 @@ class TestMapOutputCompression:
 
     def test_compression_helps_and_preserves_rows(self, big_warehouse):
         hdfs, metastore = big_warehouse
-        plain = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
+        plain = connect(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
         conf = Configuration({"mapred.compress.map.output": "true"})
-        compressed = hive_session(
+        compressed = connect(
             engine="hadoop", hdfs=hdfs, metastore=metastore, conf=conf
         ).query(self.SQL)
         assert compare_result_rows(plain.rows, compressed.rows, ordered=True)
@@ -140,6 +140,6 @@ class TestMapOutputCompression:
 
     def test_off_by_default(self, big_warehouse):
         hdfs, metastore = big_warehouse
-        a = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
-        b = hive_session(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
+        a = connect(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
+        b = connect(engine="hadoop", hdfs=hdfs, metastore=metastore).query(self.SQL)
         assert abs(a.execution.total_seconds - b.execution.total_seconds) < 5.0

@@ -64,10 +64,10 @@ class TestJobGantt:
         assert ruler.index("S") < ruler.index("M") < ruler.index("E")
 
     def test_gantt_with_real_run(self, big_warehouse):
-        from repro import hive_session
+        from repro import connect
 
         hdfs, metastore = big_warehouse
-        session = hive_session(engine="datampi", hdfs=hdfs, metastore=metastore)
+        session = connect(engine="datampi", hdfs=hdfs, metastore=metastore)
         result = session.query("SELECT grp, count(*) FROM facts GROUP BY grp")
         text = render_job_gantt(result.execution.jobs[0])
         assert "o0" in text

@@ -8,7 +8,7 @@ engines and must produce identical rows.
 
 import pytest
 
-from repro import hive_session
+from repro import connect
 from repro.bench import fresh_tpch
 from repro.engines.base import compare_result_rows
 from repro.workloads.tpch import TPCH_QUERY_IDS, tpch_query
@@ -29,7 +29,7 @@ def last_select(results):
 @pytest.mark.parametrize("query", TPCH_QUERY_IDS)
 def test_query_runs_on_reference(tpch_store, query):
     hdfs, metastore = tpch_store
-    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="local", hdfs=hdfs, metastore=metastore)
     results = session.execute(tpch_query(query, SF))
     select = last_select(results)
     assert select.schema is not None
@@ -44,7 +44,7 @@ def test_engines_agree(tpch_store, query):
     script = tpch_query(query, SF)
     rows = {}
     for engine in ("local", "hadoop", "datampi"):
-        session = hive_session(engine=engine, hdfs=hdfs, metastore=metastore)
+        session = connect(engine=engine, hdfs=hdfs, metastore=metastore)
         rows[engine] = last_select(session.execute(script)).rows
     assert compare_result_rows(rows["local"], rows["hadoop"], ordered=True), \
         f"Q{query}: hadoop differs from reference"
@@ -55,7 +55,7 @@ def test_engines_agree(tpch_store, query):
 def test_q1_values_are_consistent(tpch_store):
     """Q1's aggregates satisfy internal arithmetic identities."""
     hdfs, metastore = tpch_store
-    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="local", hdfs=hdfs, metastore=metastore)
     rows = session.query(tpch_query(1, SF)).rows
     assert rows
     for row in rows:
@@ -74,7 +74,7 @@ def test_q6_equals_manual_filter(tpch_store):
         if ("1994-01-01" <= shipdate < "1995-01-01"
                 and 0.05 - 1e-9 <= discount <= 0.07 + 1e-9 and quantity < 24):
             expected += price * discount
-    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="local", hdfs=hdfs, metastore=metastore)
     rows = session.query(tpch_query(6, SF)).rows
     value = rows[0][0] or 0.0
     assert value == pytest.approx(expected, rel=1e-9)
@@ -84,7 +84,7 @@ def test_q13_counts_customers(tpch_store):
     """custdist sums to the number of customers (every customer lands in
     exactly one c_count bucket)."""
     hdfs, metastore = tpch_store
-    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="local", hdfs=hdfs, metastore=metastore)
     rows = session.query(tpch_query(13, SF)).rows
     total = sum(row[1] for row in rows)
     customers = len(hdfs.dir_rows("/warehouse/customer"))
@@ -93,7 +93,7 @@ def test_q13_counts_customers(tpch_store):
 
 def test_q22_excludes_customers_with_orders(tpch_store):
     hdfs, metastore = tpch_store
-    session = hive_session(engine="local", hdfs=hdfs, metastore=metastore)
+    session = connect(engine="local", hdfs=hdfs, metastore=metastore)
     results = session.execute(tpch_query(22, SF))
     rows = last_select(results).rows
     # every reported bucket must be a valid country code
