@@ -42,6 +42,24 @@ echo "== llap smoke (persistent daemons + caches, oracle-checked) =="
 python benchmarks/bench_llap.py --smoke --guard-seconds 60 \
     --output "$(mktemp -d)/BENCH_llap_smoke.json"
 
+echo "== chaos smoke (seeded fault schedules, four invariants) =="
+# A couple of randomized-but-seeded fault + membership schedules per
+# engine, each asserting the four chaos invariants (oracle-identical
+# rows, balanced lease ledger, cache coherence, no stuck query).  The
+# wall-clock guard only trips on order-of-magnitude regressions.
+python benchmarks/bench_chaos.py --smoke --guard-seconds 120 \
+    --output "$(mktemp -d)/BENCH_chaos_smoke.json"
+
+if [[ "${CHECK_CHAOS_FULL:-0}" == "1" ]]; then
+    echo "== chaos full (>=25 schedules + replay determinism) =="
+    # Full sweep (9 seeds x 3 engines plus a replay pass per engine)
+    # writing the committed availability/recovery report to
+    # results/BENCH_chaos.json.  Opt-in because it takes a while; run it
+    # before committing fault-, membership- or scheduler-sensitive
+    # changes.
+    python benchmarks/bench_chaos.py
+fi
+
 if [[ "${CHECK_LLAP_FULL:-0}" == "1" ]]; then
     echo "== llap full (warm/cold + cache economics report) =="
     # Full-size repeated workload writing the committed report to

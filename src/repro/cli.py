@@ -27,6 +27,7 @@ from repro import connect, make_warehouse
 from repro.common.config import (
     FAULT_SPEC,
     LLAP_CACHE_MB,
+    QUERY_DEADLINE,
     RESULT_CACHE_ENABLED,
     RESULT_CACHE_ENTRIES,
     SCHED_DEFAULT_POOL,
@@ -72,8 +73,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--set", action="append", default=[], metavar="K=V",
                         help="session configuration, e.g. hive.datampi.parallelism=enhanced")
     parser.add_argument("--faults", metavar="SPEC",
-                        help="fault plan, e.g. 'seed:7; fail:0.05; crash:w2@30-90' "
+                        help="fault plan, e.g. 'seed:7; fail:0.05; "
+                             "crash:w2@30-90; drain:w3@40; scale-up:w7@50' "
                              "(grammar in docs/fault_model.md)")
+    parser.add_argument("--deadline", type=float, metavar="SECONDS",
+                        help="per-query deadline in simulated seconds for "
+                             "scheduled queries (repro.query.deadline); a "
+                             "query past it fails with QueryTimeoutError")
     parser.add_argument("--trace", metavar="OUT.json",
                         help="write a Chrome-trace JSON of every query "
                              "(simulated time; one pid per engine)")
@@ -198,6 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             session.conf.set(key.strip(), value.strip())
         if args.faults:
             session.conf.set(FAULT_SPEC, args.faults)
+        if args.deadline is not None:
+            session.conf.set(QUERY_DEADLINE, args.deadline)
         if args.llap_cache_mb is not None:
             session.conf.set(LLAP_CACHE_MB, args.llap_cache_mb)
         if args.result_cache_entries is not None:

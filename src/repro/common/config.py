@@ -44,6 +44,15 @@ SPECULATIVE_EXECUTION = "repro.speculative.execution"  # bool (mr stragglers)
 SPECULATIVE_SLOWDOWN = "repro.speculative.slowdown"  # lateness factor to trigger
 BLACKLIST_THRESHOLD = "repro.blacklist.failures"  # failures/node before blacklist
 
+# -- membership / health knobs (docs/fault_model.md) -------------------------
+HEARTBEAT_ENABLED = "repro.heartbeat.enabled"  # "auto" | "true" | "false"
+HEARTBEAT_INTERVAL = "repro.heartbeat.interval"  # seconds between beats
+HEARTBEAT_SUSPECT = "repro.heartbeat.suspect"  # silence before suspicion
+HEARTBEAT_TIMEOUT = "repro.heartbeat.timeout"  # silence before declared dead
+QUERY_DEADLINE = "repro.query.deadline"  # seconds per query (0 = no deadline)
+BREAKER_THRESHOLD = "repro.breaker.threshold"  # consecutive failures (0 = off)
+BREAKER_COOLDOWN = "repro.breaker.cooldown"  # seconds a tripped breaker stays open
+
 # -- llap persistent-daemon engine knobs (docs/llap_engine.md) ---------------
 LLAP_CACHE_MB = "repro.llap.cache.mb"  # per-node decoded-stripe cache capacity
 LLAP_DAEMON_SLOTS = "repro.llap.daemon.slots"  # executors per daemon (0 = all)

@@ -85,6 +85,19 @@ class RetryExhaustedError(ExecutionError):
         self.attempts = attempts
 
 
+class QueryTimeoutError(ExecutionError):
+    """A query missed its deadline and was cancelled by the scheduler.
+
+    Carries the query id and the deadline (simulated seconds) so SLO
+    accounting can distinguish deadline misses from genuine failures.
+    """
+
+    def __init__(self, message: str, query_id: str = "", deadline: float = 0.0):
+        super().__init__(message)
+        self.query_id = query_id
+        self.deadline = deadline
+
+
 class AdmissionRejectedError(ReproError):
     """The workload scheduler refused to admit a submitted query.
 

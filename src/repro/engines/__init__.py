@@ -110,6 +110,10 @@ class EngineSpec:
     capabilities: EngineCapabilities = field(default_factory=EngineCapabilities)
     options: Tuple[EngineOption, ...] = ()
     description: str = ""
+    #: declared fallback chain, most-preferred first — the scheduler's
+    #: circuit breaker degrades a query along this list when the engine
+    #: keeps failing (docs/fault_model.md)
+    degrades_to: Tuple[str, ...] = ()
 
     def option(self, name: str) -> Optional[EngineOption]:
         for candidate in self.options:
@@ -256,6 +260,7 @@ register(EngineSpec(
     aliases=("dm",),
     capabilities=DataMPIEngine.capabilities,
     description="gang-scheduled MPI engine (the paper's contribution)",
+    degrades_to=("hadoop",),
 ))
 register(EngineSpec(
     name="hadoop",
@@ -263,6 +268,7 @@ register(EngineSpec(
     aliases=("mr",),
     capabilities=HadoopEngine.capabilities,
     description="simulated Hadoop 1.x MapReduce baseline",
+    degrades_to=("local",),
 ))
 register(EngineSpec(
     name="local",
@@ -298,6 +304,7 @@ register(EngineSpec(
     ),
     description="LLAP-style persistent daemons with node-local columnar "
                 "cache and driver result cache",
+    degrades_to=("hadoop", "local"),
 ))
 
 __all__ = [

@@ -15,6 +15,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import (
     Configuration,
+    HEARTBEAT_ENABLED,
+    HEARTBEAT_INTERVAL,
+    HEARTBEAT_SUSPECT,
+    HEARTBEAT_TIMEOUT,
     HIVE_DATAMPI_PARALLELISM,
 )
 from repro.common.errors import ExecutionError
@@ -600,8 +604,16 @@ class EngineRuntime:
         self.injector = FaultInjector(
             self.sim, self.cluster, FaultPlan.from_conf(conf),
             tracer=self.tracer, metrics=get_metrics(),
+            heartbeat_enabled=(conf.get(HEARTBEAT_ENABLED, "auto") or "auto"),
+            heartbeat_interval=conf.get_float(HEARTBEAT_INTERVAL, 1.0),
+            heartbeat_suspect=conf.get_float(HEARTBEAT_SUSPECT, 3.0),
+            heartbeat_timeout=conf.get_float(HEARTBEAT_TIMEOUT, 10.0),
         )
         self.injector.start()
+        # elastic scale-up: engines hold references to the per-worker aux
+        # pool lists, so growth must append in place before any placement
+        # can index the new worker
+        self.cluster.on_join(self._grow_aux_slots)
         self.leases = LeaseManager(self.sim, policy=lease_policy)
         self.sampler = MetricsSampler(self.cluster) if with_metrics else None
         if self.sampler is not None:
@@ -620,6 +632,12 @@ class EngineRuntime:
             ]
             self._aux_slots[key] = pools
         return pools
+
+    def _grow_aux_slots(self, node, worker_index: int) -> None:
+        for key, pools in self._aux_slots.items():
+            capacity = pools[0].capacity if pools else self.spec.slots_per_node
+            suffix = pools[0].name.split(".", 1)[1] if pools else key
+            pools.append(SlotPool(self.sim, capacity, f"{node.name}.{suffix}"))
 
     def close(self) -> None:
         if self._closed:

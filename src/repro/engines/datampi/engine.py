@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import count
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.common.config import (
     Configuration,
@@ -174,9 +174,20 @@ class _Gang:
         self.cause: object = None
         self.procs: List = []
         self.written: List[str] = []
+        #: worker indices in the current submission's hostfile — set by
+        #: ``_attempt_job`` once the communicator's membership is fixed
+        self.attempt_indices: Set[int] = set()
         injector.subscribe_crash(self._on_crash)
 
     def _on_crash(self, worker_index: int) -> None:
+        # With a heartbeat monitor running this fires at the *declared*
+        # death, seconds after the physical crash — by then a resubmission
+        # may already have excluded the node from its hostfile, and a
+        # declaration must not poison a communicator the node never
+        # joined.  Ranks on the dead node are interrupted physically at
+        # the crash instant and trip the gang themselves.
+        if self.attempt_indices and worker_index not in self.attempt_indices:
+            return
         self.trip(("node-crash", worker_index))
 
     def add(self, proc) -> None:
@@ -378,7 +389,6 @@ class DataMPIEngine(Engine):
                      pipe_in: bool = False, pipe_out: bool = False):
         costs = self.costs
         hdfs = self.hdfs
-        workers = cluster.workers
         splits = expand_job_splits(job, hdfs)
         small_tables = load_broadcast_tables(job, hdfs)
         scale = job_input_scale(job, hdfs)
@@ -410,15 +420,24 @@ class DataMPIEngine(Engine):
             yield sim.timeout(costs.process_launch)
         # O and A communicators each get slots_per_node processes (the
         # testbed's 4 + 4), all resident from spawn time; dead hosts are
-        # left out of the new communicator's hostfile
-        live_indices = injector.live_worker_indices() or list(range(len(workers)))
+        # left out of the new communicator's hostfile.  Membership may
+        # have changed while mpidrun was spawning, so re-snapshot the
+        # worker list before building it.
+        workers = cluster.workers
+        live_indices = (
+            injector.schedulable_worker_indices()  # skip draining hosts
+            or injector.live_worker_indices()
+            or list(range(len(workers)))
+        )
+        attempt_set = set(live_indices)
+        gang.attempt_indices = attempt_set
         attempt_workers = [workers[i] for i in live_indices]
         process_heap = 2 * self.spec.heap_per_task * self.spec.slots_per_node
         for worker in attempt_workers:
             worker.memory.allocate(process_heap)
 
         def remap(node_index: int) -> int:
-            if workers[node_index].alive:
+            if node_index in attempt_set:
                 return node_index
             return live_indices[node_index % len(live_indices)]
 
@@ -479,10 +498,11 @@ class DataMPIEngine(Engine):
                 ],
                 owner,
             )
-            yield gang_grant
-            gang_lease: GangLease = gang_grant.value
+            ranks: List = []  # (worker_index, process) registered as MPI ranks
 
             try:
+                yield gang_grant
+                gang_lease: GangLease = gang_grant.value
                 check_abort()  # the gang may have tripped while we waited
                 o_processes = []
                 gang_spawned: Dict[int, int] = {}
@@ -511,6 +531,12 @@ class DataMPIEngine(Engine):
                         f"{job.job_id}-s{submission}-o{index}",
                     )
                     gang.add(proc)
+                    if injector.active:
+                        # physical failure semantics: a node crash
+                        # interrupts the resident rank at the crash
+                        # instant; the rank itself trips the gang
+                        injector.register(node_index, proc)
+                        ranks.append((node_index, proc))
                     o_processes.append(proc)
 
                 yield sim.all_of(o_processes)
@@ -533,16 +559,20 @@ class DataMPIEngine(Engine):
                                                   submission)
                             if doom_ok else None
                         )
+                        a_node = partition_nodes[partition].node_id - 1
                         proc = sim.spawn(
                             self._a_task(
                                 sim, cluster, a_slots, job, timing, partition,
-                                partition_nodes[partition].node_id - 1,
+                                a_node,
                                 small_tables, receive, gc_factor, scale,
                                 gang, doom, leases, owner, pipe_out,
                             ),
                             f"{job.job_id}-s{submission}-a{partition}",
                         )
                         gang.add(proc)
+                        if injector.active:
+                            injector.register(a_node, proc)
+                            ranks.append((a_node, proc))
                         a_processes.append(proc)
                     yield sim.all_of(a_processes)
                     check_abort()
@@ -550,10 +580,18 @@ class DataMPIEngine(Engine):
                 yield sim.timeout(costs.job_cleanup)
                 check_abort()
             finally:
-                # O tasks interrupted before their first step never ran
-                # their ``finally`` — their reserved slots are still
-                # checked in here and must go back exactly once
-                gang_lease.release_unclaimed()
+                for worker_index, proc in ranks:
+                    injector.unregister(worker_index, proc)
+                if gang_grant.triggered:
+                    # O tasks interrupted before their first step never ran
+                    # their ``finally`` — their reserved slots are still
+                    # checked in here and must go back exactly once
+                    gang_grant.value.release_unclaimed()
+                else:
+                    # interrupted (deadline) while the gang was still
+                    # queued: withdraw the request so it cannot be granted
+                    # to a dead waiter and wedge the pool
+                    leases.cancel_gang(gang_grant, owner)
         finally:
             for worker in attempt_workers:
                 worker.memory.free(process_heap)
@@ -713,6 +751,11 @@ class DataMPIEngine(Engine):
         except Interrupt as interrupt:
             # another rank poisoned the communicator (or our node died):
             # stop mid-flight; resources unwind in the finally below
+            cause = interrupt.cause
+            if isinstance(cause, tuple) and cause and cause[0] == "node-crash":
+                # our host died under us: MPI_Abort now, long before the
+                # heartbeat monitor declares the node dead
+                gang.trip(cause)
             if task.span is not None:
                 task.span.add_event("aborted", sim.now,
                                     cause=str(interrupt.cause))
@@ -881,6 +924,9 @@ class DataMPIEngine(Engine):
             receive.release_partition(partition)
             task.kv_bytes = received
         except Interrupt as interrupt:
+            cause = interrupt.cause
+            if isinstance(cause, tuple) and cause and cause[0] == "node-crash":
+                gang.trip(cause)
             if task.span is not None:
                 task.span.add_event("aborted", sim.now,
                                     cause=str(interrupt.cause))

@@ -368,12 +368,16 @@ class HadoopEngine(Engine):
                 )
 
         injector.subscribe_crash(on_crash)
-        pending = map_processes + reduce_processes
-        while pending:
-            yield sim.all_of(pending)
-            pending = respawned[:]
-            del respawned[:]
-        injector.unsubscribe_crash(on_crash)
+        try:
+            pending = map_processes + reduce_processes
+            while pending:
+                yield sim.all_of(pending)
+                pending = respawned[:]
+                del respawned[:]
+        finally:
+            # an interrupt (query deadline) must not leave a stale
+            # subscriber respawning tasks for an abandoned job
+            injector.unsubscribe_crash(on_crash)
 
         if job.is_map_only:
             timing.shuffle_done = sim.now
@@ -394,9 +398,12 @@ class HadoopEngine(Engine):
     # -- scheduling ---------------------------------------------------------------
     def _pick_node(self, ctx: _FaultContext, cluster: Cluster,
                    preferred: int, salt: int) -> int:
-        """Deterministic placement that avoids dead and blacklisted
-        nodes; the first execution keeps its locality-preferred node."""
-        live = [i for i, node in enumerate(cluster.workers) if node.alive]
+        """Deterministic placement that avoids dead, draining and
+        blacklisted nodes; the first execution keeps its
+        locality-preferred node."""
+        live = [i for i, node in enumerate(cluster.workers) if node.schedulable]
+        if not live:  # everything draining: fall back to merely-alive
+            live = [i for i, node in enumerate(cluster.workers) if node.alive]
         candidates = [i for i in live if i not in ctx.blacklist] or live
         if not candidates:
             return preferred  # whole cluster down: degenerate fallback
@@ -644,7 +651,7 @@ class HadoopEngine(Engine):
                 if (sim.now - started) <= ctx.spec_slowdown * estimate:
                     continue
                 candidates = [
-                    i for i in ctx.injector.live_worker_indices()
+                    i for i in ctx.injector.schedulable_worker_indices()
                     if i != primary_node and i not in ctx.blacklist
                 ]
                 if not candidates:

@@ -197,10 +197,14 @@ class _DaemonFleet:
         self.owner = LeaseOwner("llap-daemons", pool="llap")
         self.ready = self.sim.event()
         self.starting = False
-        runtime.injector.subscribe_crash(self._on_crash)
+        # node-local effect: the decoded cache dies at the physical crash
+        # instant, not when the failure detector declares the node dead
+        runtime.injector.subscribe_crash(self._on_crash, immediate=True)
+        runtime.injector.subscribe_membership(self._on_membership)
 
     def close(self) -> None:
         self.runtime.injector.unsubscribe_crash(self._on_crash)
+        self.runtime.injector.unsubscribe_membership(self._on_membership)
 
     # -- crash handling -----------------------------------------------------
     def _on_crash(self, worker_index: int) -> None:
@@ -211,22 +215,57 @@ class _DaemonFleet:
         if dropped:
             get_metrics().counter("llap.cache.invalidations").add(dropped)
 
+    # -- membership ---------------------------------------------------------
+    def _on_membership(self, kind: str, worker_index: int) -> None:
+        if kind == "join":
+            # runtime._grow_aux_slots already appended the exec pool for a
+            # brand-new node (cluster join listeners fire first)
+            while len(self.daemons) <= worker_index:
+                self.daemons.append(_Daemon(len(self.daemons)))
+            if self.starting or self.ready.triggered:
+                self._launch(worker_index, restart=self.ready.triggered)
+        elif kind == "drain":
+            self._drain_daemon(worker_index)
+
+    def _drain_daemon(self, worker_index: int) -> None:
+        """Retire a draining node's daemon once its executor pool idles:
+        running fragments finish, new placements already avoid the node."""
+        if worker_index >= len(self.daemons):
+            return
+        node = self.runtime.cluster.workers[worker_index]
+        if not node.draining:
+            return  # re-commissioned mid-drain
+        daemon = self.daemons[worker_index]
+        if not daemon.up:
+            return
+        if self.exec_slots[worker_index].in_use > 0:
+            self.sim.call_at(
+                self.sim.now + 0.5, self._drain_daemon, worker_index,
+                daemon=True,
+            )
+            return
+        if daemon.stop is not None and not daemon.stop.triggered:
+            daemon.stop.trigger(None)
+
     # -- bring-up -----------------------------------------------------------
     def ensure_started(self):
-        """Generator: bring the fleet up (first caller pays; concurrent
-        queries wait on the same ready event)."""
-        if self.ready.triggered:
-            return
-        if self.starting:
+        """Generator: wait for the fleet.  The bring-up itself runs in a
+        fleet-owned process (first caller spawns it), so an interrupted
+        caller — a query hitting its deadline mid-bring-up — can never
+        wedge the fleet for every other query."""
+        if not self.starting and not self.ready.triggered:
+            self.starting = True
+            self.sim.spawn(self._startup_process(), "llap-fleet-start")
+        if not self.ready.triggered:
             yield self.ready
-            return
-        self.starting = True
+
+    def _startup_process(self):
         charge = not self.engine._daemons_started
         self.engine._daemons_started = True
         if charge:
             yield self.sim.timeout(self.engine.costs.daemon_spawn)
         waits = []
-        for index in self.runtime.injector.live_worker_indices():
+        for index in self.runtime.injector.schedulable_worker_indices():
             waits.append(self._launch(index, restart=False))
         for event in waits:
             yield event
@@ -251,8 +290,8 @@ class _DaemonFleet:
         serving, False when the node is (still) dead."""
         daemon = self.daemons[index]
         while not daemon.up:
-            if not self.runtime.injector.node_alive(index):
-                return False
+            if not self.runtime.injector.node_schedulable(index):
+                return False  # dead — or draining: don't fight the drain
             yield self._launch(index, restart=self.ready.triggered)
         return True
 
@@ -505,12 +544,16 @@ class LlapEngine(Engine):
                 )
 
         runtime.injector.subscribe_crash(on_crash)
-        pending = map_processes + reduce_processes
-        while pending:
-            yield sim.all_of(pending)
-            pending = respawned[:]
-            del respawned[:]
-        runtime.injector.unsubscribe_crash(on_crash)
+        try:
+            pending = map_processes + reduce_processes
+            while pending:
+                yield sim.all_of(pending)
+                pending = respawned[:]
+                del respawned[:]
+        finally:
+            # an interrupt (query deadline) must not leave a stale
+            # subscriber respawning fragments for an abandoned job
+            runtime.injector.unsubscribe_crash(on_crash)
 
         if job.is_map_only:
             timing.shuffle_done = sim.now
@@ -530,13 +573,21 @@ class LlapEngine(Engine):
 
     # -- placement ----------------------------------------------------------
     @staticmethod
-    def _pick_node(cluster: Cluster, preferred: int, salt: int) -> int:
-        live = [i for i, node in enumerate(cluster.workers) if node.alive]
+    def _pick_node(cluster: Cluster, preferred: int, salt: int,
+                   spread: int = 0) -> int:
+        live = [i for i, node in enumerate(cluster.workers) if node.schedulable]
+        if not live:  # everything draining: fall back to merely-alive
+            live = [i for i, node in enumerate(cluster.workers) if node.alive]
         if not live:
             return preferred  # whole cluster down: degenerate fallback
         if salt == 0 and preferred in live:
             return preferred
-        return live[(preferred + salt) % len(live)]
+        if preferred in live:
+            return live[(preferred + salt) % len(live)]
+        # the preferred node is gone: *spread* (the fragment's own index)
+        # fans displaced fragments across the survivors instead of
+        # stampeding them all onto the same fallback node
+        return live[(preferred + salt + spread) % len(live)]
 
     # -- columnar cache scan -------------------------------------------------
     def _cached_scan(self, tagged: TaggedSplit, node_index: int,
@@ -650,7 +701,8 @@ class LlapEngine(Engine):
         while True:
             attempt += 1
             chosen = self._pick_node(cluster, preferred,
-                                     0 if attempt == 1 else attempt)
+                                     0 if attempt == 1 else attempt,
+                                     spread=index)
             serving = yield from fleet.ensure_daemon(chosen)
             if not serving:
                 # the chosen node died during daemon bring-up: wait out
@@ -795,7 +847,7 @@ class LlapEngine(Engine):
         finally:
             if held_slot:
                 leases.release(pool, owner)
-            else:
+            elif acquired is not None:
                 leases.cancel(pool, acquired, owner)
 
     # -- reduce fragment -----------------------------------------------------
@@ -819,7 +871,8 @@ class LlapEngine(Engine):
         while True:
             attempt += 1
             chosen = self._pick_node(cluster, preferred,
-                                     0 if attempt == 1 else attempt)
+                                     0 if attempt == 1 else attempt,
+                                     spread=partition)
             serving = yield from fleet.ensure_daemon(chosen)
             if not serving:
                 yield sim.timeout(RETRY_BACKOFF_SECONDS)
@@ -886,8 +939,20 @@ class LlapEngine(Engine):
             pairs_by_map: Dict[int, List[KeyValue]] = {}
             for map_index in range(state.num_maps):
                 while True:
-                    while map_index not in state.map_outputs:
-                        yield state.map_completion_events[map_index]
+                    if map_index not in state.map_outputs:
+                        # a crash invalidated this map mid-stream and its
+                        # re-run needs an executor slot — possibly in this
+                        # very pool.  Parking here while holding ours would
+                        # deadlock the daemon, so hand the slot back for
+                        # the duration of the wait.
+                        leases.release(pool, owner)
+                        held_slot = False
+                        acquired = None
+                        while map_index not in state.map_outputs:
+                            yield state.map_completion_events[map_index]
+                        acquired = leases.acquire(pool, owner)
+                        yield acquired
+                        held_slot = True
                     entry = state.map_outputs[map_index]
                     source_index, collector, map_scale = entry
                     chunk = collector.partition_bytes[partition] * map_scale
@@ -940,5 +1005,5 @@ class LlapEngine(Engine):
         finally:
             if held_slot:
                 leases.release(pool, owner)
-            else:
+            elif acquired is not None:
                 leases.cancel(pool, acquired, owner)

@@ -26,18 +26,26 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro import engines as engine_registry
-from repro.common.config import Configuration, RETRY_FALLBACK
+from repro.common.config import (
+    BREAKER_COOLDOWN,
+    BREAKER_THRESHOLD,
+    Configuration,
+    QUERY_DEADLINE,
+    RETRY_FALLBACK,
+    RETRY_MAX,
+)
 from repro.common.errors import (
     AdmissionRejectedError,
     ConfigError,
     ExecutionError,
     QueryCancelledError,
+    QueryTimeoutError,
     RetryExhaustedError,
 )
 from repro.core.driver import Driver, PreparedStatement, QueryResult
 from repro.engines.base import Engine, EngineRuntime, PlanResult, collect_plan_result
 from repro.obs import Span, get_metrics
-from repro.simulate import LeaseOwner
+from repro.simulate import Interrupt, LeaseOwner
 from repro.sql import parse_script
 
 POLICIES = ("fifo", "fair", "capacity")
@@ -116,6 +124,62 @@ def parse_pools(spec: str) -> Dict[str, Pool]:
     return pools
 
 
+class EngineBreaker:
+    """Consecutive-failure circuit breaker for one engine.
+
+    Closed until ``threshold`` consecutive query failures, then open for
+    ``cooldown`` simulated seconds (the scheduler degrades new queries
+    along the engine's declared ``degrades_to`` chain).  After the
+    cooldown one half-open probe query is let through: success closes
+    the breaker, failure re-opens it with a fresh cooldown.  A
+    ``threshold`` of 0 disables the breaker entirely.
+    """
+
+    __slots__ = ("threshold", "cooldown", "failures", "opened_at",
+                 "half_open_probe", "trips")
+
+    def __init__(self, threshold: int, cooldown: float):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.half_open_probe = False
+        self.trips = 0
+
+    @property
+    def open(self) -> bool:
+        return self.opened_at is not None
+
+    def allows(self, now: float) -> bool:
+        if self.threshold <= 0 or self.opened_at is None:
+            return True
+        if now - self.opened_at >= self.cooldown and not self.half_open_probe:
+            self.half_open_probe = True  # exactly one probe per cooldown
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+        self.half_open_probe = False
+
+    def record_failure(self, now: float) -> bool:
+        """Count a failure; returns True when the breaker (re-)trips."""
+        self.failures += 1
+        if self.opened_at is not None:
+            # failed half-open probe (or failure while already open)
+            self.opened_at = now
+            self.half_open_probe = False
+            self.trips += 1
+            return True
+        if self.threshold > 0 and self.failures >= self.threshold:
+            self.opened_at = now
+            self.half_open_probe = False
+            self.trips += 1
+            return True
+        return False
+
+
 def jain_fairness_index(values: List[float]) -> float:
     """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` — 1.0 when
     every query got the same share, ``1/n`` when one got everything."""
@@ -138,7 +202,9 @@ class QueryHandle:
     """
 
     def __init__(self, scheduler: "WorkloadScheduler", query_id: str,
-                 pool: Pool, statements: List[object]):
+                 pool: Pool, statements: List[object],
+                 deadline: Optional[float] = None,
+                 retry_budget: Optional[int] = None):
         self._scheduler = scheduler
         self.query_id = query_id
         self.pool = pool.name
@@ -149,6 +215,12 @@ class QueryHandle:
         self.submitted_at = scheduler.runtime.sim.now
         self.admitted_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        #: wall-clock budget in simulated seconds from submission; the
+        #: scheduler cancels the query with QueryTimeoutError past it
+        self.deadline = deadline
+        self.deadline_missed = False
+        #: per-query override of ``repro.retry.max`` (None = session conf)
+        self.retry_budget = retry_budget
         self._status = QUEUED
         self._start_event = scheduler.runtime.sim.event()
         self._cancel_requested = False
@@ -239,6 +311,13 @@ class WorkloadScheduler:
         self._running_total = 0
         self._counter = 0
         self._fallback_engines: Dict[str, Engine] = {}
+        self._breaker_threshold = max(
+            0, driver.conf.get_int(BREAKER_THRESHOLD, 0)
+        )
+        self._breaker_cooldown = max(
+            0.0, driver.conf.get_float(BREAKER_COOLDOWN, 30.0)
+        )
+        self._breakers: Dict[str, EngineBreaker] = {}
 
     @staticmethod
     def _require_plan_process(engine: Engine) -> None:
@@ -251,8 +330,17 @@ class WorkloadScheduler:
             )
 
     # -- submission ----------------------------------------------------------
-    def submit(self, sql: str, pool: Optional[str] = None) -> QueryHandle:
+    def submit(self, sql: str, pool: Optional[str] = None,
+               deadline: Optional[float] = None,
+               retry_budget: Optional[int] = None) -> QueryHandle:
         """Queue a script for execution; non-blocking in simulated time.
+
+        *deadline* is a wall-clock budget in simulated seconds from
+        submission (defaults to ``repro.query.deadline``; 0/unset = no
+        deadline): past it the query's work is interrupted, its leases
+        and executor slots freed, and :class:`QueryTimeoutError` becomes
+        the handle's error.  *retry_budget* overrides ``repro.retry.max``
+        for this query only.
 
         Raises :class:`AdmissionRejectedError` when the target pool's
         concurrency cap is reached *and* its bounded wait queue is full.
@@ -260,9 +348,17 @@ class WorkloadScheduler:
         statements = parse_script(sql)
         if not statements:
             raise ExecutionError("submit needs at least one statement")
+        if deadline is None:
+            configured = self.driver.conf.get_float(QUERY_DEADLINE, 0.0)
+            deadline = configured if configured > 0 else None
+        elif deadline <= 0:
+            raise ConfigError(f"deadline must be positive: {deadline}")
+        if retry_budget is not None and retry_budget < 0:
+            raise ConfigError(f"retry budget must be >= 0: {retry_budget}")
         pool_obj = self._resolve_pool(pool)
         self._counter += 1
-        handle = QueryHandle(self, f"wq{self._counter}", pool_obj, statements)
+        handle = QueryHandle(self, f"wq{self._counter}", pool_obj, statements,
+                             deadline=deadline, retry_budget=retry_budget)
         self._check_admission(pool_obj, handle)
         self.handles.append(handle)
         self._waiting.append(handle)
@@ -366,95 +462,197 @@ class WorkloadScheduler:
             return
         sim = self.runtime.sim
         try:
-            try:
-                for statement in handle.statements:
-                    host = self.driver._execute_host_statement(statement)
-                    if host is not None:
-                        handle.results.append(host)
-                        continue
-                    # result cache: checked on the shared clock at the
-                    # moment this query gets to run, so a hit reflects
-                    # every write that committed before it (and a bump
-                    # mid-workload invalidates stale entries right here)
-                    cached = self.driver.result_cache_lookup(statement)
-                    if cached is not None:
-                        self._log("cache-hit", handle)
-                        handle.results.append(cached)
-                        continue
-                    statement_start = sim.now
-                    version_at_compile = self.driver.metastore.version
-                    prepared = self.driver.prepare(statement, use_cache=False)
-                    snapshot_at_compile = self.driver._plan_snapshot(
-                        prepared.plan
-                    )
-                    yield sim.timeout(prepared.compile_seconds)
-                    execution = yield from self._run_prepared(handle, prepared)
-                    trace = self._build_trace(
-                        handle, prepared, execution, statement_start
-                    )
-                    result = prepared.finalize(execution, trace)
-                    handle.results.append(result)
-                    self.driver.result_cache_store(
-                        statement, prepared, result, version_at_compile,
-                        snapshot_at_compile,
-                    )
-                handle._status = SUCCEEDED
-            except Exception as exc:  # one query's failure never sinks the rest
-                handle._status = FAILED
-                handle.error = exc
+            if handle.deadline is None:
+                # no deadline: run the statements inline — structurally
+                # identical to the pre-deadline scheduler, so clean
+                # workloads replay byte-identically
+                yield from self._guarded_body(handle)
+            else:
+                yield from self._deadline_guard(handle)
         finally:
             handle.finished_at = sim.now
             self._log("finish" if handle._status == SUCCEEDED else "fail", handle)
             self._finish(handle)
 
+    def _guarded_body(self, handle: QueryHandle):
+        """Run the statements, recording outcome on the handle; a
+        deadline interrupt passes through to the guard untouched."""
+        try:
+            yield from self._statements_body(handle)
+            handle._status = SUCCEEDED
+        except Interrupt:
+            raise  # deadline abort: the guard records the timeout
+        except Exception as exc:  # one query's failure never sinks the rest
+            handle._status = FAILED
+            handle.error = exc
+
+    def _deadline_guard(self, handle: QueryHandle):
+        """Race the statement work against the query's deadline.
+
+        The work runs in a child process so the guard can interrupt it:
+        engine-level ``finally`` blocks unwind (crash subscriptions,
+        queued lease/gang requests are withdrawn), while already-running
+        task processes finish on their own and release the slots they
+        hold — the ledger stays balanced on every abort path.
+        """
+        sim = self.runtime.sim
+        child = sim.spawn(self._guarded_body(handle),
+                          f"{handle.query_id}-body")
+        remaining = max(0.0, handle.submitted_at + handle.deadline - sim.now)
+        yield sim.any_of([child, sim.timeout(remaining)])
+        if child.triggered:
+            return
+        handle.deadline_missed = True
+        get_metrics().counter("sched.deadline.misses").add(1)
+        self._log("deadline", handle)
+        child.interrupt(("deadline", handle.query_id))
+        yield child  # let the finallys unwind before reporting
+        handle._status = FAILED
+        handle.error = QueryTimeoutError(
+            f"query {handle.query_id} exceeded its deadline of "
+            f"{handle.deadline:g}s (submitted at t={handle.submitted_at:g})",
+            query_id=handle.query_id,
+            deadline=handle.deadline,
+        )
+
+    def _statements_body(self, handle: QueryHandle):
+        sim = self.runtime.sim
+        for statement in handle.statements:
+            host = self.driver._execute_host_statement(statement)
+            if host is not None:
+                handle.results.append(host)
+                continue
+            # result cache: checked on the shared clock at the
+            # moment this query gets to run, so a hit reflects
+            # every write that committed before it (and a bump
+            # mid-workload invalidates stale entries right here)
+            cached = self.driver.result_cache_lookup(statement)
+            if cached is not None:
+                self._log("cache-hit", handle)
+                handle.results.append(cached)
+                continue
+            statement_start = sim.now
+            version_at_compile = self.driver.metastore.version
+            prepared = self.driver.prepare(statement, use_cache=False)
+            snapshot_at_compile = self.driver._plan_snapshot(
+                prepared.plan
+            )
+            yield sim.timeout(prepared.compile_seconds)
+            execution = yield from self._run_prepared(handle, prepared)
+            trace = self._build_trace(
+                handle, prepared, execution, statement_start
+            )
+            result = prepared.finalize(execution, trace)
+            handle.results.append(result)
+            self.driver.result_cache_store(
+                statement, prepared, result, version_at_compile,
+                snapshot_at_compile,
+            )
+
+    # -- circuit breaker -------------------------------------------------------
+    def _breaker(self, engine_name: str) -> EngineBreaker:
+        breaker = self._breakers.get(engine_name)
+        if breaker is None:
+            breaker = EngineBreaker(self._breaker_threshold,
+                                    self._breaker_cooldown)
+            self._breakers[engine_name] = breaker
+        return breaker
+
+    def _select_engine(self, handle: QueryHandle) -> Engine:
+        """Breaker-aware engine choice: the session engine unless its
+        breaker is open, else the first closed engine along the declared
+        ``degrades_to`` chain (shared-runtime engines only)."""
+        primary = self.driver.engine
+        if self._breaker_threshold <= 0:
+            return primary
+        now = self.runtime.sim.now
+        if self._breaker(primary.name).allows(now):
+            return primary
+        spec = engine_registry.get_spec(primary.name)
+        for name in spec.degrades_to:
+            if not engine_registry.capabilities(name).shared_runtime:
+                continue
+            if not self._breaker(name).allows(now):
+                continue
+            get_metrics().counter("sched.breaker.degraded").add(1)
+            self.events.append(
+                (now, "breaker-degrade", handle.query_id, name)
+            )
+            return self._fallback_engine(name)
+        return primary  # whole chain open: last resort is the primary
+
+    def _fallback_engine(self, name: str) -> Engine:
+        engine = self._fallback_engines.get(name)
+        if engine is None:
+            engine = engine_registry.create(
+                name, self.driver.hdfs, spec=self.driver.engine.spec
+            )
+            self._require_plan_process(engine)
+            self._fallback_engines[name] = engine
+        return engine
+
+    def _query_conf(self, handle: QueryHandle) -> Configuration:
+        if handle.retry_budget is None:
+            return self.driver.conf
+        conf = self.driver.conf.copy()
+        conf.set(RETRY_MAX, handle.retry_budget)
+        return conf
+
     def _run_prepared(self, handle: QueryHandle, prepared: PreparedStatement):
         driver = self.driver
-        engine = driver.engine
+        engine = self._select_engine(handle)
         sim = self.runtime.sim
+        conf = self._query_conf(handle)
         if prepared.clear_output:
             driver.hdfs.delete(prepared.plan.output_location)
         started_at = sim.now
         try:
             timings = yield from engine.plan_process(
-                self.runtime, prepared.plan, driver.conf, handle.owner
+                self.runtime, prepared.plan, conf, handle.owner
             )
             execution = collect_plan_result(
                 engine, self.runtime, prepared.plan, timings,
                 started_at=started_at, include_injector_span=False,
             )
-        except RetryExhaustedError:
-            fallback = (driver.conf.get(RETRY_FALLBACK, "") or "").strip()
-            if not fallback:
+            self._breaker(engine.name).record_success()
+        except Interrupt:
+            raise  # deadline abort: not the engine's failure
+        except Exception as exc:
+            now = sim.now
+            if self._breaker(engine.name).record_failure(now):
+                get_metrics().counter("sched.breaker.trips").add(1)
+                self.events.append(
+                    (now, "breaker-open", handle.query_id, engine.name)
+                )
+            fallback = (conf.get(RETRY_FALLBACK, "") or "").strip()
+            if not isinstance(exc, RetryExhaustedError) or not fallback:
                 raise
             execution = yield from self._run_fallback(
-                handle, prepared, fallback, started_at
+                handle, prepared, engine, fallback, started_at, conf
             )
+        if engine is not driver.engine and execution.fallback_from is None:
+            execution.fallback_from = driver.engine.name
         driver.hdfs.delete(f"/tmp/hive/{prepared.query_id}")
         return execution
 
     def _run_fallback(self, handle: QueryHandle, prepared: PreparedStatement,
-                      fallback: str, started_at: float):
+                      failed_engine: Engine, fallback: str, started_at: float,
+                      conf: Configuration):
         """Graceful degradation *inside the shared simulation*: the plan
         re-runs on the fallback engine against the same cluster, so
         bystander queries keep their slots and timeline."""
         driver = self.driver
         driver._discard_partial_outputs(prepared.plan)
         get_metrics().counter("engine.fallbacks").add(1)
-        engine = self._fallback_engines.get(fallback)
-        if engine is None:
-            engine = engine_registry.create(
-                fallback, driver.hdfs, spec=driver.engine.spec
-            )
-            self._require_plan_process(engine)
-            self._fallback_engines[fallback] = engine
+        engine = self._fallback_engine(fallback)
         timings = yield from engine.plan_process(
-            self.runtime, prepared.plan, driver.conf, handle.owner
+            self.runtime, prepared.plan, conf, handle.owner
         )
         execution = collect_plan_result(
             engine, self.runtime, prepared.plan, timings,
             started_at=started_at, include_injector_span=False,
         )
-        execution.fallback_from = driver.engine.name
+        execution.fallback_from = failed_engine.name
         return execution
 
     def _build_trace(self, handle: QueryHandle, prepared: PreparedStatement,
@@ -498,6 +696,14 @@ class WorkloadScheduler:
             "makespan": self.runtime.sim.now,
             "latencies": latencies,
             "fairness": jain_fairness_index(latencies),
+            "deadline_misses": sum(
+                1 for h in self.handles if h.deadline_missed
+            ),
+            "breaker_trips": {
+                name: breaker.trips
+                for name, breaker in sorted(self._breakers.items())
+                if breaker.trips
+            },
             "oversubscribed_pools": ledger.oversubscribed_pools(),
             "slot_seconds": {
                 h.query_id: ledger.owner_usage(h.query_id).slot_seconds

@@ -145,14 +145,24 @@ class Session(Driver):
             self._scheduler = scheduler_from_conf(self)
         return self._scheduler
 
-    def submit(self, sql: str, pool: Optional[str] = None):
+    def submit(self, sql: str, pool: Optional[str] = None,
+               deadline: Optional[float] = None,
+               retry_budget: Optional[int] = None):
         """Queue a script on the shared simulated cluster and return a
         :class:`repro.sched.QueryHandle`; non-blocking in simulated time
         (``handle.result()`` drains the simulation).  Concurrent submits
-        interleave on the same cluster under the configured policy."""
+        interleave on the same cluster under the configured policy.
+
+        *deadline* bounds the query in simulated seconds from submission
+        (default ``repro.query.deadline``; unset = unbounded): past it
+        the work is cancelled, its slots freed, and ``handle.result()``
+        raises :class:`~repro.common.errors.QueryTimeoutError`.
+        *retry_budget* overrides ``repro.retry.max`` for this query.
+        """
         if self._closed:
             raise ExecutionError("session is closed")
-        return self.scheduler.submit(sql, pool=pool)
+        return self.scheduler.submit(sql, pool=pool, deadline=deadline,
+                                     retry_budget=retry_budget)
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"

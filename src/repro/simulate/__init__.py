@@ -12,8 +12,11 @@ Layers:
 * :mod:`repro.simulate.resources` — slot pools, processor-shared bandwidth, memory
 * :mod:`repro.simulate.cluster` — nodes and the cluster topology
 * :mod:`repro.simulate.metrics` — dstat-style 1 Hz utilization sampler
-* :mod:`repro.simulate.faults` — declarative fault plans and the injector
+* :mod:`repro.simulate.faults` — declarative fault plans, elastic
+  membership (scale-up/drain) and the heartbeat failure detector
 * :mod:`repro.simulate.leases` — multi-query slot arbitration + attribution
+* :mod:`repro.simulate.chaos` — randomized fault+membership schedules
+  checked against global recovery invariants
 """
 
 from repro.simulate.events import Simulator, Event, Process, Interrupt
@@ -22,10 +25,13 @@ from repro.simulate.cluster import Node, Cluster, ClusterSpec
 from repro.simulate.metrics import MetricsSampler, ResourceSample
 from repro.simulate.faults import (
     Degradation,
+    Drain,
     FaultEvent,
     FaultInjector,
     FaultPlan,
+    HeartbeatMonitor,
     NodeCrash,
+    ScaleUp,
     Straggler,
 )
 from repro.simulate.leases import (
@@ -52,9 +58,12 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "FaultEvent",
+    "HeartbeatMonitor",
     "NodeCrash",
     "Degradation",
     "Straggler",
+    "ScaleUp",
+    "Drain",
     "LeaseManager",
     "LeaseOwner",
     "LeaseLedger",

@@ -63,12 +63,23 @@ class Node:
         self.nic_rx = Bandwidth(sim, spec.nic_bandwidth, f"{self.name}.rx")
         self.memory = MemoryAccount(spec.memory_per_node, f"{self.name}.mem")
         # fault-injection state: a dead node schedules no new work, a
-        # straggling node pays `slowdown` times the CPU cost
+        # straggling node pays `slowdown` times the CPU cost; a draining
+        # node finishes what it is running but takes no new placements
         self.alive = True
+        self.draining = False
         self.slowdown = 1.0
         # instantaneous gauges for the dstat-style sampler
         self.computing = 0
         self.io_waiting = 0
+
+    @property
+    def schedulable(self) -> bool:
+        """True when new work may be placed here (alive and not draining).
+
+        Replica *reads* keep using ``alive``: a draining node still
+        serves its blocks until it is retired.
+        """
+        return self.alive and not self.draining
 
     @property
     def disk_bytes_read(self) -> float:
@@ -139,6 +150,30 @@ class Cluster:
         self.nodes: List[Node] = [
             Node(sim, spec, i, metrics=metrics) for i in range(spec.num_nodes)
         ]
+        self._join_listeners: List = []
+
+    def on_join(self, listener) -> None:
+        """Register *listener(node, worker_index)* for future node joins.
+
+        Engines use this to grow per-worker structures (aux slot pools,
+        daemon fleets) when the cluster scales up mid-run.
+        """
+        self._join_listeners.append(listener)
+
+    def add_node(self) -> Node:
+        """Grow the cluster by one worker node (elastic scale-up).
+
+        The new node starts empty — no HDFS blocks, no cached stripes —
+        exactly like a machine racked into a running cluster.  Join
+        listeners fire synchronously so slot pools and daemon fleets
+        exist before any placement can target the new worker.
+        """
+        node = Node(self.sim, self.spec, len(self.nodes), metrics=self.metrics)
+        self.nodes.append(node)
+        worker_index = len(self.workers) - 1
+        for listener in list(self._join_listeners):
+            listener(node, worker_index)
+        return node
 
     @property
     def master(self) -> Node:

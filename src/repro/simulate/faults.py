@@ -23,15 +23,28 @@ Fault-plan grammar (also accepted via ``repro.faults`` / CLI
     slow:w3x4@10               # ... from t=10s onward
     disk:w1x0.25@5-60          # worker 1 disk at 25% rate in [5,60)
     nic:w4x0.5@0-100           # worker 4 NIC (both directions) at 50%
+    scale-up:w7@30             # a new (or re-commissioned) worker joins at t=30
+    drain:w3@50                # worker 3 decommissions gracefully from t=50
 
 Worker indices are 0-based positions in ``cluster.workers`` (the paper's
 testbed: workers 0..6 behind master node0).  Every draw derives its RNG
 from ``(seed, job, task, attempt)`` via :mod:`repro.common.rng`, so runs
 are deterministic and independent of event ordering.
+
+When a plan is active the injector also runs a :class:`HeartbeatMonitor`
+in simulated time: workers beat every ``repro.heartbeat.interval``
+seconds, silence beyond ``repro.heartbeat.suspect`` marks a node
+*suspected*, silence beyond ``repro.heartbeat.timeout`` *declares* it
+dead and only then notifies deferred crash subscribers — so engines
+learn about remote node loss with realistic detection latency instead of
+an oracle callback.  A straggling node beats late (every
+``interval x slowdown`` seconds), so heavy slowdowns cause transient
+false suspicions that clear when the late beat lands.
 """
 
 from __future__ import annotations
 
+import math
 import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
@@ -96,8 +109,38 @@ class Straggler:
             raise ConfigError("straggler window must have end > start")
 
 
+@dataclass(frozen=True)
+class ScaleUp:
+    """A worker joins the cluster at *at* (elastic scale-up).
+
+    *worker* is the index the new node is expected to occupy; when it
+    names an existing drained worker, that node is re-commissioned
+    instead of growing the cluster.
+    """
+
+    worker: int
+    at: float
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ConfigError(f"scale-up time must be >= 0: {self.at}")
+
+
+@dataclass(frozen=True)
+class Drain:
+    """Worker *worker* starts a graceful decommission at *at*: no new
+    placements, running work finishes, then slots/daemons retire."""
+
+    worker: int
+    at: float
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ConfigError(f"drain time must be >= 0: {self.at}")
+
+
 _CLAUSE = re.compile(
-    r"""^(?P<kind>crash|slow|disk|nic)
+    r"""^(?P<kind>scale-up|drain|crash|slow|disk|nic)
          :w(?P<worker>\d+)
          (?:x(?P<factor>[0-9.]+))?
          @(?P<start>[0-9.]+)
@@ -115,12 +158,45 @@ class FaultPlan:
     node_crashes: Tuple[NodeCrash, ...] = ()
     degradations: Tuple[Degradation, ...] = ()
     stragglers: Tuple[Straggler, ...] = ()
+    scale_ups: Tuple[ScaleUp, ...] = ()
+    drains: Tuple[Drain, ...] = ()
 
     def __post_init__(self):
         if not 0 <= self.task_failure_rate < 1:
             raise ConfigError(
                 f"task failure rate must be in [0,1): {self.task_failure_rate}"
             )
+        self._reject_overlapping_windows()
+
+    def _reject_overlapping_windows(self) -> None:
+        """Two windows of the same fault kind on the same worker whose
+        intervals intersect leave the injector in an undefined state
+        (who recovers the node first?), so the plan is rejected up
+        front with a clear error instead."""
+        infinity = float("inf")
+        grouped: Dict[Tuple[str, object], List[Tuple[float, float]]] = {}
+        for crash in self.node_crashes:
+            grouped.setdefault(("crash", crash.worker), []).append(
+                (crash.at, crash.recover_at if crash.recover_at is not None
+                 else infinity))
+        for straggler in self.stragglers:
+            grouped.setdefault(("slow", straggler.worker), []).append(
+                (straggler.start, straggler.end if straggler.end is not None
+                 else infinity))
+        for window in self.degradations:
+            grouped.setdefault((window.resource, window.worker), []).append(
+                (window.start, window.end if window.end is not None
+                 else infinity))
+        for (kind, worker), spans in grouped.items():
+            spans.sort()
+            for (start1, end1), (start2, _end2) in zip(spans, spans[1:]):
+                if end1 > start2:
+                    until = "inf" if end1 == infinity else f"{end1:g}"
+                    raise ConfigError(
+                        f"overlapping {kind} windows for worker {worker}: "
+                        f"[{start1:g}, {until}) intersects the window "
+                        f"starting at {start2:g}"
+                    )
 
     @property
     def empty(self) -> bool:
@@ -129,6 +205,8 @@ class FaultPlan:
             and not self.node_crashes
             and not self.degradations
             and not self.stragglers
+            and not self.scale_ups
+            and not self.drains
         )
 
     # -- construction ---------------------------------------------------------
@@ -138,6 +216,8 @@ class FaultPlan:
         crashes: List[NodeCrash] = []
         degradations: List[Degradation] = []
         stragglers: List[Straggler] = []
+        scale_ups: List[ScaleUp] = []
+        drains: List[Drain] = []
         for raw in re.split(r"[;\n]", spec or ""):
             clause = raw.strip()
             if not clause:
@@ -156,7 +236,18 @@ class FaultPlan:
             factor = match.group("factor")
             start = float(match.group("start"))
             end = float(match.group("end")) if match.group("end") else None
-            if kind == "crash":
+            if kind in ("scale-up", "drain"):
+                if factor is not None:
+                    raise ConfigError(f"{kind} takes no factor: {clause!r}")
+                if end is not None:
+                    raise ConfigError(
+                        f"{kind} takes a single time, not a window: {clause!r}"
+                    )
+                if kind == "scale-up":
+                    scale_ups.append(ScaleUp(worker, start))
+                else:
+                    drains.append(Drain(worker, start))
+            elif kind == "crash":
                 if factor is not None:
                     raise ConfigError(f"crash takes no factor: {clause!r}")
                 crashes.append(NodeCrash(worker, start, recover_at=end))
@@ -176,6 +267,8 @@ class FaultPlan:
             node_crashes=tuple(crashes),
             degradations=tuple(degradations),
             stragglers=tuple(stragglers),
+            scale_ups=tuple(scale_ups),
+            drains=tuple(drains),
         )
 
     @staticmethod
@@ -204,6 +297,105 @@ class FaultEvent:
         return out
 
 
+class HeartbeatMonitor:
+    """Failure detection through missed heartbeats, in simulated time.
+
+    Every worker conceptually sends a beat each *interval* seconds; a
+    straggling node (CPU slowdown ``F``) beats every ``interval x F``
+    seconds, and a dead node stops beating at the crash instant.  The
+    monitor ticks once per interval (daemon callbacks only — it never
+    keeps the simulation alive) and walks workers through the
+    suspicion state machine:
+
+    * silence >= ``suspect_after``  -> *suspected* (``node-suspect``)
+    * silence >= ``timeout``        -> *declared dead*
+      (``node-dead-declared``) — only now are deferred crash
+      subscribers notified, so remote recovery (lost-map re-execution,
+      gang teardown for non-resident nodes) pays detection latency;
+    * a late beat clears a suspicion (``suspect-cleared``) without a
+      death declaration — the false-suspicion path heavy stragglers
+      exercise;
+    * beats resuming after a declaration (crash window ended) record
+      ``node-rejoin`` and re-arm detection.
+    """
+
+    def __init__(self, injector: "FaultInjector", interval: float,
+                 suspect_after: float, timeout: float):
+        if interval <= 0:
+            raise ConfigError(f"heartbeat interval must be > 0: {interval}")
+        if not 0 < suspect_after < timeout:
+            raise ConfigError(
+                f"need 0 < suspect ({suspect_after}) < timeout ({timeout})"
+            )
+        self.injector = injector
+        self.sim = injector.sim
+        self.interval = interval
+        self.suspect_after = suspect_after
+        self.timeout = timeout
+        self._last_beat: Dict[int, float] = {}
+        self._suspected: Set[int] = set()
+        self._declared: Set[int] = set()
+        self._started = False
+
+    # -- state the engines may consult ---------------------------------------
+    def is_suspect(self, worker_index: int) -> bool:
+        return worker_index in self._suspected
+
+    def is_declared_dead(self, worker_index: int) -> bool:
+        return worker_index in self._declared
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for index in range(len(self.injector.cluster.workers)):
+            self._last_beat[index] = self.sim.now
+        self.sim.call_at(self.sim.now + self.interval, self._tick, daemon=True)
+
+    def track(self, worker_index: int) -> None:
+        """Start watching a worker that joined after :meth:`start`."""
+        self._last_beat.setdefault(worker_index, self.sim.now)
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        for index, node in enumerate(self.injector.cluster.workers):
+            last = self._last_beat.get(index, now)
+            if node.alive:
+                # credit the newest beat that would have arrived by now;
+                # a straggler's beats are spaced interval x slowdown
+                gap = self.interval * max(1.0, node.slowdown)
+                if now - last >= gap:
+                    last += math.floor((now - last) / gap) * gap
+                    self._last_beat[index] = last
+            silence = now - last
+            if index in self._declared:
+                if silence < self.suspect_after:
+                    self._declared.discard(index)
+                    self._suspected.discard(index)
+                    self.injector._record("node-rejoin", worker=index)
+                continue
+            if silence >= self.timeout:
+                self._suspected.discard(index)
+                self._declared.add(index)
+                self.injector._record(
+                    "node-dead-declared", worker=index,
+                    silence=round(silence, 3),
+                )
+                self.injector._notify_deferred(index)
+            elif silence >= self.suspect_after:
+                if index not in self._suspected:
+                    self._suspected.add(index)
+                    self.injector._record(
+                        "node-suspect", worker=index,
+                        silence=round(silence, 3),
+                    )
+            elif index in self._suspected:
+                self._suspected.discard(index)
+                self.injector._record("suspect-cleared", worker=index)
+        self.sim.call_at(now + self.interval, self._tick, daemon=True)
+
+
 class FaultInjector:
     """Delivers a :class:`FaultPlan` into a live simulation.
 
@@ -219,13 +411,27 @@ class FaultInjector:
     * engines may :meth:`subscribe_crash` to learn about node loss even
       when nothing of theirs was running there (the Hadoop job tracker
       uses this to invalidate completed map output on the dead node).
+      Default subscriptions are *deferred*: when the heartbeat monitor
+      runs, they fire at dead-declaration time, not the physical crash
+      instant.  ``immediate=True`` opts into crash-instant delivery for
+      strictly node-local physical effects (cache memory vanishing with
+      its node);
+    * engines may :meth:`subscribe_membership` to react to elastic
+      ``join`` / ``drain`` / ``drained`` transitions (the LLAP fleet
+      spawns and retires daemons through this).
 
     All agenda entries are daemon callbacks: an injector never keeps the
     simulation alive on its own.
     """
 
+    #: seconds between graceful-drain completion checks
+    DRAIN_POLL_SECONDS = 0.5
+
     def __init__(self, sim: Simulator, cluster: Cluster, plan: FaultPlan,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, heartbeat_enabled: str = "auto",
+                 heartbeat_interval: float = 1.0,
+                 heartbeat_suspect: float = 3.0,
+                 heartbeat_timeout: float = 10.0):
         self.sim = sim
         self.cluster = cluster
         self.plan = plan
@@ -233,9 +439,25 @@ class FaultInjector:
         self.metrics = metrics
         self.events: List[FaultEvent] = []
         self.span = None
-        self._registered: Dict[int, Set[Process]] = {}
-        self._crash_subscribers: List[Callable[[int], None]] = []
+        self.monitor: Optional[HeartbeatMonitor] = None
+        self._heartbeat_enabled = heartbeat_enabled
+        self._heartbeat_params = (
+            heartbeat_interval, heartbeat_suspect, heartbeat_timeout
+        )
+        # insertion-ordered on purpose: crash delivery iterates this, and
+        # a set's address-dependent order would make replays diverge
+        self._registered: Dict[int, Dict[Process, None]] = {}
+        self._immediate_subscribers: List[Callable[[int], None]] = []
+        self._deferred_subscribers: List[Callable[[int], None]] = []
+        self._membership_subscribers: List[Callable[[str, int], None]] = []
         self._started = False
+
+    @property
+    def active(self) -> bool:
+        """True when this run has any faults or membership changes — the
+        gate for optional bookkeeping (rank registration, monitors) that
+        must not perturb byte-identical clean runs."""
+        return not self.plan.empty
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
@@ -273,6 +495,16 @@ class FaultInjector:
                     straggler.end, self._slowdown, straggler.worker, 1.0,
                     daemon=True,
                 )
+        for scale_up in self.plan.scale_ups:
+            self.sim.call_at(
+                scale_up.at, self._scale_up, scale_up.worker, daemon=True
+            )
+        for drain in self.plan.drains:
+            self.sim.call_at(drain.at, self._drain, drain.worker, daemon=True)
+        if self._heartbeat_enabled != "false":
+            interval, suspect, timeout = self._heartbeat_params
+            self.monitor = HeartbeatMonitor(self, interval, suspect, timeout)
+            self.monitor.start()
         self._refresh_alive_gauge()
 
     def close(self) -> None:
@@ -283,23 +515,55 @@ class FaultInjector:
     def node_alive(self, worker_index: int) -> bool:
         return self.cluster.workers[worker_index % len(self.cluster.workers)].alive
 
+    def node_schedulable(self, worker_index: int) -> bool:
+        """Placement check: alive *and* not draining."""
+        workers = self.cluster.workers
+        return workers[worker_index % len(workers)].schedulable
+
     def live_worker_indices(self) -> List[int]:
         return [
             index for index, node in enumerate(self.cluster.workers) if node.alive
         ]
 
+    def schedulable_worker_indices(self) -> List[int]:
+        return [
+            index for index, node in enumerate(self.cluster.workers)
+            if node.schedulable
+        ]
+
     def register(self, worker_index: int, process: Process) -> None:
-        self._registered.setdefault(worker_index, set()).add(process)
+        self._registered.setdefault(worker_index, {})[process] = None
 
     def unregister(self, worker_index: int, process: Process) -> None:
-        self._registered.get(worker_index, set()).discard(process)
+        self._registered.get(worker_index, {}).pop(process, None)
 
-    def subscribe_crash(self, callback: Callable[[int], None]) -> None:
-        self._crash_subscribers.append(callback)
+    def subscribe_crash(self, callback: Callable[[int], None],
+                        immediate: bool = False) -> None:
+        """Hear about node loss.  Deferred (default) subscribers are
+        notified when the heartbeat monitor declares the node dead —
+        or at the crash instant when no monitor runs.  Immediate
+        subscribers always fire at the physical crash instant; reserve
+        that for effects local to the dead machine itself."""
+        if immediate:
+            self._immediate_subscribers.append(callback)
+        else:
+            self._deferred_subscribers.append(callback)
 
     def unsubscribe_crash(self, callback: Callable[[int], None]) -> None:
-        if callback in self._crash_subscribers:
-            self._crash_subscribers.remove(callback)
+        if callback in self._immediate_subscribers:
+            self._immediate_subscribers.remove(callback)
+        if callback in self._deferred_subscribers:
+            self._deferred_subscribers.remove(callback)
+
+    def subscribe_membership(self, callback: Callable[[str, int], None]) -> None:
+        """Hear about elastic membership: *callback(kind, worker_index)*
+        with kind ``"join"`` (node commissioned), ``"drain"``
+        (decommission started) or ``"drained"`` (decommission done)."""
+        self._membership_subscribers.append(callback)
+
+    def unsubscribe_membership(self, callback: Callable[[str, int], None]) -> None:
+        if callback in self._membership_subscribers:
+            self._membership_subscribers.remove(callback)
 
     def attempt_doom(self, job_id: str, task_id: str, attempt: int) -> Optional[float]:
         """Decide whether this attempt fails part-way through.
@@ -345,11 +609,77 @@ class FaultInjector:
         # interrupt everything running there — the attempt bodies own the
         # cleanup (slots, memory, partial output)
         doomed = list(self._registered.get(worker_index, ()))
-        self._registered[worker_index] = set()
+        self._registered[worker_index] = {}
         for process in doomed:
             process.interrupt(cause=("node-crash", worker_index))
-        for callback in list(self._crash_subscribers):
+        for callback in list(self._immediate_subscribers):
             callback(worker_index)
+        if self.monitor is None:
+            # no failure detector: fall back to oracle-instant delivery
+            self._notify_deferred(worker_index)
+
+    def _notify_deferred(self, worker_index: int) -> None:
+        for callback in list(self._deferred_subscribers):
+            callback(worker_index)
+
+    def _notify_membership(self, kind: str, worker_index: int) -> None:
+        for callback in list(self._membership_subscribers):
+            callback(kind, worker_index)
+
+    def _scale_up(self, worker_hint: int) -> None:
+        workers = self.cluster.workers
+        if worker_hint < len(workers):
+            # re-commission an existing (typically drained) worker
+            node = workers[worker_hint]
+            index = worker_hint
+            if node.schedulable:
+                return
+            node.draining = False
+            if not node.alive:
+                node.alive = True
+            self._record("node-join", worker=index, node=node.name,
+                         rejoin=True)
+        else:
+            node = self.cluster.add_node()
+            index = len(self.cluster.workers) - 1
+            if self.monitor is not None:
+                self.monitor.track(index)
+            self._record("node-join", worker=index, node=node.name,
+                         rejoin=False)
+        if self.metrics is not None:
+            self.metrics.counter("cluster.nodes.joined").add(1)
+        self._refresh_alive_gauge()
+        self._notify_membership("join", index)
+
+    def _drain(self, worker_index: int) -> None:
+        workers = self.cluster.workers
+        if worker_index >= len(workers):
+            return
+        node = workers[worker_index]
+        if node.draining or not node.alive:
+            return
+        node.draining = True
+        self._record("drain-start", worker=worker_index, node=node.name)
+        if self.metrics is not None:
+            self.metrics.counter("cluster.nodes.draining").add(1)
+        self._notify_membership("drain", worker_index)
+        self.sim.call_at(
+            self.sim.now + self.DRAIN_POLL_SECONDS, self._drain_poll,
+            worker_index, daemon=True,
+        )
+
+    def _drain_poll(self, worker_index: int) -> None:
+        node = self.cluster.workers[worker_index]
+        if not node.draining:
+            return  # re-commissioned by a scale-up mid-drain
+        if self._registered.get(worker_index) or node.slots.in_use > 0:
+            self.sim.call_at(
+                self.sim.now + self.DRAIN_POLL_SECONDS, self._drain_poll,
+                worker_index, daemon=True,
+            )
+            return
+        self._record("node-drained", worker=worker_index, node=node.name)
+        self._notify_membership("drained", worker_index)
 
     def _recover(self, worker_index: int) -> None:
         node = self.cluster.workers[worker_index % len(self.cluster.workers)]

@@ -224,6 +224,20 @@ class LeaseManager:
         if event.triggered:
             self.release(pool, owner)
 
+    def cancel_gang(self, event: Event,
+                    owner: Optional[LeaseOwner] = None) -> None:
+        """Withdraw a pending ``acquire_gang`` whose waiter was
+        interrupted (deadline/abort).  If the gang was already granted,
+        every still-unclaimed slot is returned instead — checked-out
+        slots remain the owning tasks' duty, exactly as on the normal
+        cleanup path."""
+        request = self._by_event.pop(event, None)
+        if request is not None:
+            self._pending.remove(request)
+            return
+        if event.triggered and isinstance(event.value, GangLease):
+            event.value.release_unclaimed()
+
     # -- gang leases ---------------------------------------------------------
     def acquire_gang(self, wants: Sequence[Tuple[SlotPool, int]],
                      owner: Optional[LeaseOwner] = None) -> Event:
