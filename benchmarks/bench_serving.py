@@ -1,0 +1,162 @@
+"""Traffic-at-scale serving benchmark: open-loop arrivals per policy.
+
+Generates the same seeded open-loop arrival schedule (bursty process,
+Zipf-skewed popularity over the read-only HiBench mix, thousands of
+client sessions spread over scheduler pools) and replays it against a
+fresh shared cluster under each admission policy.  Reported per policy:
+
+* **p50/p95/p99 submit-to-finish latency** (simulated seconds);
+* **queue depth over time** (peak, mean, decimated series);
+* **rejection rate** — arrivals bounced by pool admission control;
+* **deadline-miss rate** — queries past their submit-relative budget.
+
+The full run offers >=10k queries to a >=100-node simulated cluster
+(``--guard-seconds`` bounds the harness wall clock so a kernel
+regression shows up as a failure, not a hang); ``--smoke`` is the small
+CI gate.  Standalone::
+
+    python benchmarks/bench_serving.py [--smoke] [--guard-seconds N]
+                                       [--output OUT.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))  # benchhelpers
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:  # runnable without an installed package
+    sys.path.insert(0, _SRC)
+
+from benchhelpers import results_path  # noqa: E402
+
+from repro import connect  # noqa: E402
+from repro.common.config import (  # noqa: E402
+    HEARTBEAT_ENABLED,
+    SCHED_MAX_CONCURRENT,
+    SCHED_POLICY,
+    SCHED_POOLS,
+)
+from repro.sched import POLICIES  # noqa: E402
+from repro.workloads.serving import (  # noqa: E402
+    ServingConfig,
+    generate_arrivals,
+    load_serving_warehouse,
+    run_serving,
+)
+
+ENGINE = "llap"  # the serving engine: daemons + caches soak up repeats
+POOL_WEIGHTS = {"bi": 3.0, "etl": 1.0, "adhoc": 2.0}
+POOLS = ("bi:weight=3,cap=24,queue=256; etl:weight=1,cap=8,queue=48; "
+         "adhoc:weight=2,cap=16,queue=96")
+SMOKE_POOLS = ("bi:weight=3,cap=6,queue=24; etl:weight=1,cap=2,queue=8; "
+               "adhoc:weight=2,cap=4,queue=12")
+
+
+def serving_config(smoke: bool) -> ServingConfig:
+    if smoke:
+        return ServingConfig(
+            num_queries=300, num_sessions=60, process="bursty", rate=2.5,
+            burst_factor=3.0, burst_fraction=0.25, burst_cycle=30.0,
+            zipf_s=1.1, pool_weights=POOL_WEIGHTS,
+            deadline=45.0, deadline_fraction=0.15, seed=11,
+        )
+    return ServingConfig(
+        num_queries=4000, num_sessions=2000, process="bursty", rate=8.0,
+        burst_factor=3.0, burst_fraction=0.25, burst_cycle=60.0,
+        zipf_s=1.1, pool_weights=POOL_WEIGHTS,
+        deadline=60.0, deadline_fraction=0.15, seed=11,
+    )
+
+
+def run_policy(policy: str, smoke: bool, arrivals):
+    num_workers = 20 if smoke else 100  # +1 master node = 21 / 101 nodes
+    conf = {
+        HEARTBEAT_ENABLED: False,  # 1 tick x 100 workers adds nothing here
+        SCHED_POLICY: policy,
+        SCHED_POOLS: SMOKE_POOLS if smoke else POOLS,
+        SCHED_MAX_CONCURRENT: 12 if smoke else 48,
+    }
+    with connect(engine=ENGINE, num_workers=num_workers, conf=conf) as session:
+        load_serving_warehouse(
+            session.hdfs, session.metastore,
+            nominal_gb=0.5 if smoke else 2.0,
+            sample_uservisits=1000 if smoke else 4000,
+        )
+        return run_serving(session, arrivals)
+
+
+def run(smoke: bool):
+    config = serving_config(smoke)
+    arrivals = generate_arrivals(config)
+    report = {
+        "engine": ENGINE,
+        "nodes": (20 if smoke else 100) + 1,
+        "offered_per_policy": config.num_queries,
+        "sessions": config.num_sessions,
+        "arrival_process": config.process,
+        "mean_rate_qps": config.rate,
+        "zipf_s": config.zipf_s,
+        "policies": {},
+    }
+    for policy in POLICIES:
+        report["policies"][policy] = run_policy(policy, smoke, arrivals).to_dict()
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small cluster + fewer queries (CI gate)")
+    parser.add_argument("--guard-seconds", type=float, default=600.0,
+                        help="fail if the harness wall clock exceeds this")
+    parser.add_argument("--output", default=results_path("BENCH_serving.json"),
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    report = run(args.smoke)
+    wall = time.monotonic() - started
+    report["wall_clock_seconds"] = round(wall, 3)
+
+    header = (f"{'policy':>10} {'p50':>8} {'p95':>8} {'p99':>8} "
+              f"{'qpeak':>6} {'rej%':>6} {'miss%':>6} {'qps':>8}")
+    print(header)
+    for policy, cell in report["policies"].items():
+        print(f"{policy:>10} {cell['latency_p50']:>8.2f} "
+              f"{cell['latency_p95']:>8.2f} {cell['latency_p99']:>8.2f} "
+              f"{cell['queue_depth_peak']:>6d} "
+              f"{100 * cell['rejection_rate']:>6.2f} "
+              f"{100 * cell['deadline_miss_rate']:>6.2f} "
+              f"{cell['throughput_qps']:>8.2f}")
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"\nwrote {args.output} ({wall:.1f}s wall clock)")
+
+    total = sum(cell["offered"] for cell in report["policies"].values())
+    completed = sum(cell["succeeded"] for cell in report["policies"].values())
+    if not args.smoke and total < 10_000:
+        print(f"FAIL: offered only {total} queries (< 10k)", file=sys.stderr)
+        return 1
+    if completed == 0:
+        print("FAIL: no query completed", file=sys.stderr)
+        return 1
+    for policy, cell in report["policies"].items():
+        if cell["latency_p99"] is None:
+            print(f"FAIL: {policy} produced no latency percentiles",
+                  file=sys.stderr)
+            return 1
+    if wall > args.guard_seconds:
+        print(f"FAIL: wall clock {wall:.1f}s exceeded guard "
+              f"{args.guard_seconds:.0f}s", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

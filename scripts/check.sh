@@ -50,6 +50,15 @@ echo "== chaos smoke (seeded fault schedules, four invariants) =="
 python benchmarks/bench_chaos.py --smoke --guard-seconds 120 \
     --output "$(mktemp -d)/BENCH_chaos_smoke.json"
 
+echo "== serving smoke (open-loop traffic, SLO metrics per policy) =="
+# Seeded bursty arrivals (Zipf-skewed query mix, sessions over pools)
+# replayed under every admission policy on a small llap cluster; fails
+# unless every policy reports latency percentiles and at least one
+# query completes.  The wall-clock guard only trips on order-of-
+# magnitude kernel regressions (or a stuck scheduler).
+python benchmarks/bench_serving.py --smoke --guard-seconds 60 \
+    --output "$(mktemp -d)/BENCH_serving_smoke.json"
+
 if [[ "${CHECK_CHAOS_FULL:-0}" == "1" ]]; then
     echo "== chaos full (>=25 schedules + replay determinism) =="
     # Full sweep (9 seeds x 3 engines plus a replay pass per engine)
@@ -74,6 +83,19 @@ if [[ "${CHECK_CONCURRENCY_FULL:-0}" == "1" ]]; then
     # policy comparison to results/.  Opt-in because it takes a while;
     # run it before committing scheduler- or lease-sensitive changes.
     python benchmarks/bench_concurrency.py
+fi
+
+if [[ "${CHECK_SERVING_FULL:-0}" == "1" ]]; then
+    echo "== serving full (>=10k queries on a 101-node cluster + soak) =="
+    # Full traffic run (3 policies x 4000 queries, 2000 sessions)
+    # writing the committed SLO report to results/BENCH_serving.json,
+    # plus the long-run soak test (liveness, clean ledger, stable RSS
+    # across thousands of queries with deadlines and cancellations).
+    # Opt-in because it takes a while; run it before committing kernel-,
+    # scheduler- or lease-sensitive changes.
+    python benchmarks/bench_serving.py --guard-seconds 600
+    CHECK_SERVING_FULL=1 PYTHONPATH=src python -m pytest \
+        tests/test_serving.py::TestServingSoak -q
 fi
 
 if [[ "${CHECK_PERF_FULL:-0}" == "1" ]]; then

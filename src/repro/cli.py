@@ -26,6 +26,7 @@ from typing import List, Optional
 from repro import connect, make_warehouse
 from repro.common.config import (
     FAULT_SPEC,
+    LEASE_AUDIT,
     LLAP_CACHE_MB,
     QUERY_DEADLINE,
     RESULT_CACHE_ENABLED,
@@ -97,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="declare a scheduling pool, e.g. "
                              "'etl:weight=2,cap=1,queue=4' (repeatable; the "
                              "first one becomes the submit pool)")
+    parser.add_argument("--lease-audit", action="store_true",
+                        help="record the per-slot lease event trail "
+                             "(repro.lease.audit; aggregate accounting "
+                             "is always on)")
     parser.add_argument("--llap-cache-mb", type=float, metavar="MB",
                         help="per-node decoded-stripe cache capacity for "
                              "--engine llap (repro.llap.cache.mb)")
@@ -176,16 +181,20 @@ def run_concurrent(sessions, statements: List[str], quiet: bool,
                     trace_roots.append(result.trace)
         if not quiet:
             summary = session.scheduler.summary()
-            latencies = summary["latencies"]
-            p50 = latencies[len(latencies) // 2] if latencies else 0.0
-            print(
+            p50 = summary["latency_p50"] or 0.0
+            p99 = summary["latency_p99"] or 0.0
+            line = (
                 f"[{engine_name}] {summary['queries']} quer(ies) under "
                 f"{summary['policy']}: makespan "
                 f"{format_duration(summary['makespan'])}, p50 latency "
-                f"{format_duration(p50)}, fairness "
-                f"{summary['fairness']:.3f}",
-                file=sys.stderr,
+                f"{format_duration(p50)}, p99 {format_duration(p99)}, "
+                f"fairness {summary['fairness']:.3f}"
             )
+            if summary["rejected"]:
+                line += f", rejected {summary['rejected']}"
+            if summary["peak_queue_depth"]:
+                line += f", peak queue {summary['peak_queue_depth']}"
+            print(line, file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -212,6 +221,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             session.conf.set(RESULT_CACHE_ENTRIES, args.result_cache_entries)
         if args.no_result_cache:
             session.conf.set(RESULT_CACHE_ENABLED, False)
+        if args.lease_audit:
+            session.conf.set(LEASE_AUDIT, True)
         if concurrent:
             session.conf.set(SCHED_POLICY, args.scheduler or "fifo")
             session.conf.set(SCHED_MAX_CONCURRENT, args.concurrency)

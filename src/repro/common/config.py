@@ -50,6 +50,7 @@ HEARTBEAT_INTERVAL = "repro.heartbeat.interval"  # seconds between beats
 HEARTBEAT_SUSPECT = "repro.heartbeat.suspect"  # silence before suspicion
 HEARTBEAT_TIMEOUT = "repro.heartbeat.timeout"  # silence before declared dead
 QUERY_DEADLINE = "repro.query.deadline"  # seconds per query (0 = no deadline)
+LEASE_AUDIT = "repro.lease.audit"  # record the per-slot lease event trail
 BREAKER_THRESHOLD = "repro.breaker.threshold"  # consecutive failures (0 = off)
 BREAKER_COOLDOWN = "repro.breaker.cooldown"  # seconds a tripped breaker stays open
 

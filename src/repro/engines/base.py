@@ -20,6 +20,7 @@ from repro.common.config import (
     HEARTBEAT_SUSPECT,
     HEARTBEAT_TIMEOUT,
     HIVE_DATAMPI_PARALLELISM,
+    LEASE_AUDIT,
 )
 from repro.common.errors import ExecutionError
 from repro.common.kv import KeyValue
@@ -614,7 +615,10 @@ class EngineRuntime:
         # pool lists, so growth must append in place before any placement
         # can index the new worker
         self.cluster.on_join(self._grow_aux_slots)
-        self.leases = LeaseManager(self.sim, policy=lease_policy)
+        self.leases = LeaseManager(
+            self.sim, policy=lease_policy,
+            audit=conf.get_bool(LEASE_AUDIT, False),
+        )
         self.sampler = MetricsSampler(self.cluster) if with_metrics else None
         if self.sampler is not None:
             self.sampler.start()

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.common.rng import derive_rng
+
 
 class Counter:
     """Monotonically increasing total (e.g. shuffle bytes)."""
@@ -56,9 +58,20 @@ class Gauge:
 
 class Histogram:
     """Streaming distribution: count/sum/min/max plus a bounded sample
-    reservoir for percentiles (first *max_samples* observations)."""
+    reservoir for percentiles.
 
-    __slots__ = ("name", "count", "total", "min", "max", "max_samples", "_samples")
+    The reservoir is Vitter's Algorithm R: once full, observation *i*
+    replaces a random slot with probability ``max_samples / i``, so the
+    retained set is a uniform sample of the *whole* stream.  (Keeping
+    just the first *max_samples* observations — the previous behaviour —
+    froze percentiles at warm-up: a long run whose latency shifted after
+    the reservoir filled still reported the early distribution.)  The
+    replacement RNG is seeded from the histogram name, so runs are
+    deterministic.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "max_samples",
+                 "_samples", "_rng")
 
     def __init__(self, name: str, max_samples: int = 4096):
         self.name = name
@@ -68,6 +81,7 @@ class Histogram:
         self.max: Optional[float] = None
         self.max_samples = max_samples
         self._samples: List[float] = []
+        self._rng = derive_rng("obs.histogram", name, max_samples)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -76,6 +90,10 @@ class Histogram:
         self.max = value if self.max is None else max(self.max, value)
         if len(self._samples) < self.max_samples:
             self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
 
     @property
     def mean(self) -> Optional[float]:
@@ -130,6 +148,9 @@ class MetricsRegistry:
                 out[f"{name}.mean"] = histogram.mean
                 out[f"{name}.min"] = histogram.min
                 out[f"{name}.max"] = histogram.max
+                out[f"{name}.p50"] = histogram.percentile(50)
+                out[f"{name}.p95"] = histogram.percentile(95)
+                out[f"{name}.p99"] = histogram.percentile(99)
         return out
 
     def reset(self) -> None:

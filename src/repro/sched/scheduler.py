@@ -22,8 +22,9 @@ same event order, timings and results.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro import engines as engine_registry
 from repro.common.config import (
@@ -306,10 +307,13 @@ class WorkloadScheduler:
         #: scheduling order — the concurrency suite replays and compares it
         self.events: List[Tuple[float, str, str, str]] = []
         self.handles: List[QueryHandle] = []
-        self._waiting: List[QueryHandle] = []
+        self._waiting: Deque[QueryHandle] = deque()
+        self._queued_by_pool: Dict[str, int] = {}
         self._running_by_pool: Dict[str, int] = {}
         self._running_total = 0
         self._counter = 0
+        self.rejected = 0
+        self.peak_queue_depth = 0
         self._fallback_engines: Dict[str, Engine] = {}
         self._breaker_threshold = max(
             0, driver.conf.get_int(BREAKER_THRESHOLD, 0)
@@ -362,10 +366,18 @@ class WorkloadScheduler:
         self._check_admission(pool_obj, handle)
         self.handles.append(handle)
         self._waiting.append(handle)
+        self._queued_by_pool[pool_obj.name] = (
+            self._queued_by_pool.get(pool_obj.name, 0) + 1
+        )
         self._log("submit", handle)
         self.runtime.sim.spawn(self._query_process(handle), handle.query_id)
         self._pump()
         return handle
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries submitted but not yet admitted (nor cancelled)."""
+        return len(self._waiting)
 
     def _resolve_pool(self, pool: Optional[str]) -> Pool:
         name = pool or self.default_pool
@@ -382,8 +394,10 @@ class WorkloadScheduler:
         running = self._running_by_pool.get(pool.name, 0)
         if running < pool.max_concurrent:
             return
-        queued = sum(1 for waiting in self._waiting if waiting.pool == pool.name)
+        queued = self._queued_by_pool.get(pool.name, 0)
         if pool.max_queue is not None and queued >= pool.max_queue:
+            self.rejected += 1
+            get_metrics().counter("sched.admission.rejected").add(1)
             self.events.append(
                 (self.runtime.sim.now, "reject", handle.query_id, pool.name)
             )
@@ -418,12 +432,29 @@ class WorkloadScheduler:
 
     def _pump(self) -> None:
         """Admit waiting queries, in submission order, as capacity allows
-        (a full pool never blocks a later submission to another pool)."""
-        for handle in list(self._waiting):
+        (a full pool never blocks a later submission to another pool).
+
+        The waiting list is a deque: the common serving case — head of
+        the queue admitted, or nothing admissible — never rebuilds the
+        whole list, and the loop stops as soon as the *global* cap is
+        reached instead of re-checking every queued query.
+        """
+        depth = len(self._waiting)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+        if not self._waiting:
+            return
+        waiting = self._waiting
+        skipped: Deque[QueryHandle] = deque()
+        while waiting:
+            if self.max_concurrent and self._running_total >= self.max_concurrent:
+                break  # global cap: nothing more fits until a finish
+            handle = waiting.popleft()
             pool = self.pools[handle.pool]
             if not self._fits(pool):
+                skipped.append(handle)  # pool-capped; later pools may fit
                 continue
-            self._waiting.remove(handle)
+            self._queued_by_pool[pool.name] -= 1
             self._running_by_pool[pool.name] = (
                 self._running_by_pool.get(pool.name, 0) + 1
             )
@@ -432,6 +463,10 @@ class WorkloadScheduler:
             handle._status = RUNNING
             self._log("admit", handle)
             handle._start_event.trigger(None)
+        if skipped:
+            skipped.extend(waiting)
+            self._waiting = skipped
+        get_metrics().gauge("sched.queue.depth").set(len(self._waiting))
 
     def _cancel(self, handle: QueryHandle) -> bool:
         if handle._status != QUEUED:
@@ -441,6 +476,7 @@ class WorkloadScheduler:
         handle.finished_at = self.runtime.sim.now
         if handle in self._waiting:
             self._waiting.remove(handle)
+            self._queued_by_pool[handle.pool] -= 1
         self._log("cancel", handle)
         handle._start_event.trigger(None)  # wake the process so it exits
         return True
@@ -448,6 +484,8 @@ class WorkloadScheduler:
     def _finish(self, handle: QueryHandle) -> None:
         self._running_by_pool[handle.pool] -= 1
         self._running_total -= 1
+        if handle.latency is not None:
+            get_metrics().histogram("sched.query.latency").observe(handle.latency)
         self._pump()
 
     def _log(self, action: str, handle: QueryHandle) -> None:
@@ -499,8 +537,14 @@ class WorkloadScheduler:
         child = sim.spawn(self._guarded_body(handle),
                           f"{handle.query_id}-body")
         remaining = max(0.0, handle.submitted_at + handle.deadline - sim.now)
-        yield sim.any_of([child, sim.timeout(remaining)])
+        timer = sim.timeout(remaining)
+        yield sim.any_of([child, timer])
         if child.triggered:
+            # withdraw the losing deadline timer: an orphaned timer is
+            # regular pending work, so across thousands of queries it
+            # both bloats the agenda and pins the simulation clock to
+            # the *last* deadline instead of the last real finish
+            timer.cancel()
             return
         handle.deadline_missed = True
         get_metrics().counter("sched.deadline.misses").add(1)
@@ -687,14 +731,27 @@ class WorkloadScheduler:
             h.latency for h in finished if h._status == SUCCEEDED
         )
         ledger = self.runtime.leases.ledger
+
+        def nearest_rank(q: float) -> Optional[float]:
+            if not latencies:
+                return None
+            rank = min(len(latencies) - 1,
+                       max(0, int(round(q / 100.0 * (len(latencies) - 1)))))
+            return latencies[rank]
+
         return {
             "policy": self.policy,
             "queries": len(self.handles),
             "succeeded": sum(1 for h in self.handles if h._status == SUCCEEDED),
             "failed": sum(1 for h in self.handles if h._status == FAILED),
             "cancelled": sum(1 for h in self.handles if h._status == CANCELLED),
+            "rejected": self.rejected,
             "makespan": self.runtime.sim.now,
             "latencies": latencies,
+            "latency_p50": nearest_rank(50),
+            "latency_p95": nearest_rank(95),
+            "latency_p99": nearest_rank(99),
+            "peak_queue_depth": self.peak_queue_depth,
             "fairness": jain_fairness_index(latencies),
             "deadline_misses": sum(
                 1 for h in self.handles if h.deadline_missed

@@ -190,10 +190,18 @@ def assert_clean_ledger(ledger: LeaseLedger,
     negative (a double release); and no owner outside
     *allowed_holders* still holds a slot (a lost slot — the task died
     without its lease being returned).
+
+    The balance check reads the ledger's O(1) aggregate counters
+    (``negative_balance``), so it holds whether or not the per-slot
+    event trail was recorded (``repro.lease.audit``); when events *are*
+    present — an audited run, or a trail assembled by hand in tests —
+    they are replayed too.
     """
     over = ledger.oversubscribed_pools()
     if over:
         raise ChaosInvariantError(f"oversubscribed pools: {over}")
+    if ledger.negative_balance is not None:
+        raise ChaosInvariantError(ledger.negative_balance)
     balance: Dict[str, int] = {}
     for time, action, pool, query in ledger.events:
         delta = 1 if action == "grant" else -1

@@ -23,9 +23,16 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional, Tuple
 
 from repro.common.errors import ExecutionError
+
+# Compact the agenda heap once at least this many cancelled entries are
+# buried in it *and* they make up at least half of the heap.  The floor
+# keeps small simulations on the cheap lazy-skip path; the fraction
+# bounds the heap at ~2x the live entry count for cancel-heavy
+# workloads (deadline timers, bandwidth rescheduling).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Interrupt(Exception):
@@ -42,13 +49,21 @@ class Event:
     An event is *triggered* at most once, carrying an optional value.
     Callbacks added after triggering fire immediately (at the current
     simulated instant), which makes waiting race-free.
+
+    Callbacks are stored as ``(callable, extra_args)`` pairs and invoked
+    as ``callable(value, *extra_args)``.  Passing context through
+    *extra_args* instead of a fresh closure keeps registration cheap and
+    — more importantly — makes callbacks *removable*: a waiter that
+    abandons the event (an interrupted process, an ``AnyOf`` race whose
+    winner was someone else) can detach itself so long-lived events do
+    not accumulate stale entries across thousands of waits.
     """
 
     __slots__ = ("sim", "_callbacks", "triggered", "value")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._callbacks: List[Callable[[Any], None]] = []
+        self._callbacks: List[Tuple[Callable[..., None], tuple]] = []
         self.triggered = False
         self.value: Any = None
 
@@ -58,27 +73,54 @@ class Event:
         self.triggered = True
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.sim.call_soon(callback, value)
+        for callback, extra in callbacks:
+            self.sim.call_soon(callback, value, *extra)
         return self
 
-    def add_callback(self, callback: Callable[[Any], None]) -> None:
+    def add_callback(self, callback: Callable[..., None], *extra: Any) -> None:
         if self.triggered:
-            self.sim.call_soon(callback, self.value)
+            self.sim.call_soon(callback, self.value, *extra)
         else:
-            self._callbacks.append(callback)
+            self._callbacks.append((callback, extra))
+
+    def remove_callback(self, callback: Callable[..., None], *extra: Any) -> None:
+        """Detach a previously added callback (no-op when absent).
+
+        Only callbacks that would be no-ops may be removed — removal
+        never reorders the survivors, so deterministic callback FIFO
+        order is preserved.
+        """
+        try:
+            self._callbacks.remove((callback, extra))
+        except ValueError:
+            pass
+
+    @property
+    def callback_count(self) -> int:
+        """Number of callbacks still registered (leak introspection)."""
+        return len(self._callbacks)
 
 
 class Timeout(Event):
     """An event that triggers *delay* seconds in the future."""
 
-    __slots__ = ()
+    __slots__ = ("handle",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         super().__init__(sim)
         if delay < 0:
             raise ExecutionError(f"negative timeout: {delay}")
-        sim.call_at(sim.now + delay, self.trigger, value)
+        self.handle = sim.call_at(sim.now + delay, self.trigger, value)
+
+    def cancel(self) -> None:
+        """Withdraw the pending trigger (no-op once fired).
+
+        A race loser (e.g. an orphaned deadline timer) that is never
+        cancelled keeps its agenda entry as regular pending work, so the
+        simulation cannot stop before the timer's due time even though
+        nobody is waiting — cancel it to release the agenda immediately.
+        """
+        self.sim.cancel(self.handle)
 
 
 class AllOf(Event):
@@ -95,37 +137,40 @@ class AllOf(Event):
             self.trigger([])
             return
         for position, event in enumerate(events):
-            event.add_callback(self._make_child_callback(position))
+            event.add_callback(self._on_child, position)
 
-    def _make_child_callback(self, position: int) -> Callable[[Any], None]:
-        def on_child(value: Any) -> None:
-            self._values[position] = value
-            self._pending -= 1
-            if self._pending == 0 and not self.triggered:
-                self.trigger(list(self._values))
-
-        return on_child
+    def _on_child(self, value: Any, position: int) -> None:
+        self._values[position] = value
+        self._pending -= 1
+        if self._pending == 0 and not self.triggered:
+            self.trigger(list(self._values))
 
 
 class AnyOf(Event):
     """Triggers when the first child triggers; value is (index, value)."""
 
-    __slots__ = ()
+    __slots__ = ("_children",)
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         events = list(events)
         if not events:
             raise ExecutionError("AnyOf requires at least one event")
+        self._children: List[Event] = events
         for position, event in enumerate(events):
-            event.add_callback(self._make_child_callback(position))
+            event.add_callback(self._on_child, position)
 
-    def _make_child_callback(self, position: int) -> Callable[[Any], None]:
-        def on_child(value: Any) -> None:
-            if not self.triggered:
-                self.trigger((position, value))
-
-        return on_child
+    def _on_child(self, value: Any, position: int) -> None:
+        if self.triggered:
+            return
+        self.trigger((position, value))
+        # The race is decided: detach from every loser so repeated races
+        # against a long-lived event (per-query deadline guards, session
+        # shutdown latches) do not pile stale callbacks onto it.
+        children, self._children = self._children, []
+        for lost, child in enumerate(children):
+            if lost != position and not child.triggered:
+                child.remove_callback(self._on_child, lost)
 
 
 class Process(Event):
@@ -165,7 +210,7 @@ class Process(Event):
         self._interrupt = Interrupt(cause)
         self.sim.call_soon(self._step, None)
 
-    def _wakeup(self, event: Event) -> None:
+    def _wakeup(self, _value: Any, event: Event) -> None:
         """Wakeup callback bound to one wait target.
 
         After an interrupt the abandoned event may still fire and call
@@ -186,6 +231,14 @@ class Process(Event):
             if not waited.triggered:
                 return  # spurious call
             value = waited.value
+        elif interrupt is not None and self._waiting_on is not None:
+            # Abandoning an untriggered event: detach our wakeup so an
+            # interrupt-heavy workload does not leak one stale callback
+            # per wait onto long-lived events.  (If it already triggered
+            # the callback list was drained; the queued wakeup then hits
+            # the identity guard above and no-ops.)
+            if not self._waiting_on.triggered:
+                self._waiting_on.remove_callback(self._wakeup, self._waiting_on)
         self._waiting_on = None
         try:
             if interrupt is not None:
@@ -208,13 +261,13 @@ class Process(Event):
                 "yield Event objects"
             )
         self._waiting_on = target
-        target.add_callback(lambda _value, _event=target: self._wakeup(_event))
+        target.add_callback(self._wakeup, target)
 
 
 class ScheduledCall:
     """Handle for one agenda entry; supports O(1) cancellation."""
 
-    __slots__ = ("daemon", "callback", "args", "cancelled", "executed")
+    __slots__ = ("daemon", "callback", "args", "cancelled", "executed", "in_heap")
 
     def __init__(self, daemon: bool, callback: Callable, args: tuple):
         self.daemon = daemon
@@ -222,6 +275,7 @@ class ScheduledCall:
         self.args = args
         self.cancelled = False
         self.executed = False
+        self.in_heap = False
 
 
 class Simulator:
@@ -245,6 +299,12 @@ class Simulator:
         self._sequence = 0
         self._process_count = 0
         self._pending_regular = 0
+        self._cancelled_in_agenda = 0
+
+    @property
+    def agenda_size(self) -> int:
+        """Heap entries still held (live plus not-yet-compacted dead)."""
+        return len(self._agenda)
 
     # -- scheduling primitives ----------------------------------------------
     def call_at(
@@ -265,6 +325,7 @@ class Simulator:
             self._soon.append(handle)
         else:
             self._sequence += 1
+            handle.in_heap = True
             heapq.heappush(self._agenda, (when, self._sequence, handle))
         return handle
 
@@ -275,12 +336,38 @@ class Simulator:
         pending-work counter was consumed when the call executed, so a
         post-fire cancel must not decrement it again (that would make
         :meth:`run` stop early with regular work still on the agenda).
+
+        Lazily-cancelled heap entries are counted, and once they are
+        both numerous (>= ``_COMPACT_MIN_CANCELLED``) and the majority
+        of the heap, the agenda is compacted in one O(n) pass — without
+        this, cancel-heavy workloads (10k deadline timers, bandwidth
+        rescheduling) grow the heap without bound and every push/pop
+        pays log of the garbage, not log of the live work.
         """
         if handle.cancelled or handle.executed:
             return
         handle.cancelled = True
         if not handle.daemon:
             self._pending_regular -= 1
+        if handle.in_heap:
+            self._cancelled_in_agenda += 1
+            if (
+                self._cancelled_in_agenda >= _COMPACT_MIN_CANCELLED
+                and self._cancelled_in_agenda * 2 >= len(self._agenda)
+            ):
+                self._compact_agenda()
+
+    def _compact_agenda(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Determinism-safe: pop order of a binary heap is the sorted order
+        of its ``(when, sequence)`` keys, which filtering dead entries
+        does not change.  The list is mutated *in place* — :meth:`run`
+        holds a local alias to it, so rebinding would fork the agenda.
+        """
+        self._agenda[:] = [entry for entry in self._agenda if not entry[2].cancelled]
+        heapq.heapify(self._agenda)
+        self._cancelled_in_agenda = 0
 
     def call_soon(self, callback: Callable, *args: Any) -> ScheduledCall:
         """Schedule *callback(*args)* at the current instant (FIFO)."""
@@ -328,6 +415,7 @@ class Simulator:
                 else:
                     if handle.cancelled:
                         heappop(agenda)  # skip without touching the clock
+                        self._cancelled_in_agenda -= 1
                         continue
                     if until is not None and when > until:
                         self.now = until
@@ -339,6 +427,8 @@ class Simulator:
             else:
                 break
             if handle.cancelled:
+                if handle.in_heap:
+                    self._cancelled_in_agenda -= 1
                 continue
             handle.executed = True
             if not handle.daemon:

@@ -76,19 +76,34 @@ class OwnerUsage:
 class LeaseLedger:
     """Everything the lease manager observed, for tests and attribution.
 
-    ``events`` is the deterministic audit trail ((time, action, pool,
-    query) tuples in grant/release order); ``max_in_use`` per pool never
-    exceeding ``capacity`` is the no-oversubscription invariant;
-    ``gang_grants`` records each atomic gang grant with its full slot
-    set (all-or-nothing evidence).
+    Aggregate accounting is always on and O(1) per grant/release:
+    ``grant_counts`` / ``release_counts`` per pool, a running
+    outstanding balance whose first dip below zero is captured in
+    ``negative_balance`` (a release-before-grant), ``max_in_use`` per
+    pool never exceeding ``capacity`` (the no-oversubscription
+    invariant), per-owner :class:`OwnerUsage` rows, and ``gang_grants``
+    recording each atomic gang grant with its full slot set
+    (all-or-nothing evidence).
+
+    The full per-slot event trail — ``events`` as (time, action, pool,
+    query) tuples in grant/release order — is **opt-in** via
+    ``audit=True`` (config key ``repro.lease.audit``): a serving run
+    completing tens of thousands of queries would otherwise grow the
+    list without bound.  ``assert_clean_ledger`` checks the aggregates,
+    so the invariants hold with auditing off.
     """
 
-    def __init__(self):
+    def __init__(self, audit: bool = False):
+        self.audit = audit
         self.events: List[Tuple[float, str, str, str]] = []
         self.max_in_use: Dict[str, int] = {}
         self.capacity: Dict[str, int] = {}
         self.usage: Dict[str, OwnerUsage] = {}
         self.gang_grants: List[Tuple[float, str, Tuple[Tuple[str, int], ...]]] = []
+        self.grant_counts: Dict[str, int] = {}
+        self.release_counts: Dict[str, int] = {}
+        self.negative_balance: Optional[str] = None
+        self._outstanding: Dict[str, int] = {}
 
     def owner_usage(self, query_id: str) -> OwnerUsage:
         usage = self.usage.get(query_id)
@@ -100,6 +115,28 @@ class LeaseLedger:
         self.capacity.setdefault(pool.name, pool.capacity)
         if pool.in_use > self.max_in_use.get(pool.name, 0):
             self.max_in_use[pool.name] = pool.in_use
+
+    def record_grant(self, now: float, pool_name: str, query_id: str,
+                     count: int = 1) -> None:
+        self.grant_counts[pool_name] = self.grant_counts.get(pool_name, 0) + count
+        self._outstanding[pool_name] = self._outstanding.get(pool_name, 0) + count
+        if self.audit:
+            # one event per slot so grants and releases balance exactly
+            # when the trail is replayed (gang grants take several at once)
+            for _ in range(count):
+                self.events.append((now, "grant", pool_name, query_id))
+
+    def record_release(self, now: float, pool_name: str, query_id: str) -> None:
+        self.release_counts[pool_name] = self.release_counts.get(pool_name, 0) + 1
+        outstanding = self._outstanding.get(pool_name, 0) - 1
+        self._outstanding[pool_name] = outstanding
+        if outstanding < 0 and self.negative_balance is None:
+            self.negative_balance = (
+                f"pool {pool_name!r} released more slots than were granted "
+                f"(at t={now:g}, owner {query_id!r})"
+            )
+        if self.audit:
+            self.events.append((now, "release", pool_name, query_id))
 
     def oversubscribed_pools(self) -> List[str]:
         """Pools whose observed peak exceeded capacity (always empty
@@ -179,17 +216,21 @@ class LeaseManager:
     """
 
     def __init__(self, sim: Simulator, policy: str = "fifo",
-                 ledger: Optional[LeaseLedger] = None):
+                 ledger: Optional[LeaseLedger] = None, audit: bool = False):
         if policy not in ("fifo", "fair"):
             raise ExecutionError(f"unknown lease policy: {policy!r}")
         self.sim = sim
         self.policy = policy
-        self.ledger = ledger or LeaseLedger()
+        self.ledger = ledger or LeaseLedger(audit=audit)
         self._pending: List[_LeaseRequest] = []
         self._by_event: Dict[Event, _LeaseRequest] = {}
         self._seq = 0
         self._active_by_pool_group: Dict[str, int] = {}
         self._active_by_query: Dict[str, int] = {}
+        # per-pool count of queued requests wanting it, so the
+        # fast-path admission check is O(1) instead of a scan over
+        # every pending request's wants
+        self._pending_pool_wants: Dict[str, int] = {}
 
     # -- single leases -------------------------------------------------------
     def acquire(self, pool: SlotPool, owner: Optional[LeaseOwner] = None) -> Event:
@@ -219,7 +260,7 @@ class LeaseManager:
         (same contract as ``SlotPool.cancel_acquire``)."""
         request = self._by_event.pop(event, None)
         if request is not None:
-            self._pending.remove(request)
+            self._unqueue(request)
             return
         if event.triggered:
             self.release(pool, owner)
@@ -233,7 +274,7 @@ class LeaseManager:
         cleanup path."""
         request = self._by_event.pop(event, None)
         if request is not None:
-            self._pending.remove(request)
+            self._unqueue(request)
             return
         if event.triggered and isinstance(event.value, GangLease):
             event.value.release_unclaimed()
@@ -278,11 +319,7 @@ class LeaseManager:
         # A fresh request may only jump straight to a free slot when no
         # queued request wants that pool (the queued one was first);
         # requests blocked on *other* pools do not reserve this one.
-        for request in self._pending:
-            for wanted, _count in request.wants:
-                if wanted is pool:
-                    return False
-        return True
+        return self._pending_pool_wants.get(pool.name, 0) == 0
 
     def _enqueue(self, wants: List[Tuple[SlotPool, int]], owner: LeaseOwner,
                  event: Event, gang: bool) -> None:
@@ -291,6 +328,15 @@ class LeaseManager:
                                 self.sim.now, gang)
         self._pending.append(request)
         self._by_event[event] = request
+        for pool, _count in wants:
+            self._pending_pool_wants[pool.name] = (
+                self._pending_pool_wants.get(pool.name, 0) + 1
+            )
+
+    def _unqueue(self, request: _LeaseRequest) -> None:
+        self._pending.remove(request)
+        for pool, _count in request.wants:
+            self._pending_pool_wants[pool.name] -= 1
 
     def _take(self, pool: SlotPool, owner: LeaseOwner, waited: float,
               count: int = 1) -> None:
@@ -310,10 +356,7 @@ class LeaseManager:
         self._active_by_query[owner.query_id] = (
             self._active_by_query.get(owner.query_id, 0) + count
         )
-        # one event per slot so grants and releases balance exactly when
-        # the audit trail is replayed (gang grants take several at once)
-        for _ in range(count):
-            self.ledger.events.append((now, "grant", pool.name, owner.query_id))
+        self.ledger.record_grant(now, pool.name, owner.query_id, count)
 
     def _account_release(self, pool: SlotPool, owner: LeaseOwner) -> None:
         now = self.sim.now
@@ -326,7 +369,7 @@ class LeaseManager:
         self._active_by_query[owner.query_id] = (
             self._active_by_query.get(owner.query_id, 0) - 1
         )
-        self.ledger.events.append((now, "release", pool.name, owner.query_id))
+        self.ledger.record_release(now, pool.name, owner.query_id)
 
     def _request_fits(self, request: _LeaseRequest) -> bool:
         for pool, count in request.wants:
@@ -363,7 +406,7 @@ class LeaseManager:
             request = self._select()
             if request is None:
                 return
-            self._pending.remove(request)
+            self._unqueue(request)
             del self._by_event[request.event]
             waited = self.sim.now - request.requested_at
             if request.gang:

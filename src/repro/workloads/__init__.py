@@ -11,6 +11,15 @@ from repro.workloads.hibench import (
     HIBENCH_JOIN,
     hibench_ddl,
 )
+from repro.workloads.serving import (
+    Arrival,
+    SERVING_CATALOG,
+    ServingConfig,
+    ServingReport,
+    generate_arrivals,
+    load_serving_warehouse,
+    run_serving,
+)
 from repro.workloads.terasort import load_teragen, terasort_job
 
 __all__ = [
@@ -20,4 +29,11 @@ __all__ = [
     "hibench_ddl",
     "load_teragen",
     "terasort_job",
+    "Arrival",
+    "SERVING_CATALOG",
+    "ServingConfig",
+    "ServingReport",
+    "generate_arrivals",
+    "load_serving_warehouse",
+    "run_serving",
 ]

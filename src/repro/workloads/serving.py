@@ -1,0 +1,364 @@
+"""Open-loop serving workload: traffic-at-scale against the scheduler.
+
+The paper benchmarks one query at a time; a production warehouse serves
+*traffic* — queries arrive on their own clock whether or not the cluster
+has caught up (an **open loop**: arrivals never wait for completions, so
+backlogs are visible instead of self-throttled away).  This module
+generates that traffic deterministically and reports SLO metrics:
+
+* **arrival process** — seeded Poisson (exponential inter-arrivals at a
+  mean rate) or bursty (a duty cycle alternating a high-rate burst phase
+  and a low-rate lull, same long-run mean rate);
+* **popularity** — Zipf-skewed choice over a query catalog (the TPC-H /
+  HiBench mix by default), so a handful of hot queries dominate exactly
+  the way dashboard traffic does — and the way result caches get their
+  hit rates;
+* **sessions** — thousands of logical client sessions, each pinned to a
+  scheduler pool by seeded weighted choice; every arrival is some
+  session's ``Session.submit``.
+
+:func:`run_serving` drives the arrivals through one shared-cluster
+scheduler inside the simulation and distills a :class:`ServingReport`:
+p50/p95/p99 submit-to-finish latency, queue depth over time, rejection
+and deadline-miss rates — per admission policy, via
+``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import AdmissionRejectedError, ConfigError
+from repro.common.rng import derive_rng
+from repro.workloads.hibench import ZipfSampler
+
+#: Default catalog: read-only HiBench-style aggregates/joins over the
+#: hivebench tables (see :func:`load_serving_warehouse`).  SELECT forms
+#: only — concurrent INSERTs into one output table are not a serving
+#: workload, they are a write conflict.
+SERVING_CATALOG: Tuple[str, ...] = (
+    "SELECT sourceip, SUM(adrevenue) FROM uservisits GROUP BY sourceip",
+    "SELECT countrycode, count(*), sum(adrevenue) FROM uservisits "
+    "GROUP BY countrycode",
+    "SELECT searchword, avg(duration) FROM uservisits GROUP BY searchword",
+    "SELECT count(*) FROM uservisits WHERE visitdate >= '1999-07-01'",
+    "SELECT languagecode, count(*) FROM uservisits GROUP BY languagecode",
+    "SELECT avg(pagerank) FROM rankings WHERE pagerank > 500",
+    "SELECT count(*) FROM rankings",
+    "SELECT r.pageurl, r.pagerank FROM rankings r ORDER BY r.pagerank DESC "
+    "LIMIT 10",
+)
+
+
+def load_serving_warehouse(hdfs, metastore, nominal_gb: float = 2.0,
+                           sample_uservisits: int = 4000) -> None:
+    """Populate the tables :data:`SERVING_CATALOG` queries (a small
+    HiBench hivebench warehouse — serving stresses *scheduling*, so the
+    per-query work is kept modest on purpose)."""
+    from repro.workloads.hibench import load_hibench
+
+    load_hibench(hdfs, metastore, nominal_gb=nominal_gb,
+                 sample_uservisits=sample_uservisits)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Deterministic description of one serving run's traffic.
+
+    ``rate`` is the long-run mean arrival rate in queries per simulated
+    second for both processes.  Bursty traffic alternates, every
+    ``burst_cycle`` seconds, a burst phase (``burst_fraction`` of the
+    cycle at ``burst_factor`` times the mean rate) and a lull at the
+    complementary rate, so the long-run mean still equals ``rate``.
+
+    ``pool_weights`` spreads the ``num_sessions`` logical sessions over
+    scheduler pools by seeded weighted choice; every arrival inherits
+    its session's pool.  ``deadline_fraction`` of queries (seeded) carry
+    ``deadline`` simulated seconds of submit-to-finish budget.
+    """
+
+    num_queries: int = 1000
+    num_sessions: int = 200
+    process: str = "poisson"  # "poisson" | "bursty"
+    rate: float = 8.0
+    burst_factor: float = 3.0
+    burst_fraction: float = 0.25
+    burst_cycle: float = 60.0
+    zipf_s: float = 1.1
+    pool_weights: Mapping[str, float] = field(
+        default_factory=lambda: {"default": 1.0}
+    )
+    deadline: Optional[float] = None
+    deadline_fraction: float = 0.0
+    seed: int = 0
+    catalog: Sequence[str] = SERVING_CATALOG
+
+    def __post_init__(self):
+        if self.num_queries < 1:
+            raise ConfigError("serving needs at least one query")
+        if self.num_sessions < 1:
+            raise ConfigError("serving needs at least one session")
+        if self.process not in ("poisson", "bursty"):
+            raise ConfigError(
+                f"unknown arrival process {self.process!r} "
+                "(expected poisson or bursty)"
+            )
+        if self.rate <= 0:
+            raise ConfigError(f"arrival rate must be positive: {self.rate}")
+        if not self.catalog:
+            raise ConfigError("serving needs a non-empty query catalog")
+        if not self.pool_weights:
+            raise ConfigError("serving needs at least one pool weight")
+        if any(weight <= 0 for weight in self.pool_weights.values()):
+            raise ConfigError("pool weights must be positive")
+        if not 0.0 <= self.deadline_fraction <= 1.0:
+            raise ConfigError(
+                f"deadline fraction must be in [0, 1]: {self.deadline_fraction}"
+            )
+        if self.deadline_fraction > 0 and (
+            self.deadline is None or self.deadline <= 0
+        ):
+            raise ConfigError("deadline fraction needs a positive deadline")
+        if self.process == "bursty":
+            if not 0.0 < self.burst_fraction < 1.0:
+                raise ConfigError(
+                    f"burst fraction must be in (0, 1): {self.burst_fraction}"
+                )
+            if self.burst_factor <= 1.0:
+                raise ConfigError(
+                    f"burst factor must exceed 1: {self.burst_factor}"
+                )
+            if self.burst_cycle <= 0:
+                raise ConfigError(
+                    f"burst cycle must be positive: {self.burst_cycle}"
+                )
+            if self.burst_factor * self.burst_fraction >= 1.0:
+                raise ConfigError(
+                    "burst factor x fraction must stay below 1 so the lull "
+                    f"rate is positive (got {self.burst_factor} x "
+                    f"{self.burst_fraction})"
+                )
+
+    @property
+    def lull_rate(self) -> float:
+        """Lull-phase rate making the bursty long-run mean equal ``rate``."""
+        return (self.rate * (1.0 - self.burst_factor * self.burst_fraction)
+                / (1.0 - self.burst_fraction))
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One query arrival: a session submits one catalog query."""
+
+    when: float
+    session: int
+    pool: str
+    query_index: int
+    sql: str
+    deadline: Optional[float]
+
+
+def generate_arrivals(config: ServingConfig) -> List[Arrival]:
+    """The full arrival schedule, sorted by time — pure and seeded, so
+    the same config always produces the identical traffic (the serving
+    benches and the soak test replay on this)."""
+    rng_time = derive_rng("serving.arrivals", config.seed, config.process)
+    rng_query = derive_rng("serving.popularity", config.seed)
+    rng_session = derive_rng("serving.sessions", config.seed)
+    rng_deadline = derive_rng("serving.deadlines", config.seed)
+
+    pools = list(config.pool_weights)
+    weights = [config.pool_weights[name] for name in pools]
+    session_pools = rng_session.choices(pools, weights=weights,
+                                        k=config.num_sessions)
+    zipf = ZipfSampler(len(config.catalog), config.zipf_s, rng_query)
+
+    arrivals: List[Arrival] = []
+    now = 0.0
+    for _ in range(config.num_queries):
+        now += rng_time.expovariate(self_rate(config, now))
+        session = rng_session.randrange(config.num_sessions)
+        query_index = zipf.sample()
+        deadline = None
+        if config.deadline_fraction > 0 and (
+            rng_deadline.random() < config.deadline_fraction
+        ):
+            deadline = config.deadline
+        arrivals.append(Arrival(
+            when=now,
+            session=session,
+            pool=session_pools[session],
+            query_index=query_index,
+            sql=config.catalog[query_index],
+            deadline=deadline,
+        ))
+    return arrivals
+
+
+def self_rate(config: ServingConfig, now: float) -> float:
+    """Instantaneous arrival rate at simulated time *now*."""
+    if config.process == "poisson":
+        return config.rate
+    phase = now % config.burst_cycle
+    if phase < config.burst_fraction * config.burst_cycle:
+        return config.rate * config.burst_factor
+    return config.lull_rate
+
+
+def _nearest_rank(ordered: Sequence[float], q: float) -> Optional[float]:
+    if not ordered:
+        return None
+    rank = min(len(ordered) - 1,
+               max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _decimate(samples: List[Tuple[float, int]],
+              limit: int) -> List[Tuple[float, int]]:
+    if len(samples) <= limit:
+        return list(samples)
+    stride = (len(samples) + limit - 1) // limit
+    kept = samples[::stride]
+    if kept[-1] != samples[-1]:
+        kept.append(samples[-1])
+    return kept
+
+
+@dataclass
+class ServingReport:
+    """SLO metrics for one serving run under one admission policy."""
+
+    engine: str
+    policy: str
+    offered: int                      # arrivals generated
+    submitted: int                    # accepted by admission control
+    rejected: int
+    succeeded: int
+    failed: int
+    cancelled: int
+    deadline_misses: int
+    makespan: float                   # simulated seconds, last finish
+    latency_p50: Optional[float]      # submit-to-finish, succeeded queries
+    latency_p95: Optional[float]
+    latency_p99: Optional[float]
+    latency_mean: Optional[float]
+    latency_max: Optional[float]
+    queue_depth_peak: int
+    queue_depth_mean: float
+    queue_depth_series: List[Tuple[float, int]]  # decimated (time, depth)
+    per_pool_submitted: Dict[str, int]
+    sessions: int
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return self.deadline_misses / self.offered if self.offered else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per simulated second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.succeeded / self.makespan
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "engine": self.engine,
+            "policy": self.policy,
+            "offered": self.offered,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "rejection_rate": round(self.rejection_rate, 6),
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": round(self.deadline_miss_rate, 6),
+            "makespan_simulated_seconds": round(self.makespan, 3),
+            "throughput_qps": round(self.throughput, 3),
+            "latency_p50": _round(self.latency_p50),
+            "latency_p95": _round(self.latency_p95),
+            "latency_p99": _round(self.latency_p99),
+            "latency_mean": _round(self.latency_mean),
+            "latency_max": _round(self.latency_max),
+            "queue_depth_peak": self.queue_depth_peak,
+            "queue_depth_mean": round(self.queue_depth_mean, 3),
+            "queue_depth_series": [
+                [round(when, 3), depth]
+                for when, depth in self.queue_depth_series
+            ],
+            "per_pool_submitted": dict(sorted(self.per_pool_submitted.items())),
+            "sessions": self.sessions,
+        }
+
+
+def _round(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 4)
+
+
+def run_serving(session, arrivals: Sequence[Arrival],
+                max_queue_samples: int = 256) -> ServingReport:
+    """Drive *arrivals* through *session*'s scheduler; report SLOs.
+
+    The dispatcher is one simulated process sleeping between arrivals
+    and calling ``Session.submit`` at each — open loop: it never waits
+    for a completion, so when service falls behind, the admission queue
+    (and the rejection counter, for bounded pools) shows it.  Queue
+    depth is sampled at every arrival.
+    """
+    scheduler = session.scheduler
+    sim = scheduler.runtime.sim
+    state = {"rejected": 0}
+    handles = []
+    depth_samples: List[Tuple[float, int]] = []
+    per_pool: Dict[str, int] = {}
+
+    def dispatcher():
+        for arrival in arrivals:
+            delay = arrival.when - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            try:
+                handles.append(session.submit(
+                    arrival.sql, pool=arrival.pool, deadline=arrival.deadline
+                ))
+                per_pool[arrival.pool] = per_pool.get(arrival.pool, 0) + 1
+            except AdmissionRejectedError:
+                state["rejected"] += 1
+            depth_samples.append((sim.now, scheduler.queue_depth))
+
+    sim.spawn(dispatcher(), "serving-dispatcher")
+    scheduler.drain()
+
+    summary = scheduler.summary()
+    latencies = sorted(
+        handle.latency for handle in handles
+        if handle.latency is not None and handle.status() == "succeeded"
+    )
+    depths = [depth for _when, depth in depth_samples]
+    return ServingReport(
+        engine=session.engine_name,
+        policy=scheduler.policy,
+        offered=len(arrivals),
+        submitted=len(handles),
+        rejected=state["rejected"],
+        succeeded=summary["succeeded"],
+        failed=summary["failed"],
+        cancelled=summary["cancelled"],
+        deadline_misses=summary["deadline_misses"],
+        makespan=summary["makespan"],
+        latency_p50=_nearest_rank(latencies, 50),
+        latency_p95=_nearest_rank(latencies, 95),
+        latency_p99=_nearest_rank(latencies, 99),
+        latency_mean=(sum(latencies) / len(latencies)) if latencies else None,
+        latency_max=latencies[-1] if latencies else None,
+        queue_depth_peak=max(depths, default=0),
+        queue_depth_mean=(sum(depths) / len(depths)) if depths else 0.0,
+        queue_depth_series=_decimate(depth_samples, max_queue_samples),
+        per_pool_submitted=per_pool,
+        sessions=len({arrival.session for arrival in arrivals}),
+    )

@@ -282,3 +282,129 @@ class TestSameInstantFifo:
         sim.run()
         assert seen == [2.5, 2.5]
         assert sim.now == 2.5
+
+
+class TestAgendaCompaction:
+    """Lazily-cancelled heap entries must not bloat the agenda forever
+    (a cancel-heavy deadline workload used to hold every dead timer
+    until its original fire time — and pin the clock there)."""
+
+    def test_cancel_heavy_agenda_stays_bounded(self):
+        sim = Simulator()
+        fired = []
+        handles = [
+            sim.call_at(1000.0 + tick, fired.append, tick)
+            for tick in range(10_000)
+        ]
+        # a deadline workload: almost every timer is cancelled long
+        # before it fires (the query finished first)
+        survivors = set(range(0, 10_000, 100))
+        for tick, handle in enumerate(handles):
+            if tick not in survivors:
+                sim.cancel(handle)
+        assert sim.agenda_size < 2_000, (
+            "cancelled entries were never compacted out of the agenda"
+        )
+        sim.run()
+        assert fired == sorted(survivors)
+        assert sim.now == 1000.0 + max(survivors)
+        # only the sub-threshold residue of dead entries may remain
+        assert sim.agenda_size < 200
+
+    def test_compaction_keeps_pop_order_and_clock(self):
+        sim = Simulator()
+        order = []
+        keep = [sim.call_at(when, order.append, when)
+                for when in (5.0, 1.0, 3.0)]
+        drop = [sim.call_at(2.0 + n * 0.001, order.append, -1.0)
+                for n in range(200)]
+        for handle in drop:
+            sim.cancel(handle)
+        sim.run()
+        assert order == [1.0, 3.0, 5.0]
+        assert sim.now == 5.0
+        assert keep[0].cancelled is False
+
+    def test_orphaned_timeout_no_longer_pins_the_clock(self):
+        """A deadline raced and lost: cancelling its Timeout must let the
+        run finish at the real last event, not at the dead deadline."""
+        sim = Simulator()
+
+        def winner():
+            yield sim.timeout(1.0)
+
+        def racer():
+            deadline = sim.timeout(500.0)
+            yield sim.any_of([sim.spawn(winner()), deadline])
+            deadline.cancel()
+
+        sim.spawn(racer())
+        sim.run()
+        assert sim.now == 1.0
+
+
+class TestCallbackDetach:
+    """Losing wait targets must not accumulate dead callbacks on
+    long-lived shared events (thousands of queries racing deadlines
+    against one shutdown event used to leak one callback each)."""
+
+    def test_any_of_detaches_from_losing_children(self):
+        sim = Simulator()
+        shutdown = sim.event()  # long-lived: never triggers
+
+        def worker():
+            for _ in range(50):
+                yield sim.any_of([sim.timeout(1.0), shutdown])
+
+        sim.spawn(worker())
+        sim.run()
+        assert shutdown.callback_count == 0, (
+            "AnyOf left stale callbacks on the losing child"
+        )
+
+    def test_interrupted_process_detaches_from_wait_target(self):
+        sim = Simulator()
+        shutdown = sim.event()
+        waits = []
+
+        def worker():
+            for _ in range(50):
+                try:
+                    waits.append(sim.now)
+                    yield shutdown
+                except Interrupt:
+                    pass
+
+        process = sim.spawn(worker())
+
+        def driver():
+            for _ in range(50):
+                yield sim.timeout(1.0)
+                process.interrupt("rebalance")
+
+        sim.spawn(driver())
+        sim.run()
+        assert len(waits) == 50
+        assert shutdown.callback_count == 0, (
+            "interrupted process left its stale wakeup registered"
+        )
+
+    def test_all_of_still_collects_every_child(self):
+        sim = Simulator()
+        events = [sim.event() for _ in range(3)]
+        seen = []
+
+        def waiter():
+            values = yield sim.all_of(events)
+            seen.append(values)
+
+        sim.spawn(waiter())
+
+        def driver():
+            for n, event in enumerate(events):
+                yield sim.timeout(1.0)
+                event.trigger(n)
+
+        sim.spawn(driver())
+        sim.run()
+        assert seen == [[0, 1, 2]]

@@ -15,6 +15,7 @@ from hypothesis import given, settings, strategies as st
 import repro
 from repro.common.config import (
     FAULT_SPEC,
+    LEASE_AUDIT,
     RETRY_BACKOFF,
     RETRY_MAX,
     SCHED_DEFAULT_POOL,
@@ -55,6 +56,7 @@ def open_session(engine, conf=None, big=False):
 
 def replay_audit_trail(ledger):
     """Replay grants/releases; return the per-pool peak occupancy seen."""
+    assert ledger.audit, "test session must set repro.lease.audit"
     in_use = {}
     peaks = {}
     for _time, action, pool, _query in ledger.events:
@@ -106,7 +108,7 @@ def test_two_queries_share_the_cluster(engine):
     with open_session(engine) as solo:
         sequential = (solo.query(AGG).simulated_seconds
                       + solo.query(JOIN).simulated_seconds)
-    with open_session(engine) as session:
+    with open_session(engine, conf={LEASE_AUDIT: True}) as session:
         h1 = session.submit(AGG)
         h2 = session.submit(JOIN)
         r1, r2 = h1.result(), h2.result()
@@ -132,7 +134,7 @@ def test_datampi_gangs_are_all_or_nothing():
     """Every DataMPI gang grant lands atomically: its per-slot grant
     events are contiguous in the audit trail (no other query's grant
     interleaves mid-gang) and never exceed any pool's capacity."""
-    with open_session("datampi", big=True) as session:
+    with open_session("datampi", conf={LEASE_AUDIT: True}, big=True) as session:
         handles = [session.submit(BIG_AGG) for _ in range(3)]
         for handle in handles:
             handle.result()
@@ -189,6 +191,7 @@ def _deterministic_run(engine):
         FAULT_SPEC: "seed:7; fail:0.04",
         RETRY_MAX: 6,
         RETRY_BACKOFF: 0.5,
+        LEASE_AUDIT: True,
     }
     with open_session(engine, conf=conf, big=True) as session:
         handles = [
@@ -378,6 +381,7 @@ def test_random_interleavings_terminate(ops):
         SCHED_POLICY: "capacity",
         SCHED_POOLS: "etl:cap=1,queue=2; adhoc:weight=1",
         SCHED_DEFAULT_POOL: "adhoc",
+        LEASE_AUDIT: True,
     }
     with open_session("datampi", conf=conf) as session:
         handles = []
