@@ -13,6 +13,7 @@ Run standalone::
     python benchmarks/bench_perf.py              # full measurement
     python benchmarks/bench_perf.py --smoke      # small/fast CI variant
     python benchmarks/bench_perf.py --best-of 3  # min wall over 3 passes
+    python benchmarks/bench_perf.py --parallel 4 # pool runs + speedup column
     python benchmarks/bench_perf.py --compare BENCH_perf.json
 
 ``--guard-seconds`` turns the run into a regression gate: exit non-zero
@@ -46,7 +47,12 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro import connect  # noqa: E402
 from repro.bench import perf_workloads  # noqa: E402
-from repro.common.config import Configuration, EXEC_VECTORIZED  # noqa: E402
+from repro.common.config import (  # noqa: E402
+    Configuration,
+    EXEC_VECTORIZED,
+    PARALLEL_WORKERS,
+)
+from repro.parallel import active_pool  # noqa: E402
 
 OUTPUT_PATH = REPO_ROOT / "BENCH_perf.json"
 RUNS_PER_WORKLOAD = 2  # second run hits the driver's plan cache
@@ -57,6 +63,30 @@ COMPARE_THRESHOLD = 1.25  # --compare fails beyond +25 % wall-clock
 def _peak_rss_kb() -> int:
     """Process peak resident set size in KiB (monotone over the run)."""
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _workers_rss_kb() -> int:
+    """Summed peak RSS (VmHWM, KiB) of the live pool workers.
+
+    The pool workers are separate processes, so ``ru_maxrss`` of this
+    process never sees their memory; without this probe a ``--parallel``
+    run would under-report its footprint.  Returns 0 when no pool is
+    active or ``/proc`` is unreadable (non-Linux hosts).
+    """
+    pool = active_pool()
+    if pool is None:
+        return 0
+    total = 0
+    for pid in pool.worker_pids():
+        try:
+            with open(f"/proc/{pid}/status") as handle:
+                for line in handle:
+                    if line.startswith("VmHWM:"):
+                        total += int(line.split()[1])
+                        break
+        except (OSError, ValueError, IndexError):
+            pass
+    return total
 
 
 def _canonical_row(row) -> str:
@@ -124,15 +154,24 @@ def _execute_and_digest(driver, script: str, check_sql: str):
     return results, hasher.hexdigest()
 
 
-def _run_workload(spec) -> dict:
+def _run_workload(spec, parallel: int = 0) -> dict:
     """Time one workload over a freshly built warehouse.
 
     Dataset generation, DDL, digest probes and the row-mode replay all
     stay outside the timed region; the clock covers only query
     execution in the default (vectorized) mode — the paths this harness
     exists to keep fast.
+
+    With ``parallel`` > 0 the same suite is additionally timed with
+    map-task compute dispatched to a worker pool of that size —
+    ``wall_seconds`` stays the inline number (so ``--compare`` keeps
+    comparing like with like across reports), the pool pass lands in
+    ``parallel_wall_seconds`` / ``parallel_speedup``, its digest must
+    match the inline digest, and the pool workers' peak RSS folds into
+    the memory accounting.
     """
     rss_before = _peak_rss_kb()
+    workers_rss_before = _workers_rss_kb()
     hdfs, metastore = spec.build_warehouse()  # untimed: dataset generation
     driver = connect(
         engine=spec.engine, hdfs=hdfs, metastore=metastore,
@@ -183,7 +222,7 @@ def _run_workload(spec) -> dict:
             f"({digests[0]} vs {row_digest})"
         )
 
-    return {
+    record = {
         "name": spec.name,
         "engine": spec.engine,
         "runs": RUNS_PER_WORKLOAD,
@@ -193,11 +232,49 @@ def _run_workload(spec) -> dict:
         "simulated_seconds": round(simulated, 4),
         "result_digest": digests[0],
         "row_mode_digest": row_digest,
-        "rss_delta_kb": max(0, _peak_rss_kb() - rss_before),
     }
 
+    if parallel:
+        # Timed pool pass on the same warehouse with the same number of
+        # runs (cold + plan-cached, matching the inline loop): the
+        # digest must match the inline run's, and the wall ratio is the
+        # speedup column.
+        pool_driver = connect(
+            engine=spec.engine, hdfs=hdfs, metastore=metastore,
+            conf=Configuration({PARALLEL_WORKERS: parallel}),
+        )
+        if spec.setup_sql:
+            pool_driver.execute(spec.setup_sql)
+        pool_wall = 0.0
+        for _ in range(RUNS_PER_WORKLOAD):
+            start = time.perf_counter()
+            pool_results = pool_driver.execute(spec.script)
+            pool_wall += time.perf_counter() - start
+            hasher = _digest_rows(pool_results)
+            if spec.check_sql:
+                hasher.update(
+                    _digest_rows(pool_driver.execute(spec.check_sql),
+                                 ordered=False).digest()
+                )
+            if hasher.hexdigest() != digests[0]:
+                raise AssertionError(
+                    f"{spec.name}: pool and inline execution disagree "
+                    f"({digests[0]} vs {hasher.hexdigest()})"
+                )
+        record["parallel_wall_seconds"] = round(pool_wall, 4)
+        record["parallel_speedup"] = round(
+            wall / pool_wall, 3
+        ) if pool_wall > 0 else 0.0
 
-def run(smoke: bool = False, best_of: int = 1) -> dict:
+    workers_rss = max(0, _workers_rss_kb() - workers_rss_before)
+    record["rss_workers_kb"] = workers_rss
+    record["rss_delta_kb"] = (
+        max(0, _peak_rss_kb() - rss_before) + workers_rss
+    )
+    return record
+
+
+def run(smoke: bool = False, best_of: int = 1, parallel: int = 0) -> dict:
     """Execute the suite ``best_of`` times; keep each workload's best.
 
     ``wall_seconds`` is the per-workload minimum (least-noise estimate
@@ -208,7 +285,10 @@ def run(smoke: bool = False, best_of: int = 1) -> dict:
     """
     workloads = []
     for spec in perf_workloads(smoke):
-        passes = [_run_workload(spec) for _ in range(max(1, best_of))]
+        passes = [
+            _run_workload(spec, parallel=parallel)
+            for _ in range(max(1, best_of))
+        ]
         digests = {p["result_digest"] for p in passes}
         if len(digests) != 1:
             raise AssertionError(
@@ -216,23 +296,29 @@ def run(smoke: bool = False, best_of: int = 1) -> dict:
             )
         best = min(passes, key=lambda p: p["wall_seconds"])
         best["rss_delta_kb"] = passes[0]["rss_delta_kb"]
+        best["rss_workers_kb"] = passes[0]["rss_workers_kb"]
         workloads.append(best)
+        speedup = (
+            f"  {best['parallel_speedup']:5.2f}x vs inline"
+            if "parallel_speedup" in best else ""
+        )
         print(
             f"{spec.name:>20} [{spec.engine:>7}]  "
             f"{best['wall_seconds']:8.3f}s wall  "
             f"{best['rows_per_second']:>12,.0f} rows/s  "
-            f"{best['simulated_seconds']:10.2f}s simulated"
+            f"{best['simulated_seconds']:10.2f}s simulated{speedup}"
         )
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "mode": "smoke" if smoke else "full",
         "runs_per_workload": RUNS_PER_WORKLOAD,
         "best_of": max(1, best_of),
+        "parallel_workers": parallel,
         "workloads": workloads,
         "total_wall_seconds": round(
             sum(w["wall_seconds"] for w in workloads), 4
         ),
-        "peak_rss_kb": _peak_rss_kb(),
+        "peak_rss_kb": _peak_rss_kb() + _workers_rss_kb(),
     }
 
 
@@ -296,12 +382,19 @@ def main(argv=None) -> int:
              "committed BENCH_perf.json",
     )
     parser.add_argument(
+        "--parallel", type=int, default=0, metavar="N",
+        help="additionally time each workload with map-task compute "
+             "dispatched to N pool workers and report per-workload "
+             "speedup vs inline (digests must match)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=OUTPUT_PATH,
         help=f"where to write the JSON report (default: {OUTPUT_PATH})",
     )
     args = parser.parse_args(argv)
 
-    report = run(smoke=args.smoke, best_of=args.best_of)
+    report = run(smoke=args.smoke, best_of=args.best_of,
+                 parallel=max(0, args.parallel))
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     total = report["total_wall_seconds"]
     print(f"\ntotal: {total:.2f}s wall, peak RSS {report['peak_rss_kb']} KiB")

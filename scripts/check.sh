@@ -24,6 +24,16 @@ echo "== perf smoke (wall-clock guard) =="
 python benchmarks/bench_perf.py --smoke --guard-seconds 60 \
     --output "$(mktemp -d)/BENCH_perf_smoke.json"
 
+echo "== parallel smoke (2-worker pool, digest + simulated-time parity) =="
+# The same smoke suite with map compute dispatched to a 2-worker pool.
+# The harness itself asserts pool runs hash identically to inline runs
+# on every workload, so this catches any divergence the pool could
+# introduce; tests/test_parallel.py (tier-1, above) covers the full
+# engine x mode x format x pool-size matrix.  No wall-clock guard: on a
+# 1-core runner the pool measures IPC overhead, not speedup.
+python benchmarks/bench_perf.py --smoke --parallel 2 \
+    --output "$(mktemp -d)/BENCH_perf_parallel_smoke.json"
+
 echo "== concurrency smoke (scheduler policies, shared cluster) =="
 # Small mixed workload under every scheduling policy on both engines;
 # cross-checks rows against solo runs and fails if fair-share does not
@@ -96,6 +106,28 @@ if [[ "${CHECK_SERVING_FULL:-0}" == "1" ]]; then
     python benchmarks/bench_serving.py --guard-seconds 600
     CHECK_SERVING_FULL=1 PYTHONPATH=src python -m pytest \
         tests/test_serving.py::TestServingSoak -q
+fi
+
+if [[ "${CHECK_PARALLEL_FULL:-0}" == "1" ]]; then
+    echo "== parallel full (4-worker pool vs inline, speedup gate) =="
+    # Full-dataset run with a 4-worker pool: every workload's pool
+    # digest must match its inline digest (asserted by the harness),
+    # and on a host with >=4 cores the aggregate speedup must reach
+    # 2x.  On smaller hosts the run still checks correctness but the
+    # speedup gate disarms — a 1-core box can only measure overhead.
+    python benchmarks/bench_perf.py --parallel 4 \
+        --output /tmp/BENCH_perf_parallel_full.json
+    python - <<'PY'
+import json, os, sys
+report = json.load(open("/tmp/BENCH_perf_parallel_full.json"))
+inline = sum(w["wall_seconds"] for w in report["workloads"])
+pooled = sum(w["parallel_wall_seconds"] for w in report["workloads"])
+speedup = inline / pooled if pooled else 0.0
+print(f"aggregate pool speedup: {speedup:.2f}x over {len(report['workloads'])} workloads")
+if (os.cpu_count() or 1) >= 4 and speedup < 2.0:
+    sys.exit(f"PARALLEL REGRESSION: aggregate speedup {speedup:.2f}x < 2.0x "
+             f"with 4 workers on a {os.cpu_count()}-core host")
+PY
 fi
 
 if [[ "${CHECK_PERF_FULL:-0}" == "1" ]]; then

@@ -60,6 +60,9 @@ LLAP_DAEMON_SLOTS = "repro.llap.daemon.slots"  # executors per daemon (0 = all)
 RESULT_CACHE_ENABLED = "repro.result.cache.enabled"  # bool; driver result cache
 RESULT_CACHE_ENTRIES = "repro.result.cache.entries"  # LRU capacity (queries)
 
+# -- host-parallelism knobs (docs/performance.md) ---------------------------
+PARALLEL_WORKERS = "repro.parallel.workers"  # pool size; 0 = inline, "auto"
+
 # -- workload scheduler knobs (docs/scheduling.md) --------------------------
 SCHED_POLICY = "repro.sched.policy"  # "fifo" | "fair" | "capacity"
 SCHED_MAX_CONCURRENT = "repro.sched.max.concurrent"  # global cap (0 = unlimited)

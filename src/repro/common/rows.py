@@ -12,10 +12,18 @@ Rows travel through the operator pipeline as plain Python tuples; a
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common.errors import ExecutionError, SemanticError
+
+#: Version of the in-memory ColumnBatch column layout.  Bumped whenever
+#: the physical representation of batch columns changes (v1: per-column
+#: Python lists; v2: typed ``array`` buffers for homogeneous numeric
+#: columns, list fallback otherwise).  Compiled-plan cache keys include
+#: this so plans compiled against one layout never serve another.
+LAYOUT_VERSION = 2
 
 
 class DataType(enum.Enum):
@@ -195,11 +203,43 @@ def compare_values(left, right) -> int:
     return 0
 
 
+def pack_column(values) -> Sequence:
+    """Pack one column into a typed buffer when its values allow it.
+
+    Columns whose every value is a plain ``int`` become ``array('q')``
+    and all-``float`` columns become ``array('d')`` — contiguous C
+    buffers that pickle as a single bytes blob instead of element-wise,
+    which is what makes shipping batches to pool workers cheap.  Any
+    other column (NULLs, strings, dates, booleans — ``bool`` is an
+    ``int`` subclass but must keep its ``repr``) stays a plain list, so
+    values read back from a packed column are bit-identical to the list
+    layout.  Kernels only index/iterate columns, which both layouts
+    support identically.
+    """
+    if type(values) is not list:
+        values = list(values)
+    if not values:
+        return values
+    first = type(values[0])
+    if first is int:
+        if all(type(v) is int for v in values):
+            try:
+                return array("q", values)
+            except OverflowError:
+                return values  # beyond 64-bit: keep Python ints
+    elif first is float:
+        if all(type(v) is float for v in values):
+            return array("d", values)
+    return values
+
+
 class ColumnBatch:
     """A batch of rows stored column-wise (Hive's VectorizedRowBatch).
 
-    ``columns`` holds one plain Python list per column, all of length
-    ``size``; NULLs are ``None`` entries inside the column lists (the
+    ``columns`` holds one sequence per column, all of length ``size`` —
+    a typed ``array`` buffer for homogeneous numeric columns (see
+    :func:`pack_column`), a plain Python list otherwise; NULLs are
+    ``None`` entries inside list columns (the
     null mask is implicit — :meth:`null_mask` derives the explicit form
     on demand).  ``sel`` is the selection vector: ``None`` means every
     row 0..size-1 is live (a *dense* batch), otherwise only the listed
@@ -214,7 +254,7 @@ class ColumnBatch:
 
     __slots__ = ("columns", "size", "sel")
 
-    def __init__(self, columns: List[list], size: int,
+    def __init__(self, columns: List[Sequence], size: int,
                  sel: Optional[List[int]] = None):
         self.columns = columns
         self.size = size
@@ -226,7 +266,7 @@ class ColumnBatch:
         """Transpose row tuples into a dense batch (Text/Sequence adapter)."""
         if not rows:
             return cls([[] for _ in range(width or 0)], 0)
-        return cls([list(column) for column in zip(*rows)], len(rows))
+        return cls([pack_column(column) for column in zip(*rows)], len(rows))
 
     @property
     def width(self) -> int:

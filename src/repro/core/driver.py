@@ -27,7 +27,7 @@ from repro.common.config import (
     RETRY_FALLBACK,
 )
 from repro.common.errors import RetryExhaustedError, SemanticError
-from repro.common.rows import Schema, Column, DataType
+from repro.common.rows import LAYOUT_VERSION, Schema, Column, DataType
 from repro.engines.base import Engine, PlanResult
 from repro.obs import Span
 from repro.plan.analyzer import Analyzer
@@ -685,13 +685,18 @@ class Driver:
         configuration the physical compiler consults is the map-join
         small-table threshold (``hive.mapjoin.smalltable.filesize``),
         and the execution mode decides which pipeline the cached plan's
-        descriptors get compiled into at task start.
+        descriptors get compiled into at task start.  The ColumnBatch
+        ``LAYOUT_VERSION`` pins the physical column representation the
+        vectorized kernels were compiled against, so entries persisted
+        across a layout change can never serve a plan whose kernels
+        assume the other layout.
         """
         return (
             repr(statement),
             self.engine.name,
             self.conf.get(HIVE_MAPJOIN_SMALLTABLE_BYTES, None),
             self.conf.get(EXEC_VECTORIZED, None),
+            LAYOUT_VERSION,
         )
 
     def _plan_snapshot(self, plan: PhysicalPlan) -> tuple:

@@ -74,7 +74,6 @@ from repro.engines.base import (
     record_job_metrics,
     run_reducer_functionally,
     scan_split,
-    scan_split_batch,
     write_task_output,
 )
 from repro.engines.datampi.buffers import (
@@ -84,9 +83,9 @@ from repro.engines.datampi.buffers import (
     SendQueue,
 )
 from repro.engines.datampi.mpi import DynamicBarrier, SimulatedMPI
-from repro.exec.mapper import ExecMapper
 from repro.exec.operators import Collector
 from repro.obs import Tracer, get_metrics
+from repro.parallel import pool_from_conf, resolve_compute, spec_for_split
 from repro.plan.physical import MRJob, PhysicalPlan
 from repro.simulate import (
     Cluster,
@@ -399,6 +398,7 @@ class DataMPIEngine(Engine):
         nonblocking = conf.get_bool(DATAMPI_NONBLOCKING, True)
         overlap = conf.get_bool(DATAMPI_OVERLAP, True)
         vectorized = conf.get_bool(EXEC_VECTORIZED, True)
+        pool = pool_from_conf(conf)
         # the final permitted submission runs with injected task faults
         # disabled, so only repeated node crashes can exhaust the retries
         doom_ok = submission <= retry_max
@@ -526,7 +526,7 @@ class DataMPIEngine(Engine):
                             gc_factor, mem_used, first_start_event,
                             pending_deliveries, scale, gang, doom,
                             leases, owner, task_gang,
-                            overlap, pipe_in, pipe_out, vectorized,
+                            overlap, pipe_in, pipe_out, vectorized, pool,
                         ),
                         f"{job.job_id}-s{submission}-o{index}",
                     )
@@ -608,7 +608,7 @@ class DataMPIEngine(Engine):
                 owner: Optional[LeaseOwner],
                 gang_lease: Optional[GangLease], overlap: bool = True,
                 pipe_in: bool = False, pipe_out: bool = False,
-                vectorized: bool = False):
+                vectorized: bool = False, pool=None):
         costs = self.costs
         node = cluster.workers[node_index]
         task = TaskTiming(task_id=f"o{index}", kind="o", node=node_index,
@@ -632,6 +632,25 @@ class DataMPIEngine(Engine):
         sender_started = False
         emit_seq = count()  # provenance stamp for canonical receive order
         output_rows: List = []
+        specs = []
+        futures = []
+        if doom is None:
+            for tagged in group:
+                specs.append(spec_for_split(
+                    "datampi", tagged, num_partitions=num_reducers,
+                    small_tables=small_tables, vectorized=vectorized,
+                    map_only=job.is_map_only,
+                    batch_target_mb=costs.batch_target_mb,
+                    min_batch_rows=costs.min_batch_rows,
+                    partition_capacity=(
+                        self._partition_buffer_bytes(mem_used)
+                        / max(tagged.split.scale, 1e-9)
+                    ),
+                ))
+            if pool is not None:
+                # submit the whole group before any simulated wait so the
+                # workers compute while the DES plays out task setup
+                futures = [pool.submit(spec) for spec in specs]
         try:
             if acquired is not None:
                 yield acquired
@@ -665,7 +684,7 @@ class DataMPIEngine(Engine):
                 return
 
             held: List[SendBuffer] = []  # overlap disabled: defer all sends
-            for tagged in group:
+            for position, tagged in enumerate(group):
                 scale = tagged.split.scale
                 if nonblocking and not job.is_map_only and not sender_started:
                     sender_done = sim.spawn(
@@ -678,25 +697,17 @@ class DataMPIEngine(Engine):
                     gang.add(sender_done)
                     sender_started = True
 
-                if vectorized:
-                    rows, bytes_to_read = scan_split_batch(tagged)
-                else:
-                    rows, bytes_to_read = scan_split(tagged)
-                spl = SendPartitionList(
-                    max(1, num_reducers),
-                    self._partition_buffer_bytes(mem_used) / max(scale, 1e-9),
-                )
-                collector = DataMPICollector(spl)
-                mapper = ExecMapper(
-                    tagged.operators,
-                    collector=collector if not job.is_map_only else None,
-                    num_partitions=num_reducers,
-                    small_tables=small_tables,
-                    vectorized=vectorized,
+                # the split's scan + operator pipeline ran on a pool worker
+                # (or runs inline here); replay its per-batch records —
+                # byte shares, cumulative SPL bytes, filled send buffers —
+                # so charges and emissions land at the exact simulated
+                # points the single-process path produced
+                outcome = resolve_compute(
+                    futures[position] if futures else None, specs[position]
                 )
 
                 orc = tagged.split.stored.__class__.__name__.startswith("Orc")
-                for batch_rows, batch_bytes in _make_batches(rows, bytes_to_read, costs):
+                for batch_bytes, spl_bytes, full_buffers in outcome.records:
                     if pipe_in:
                         pass  # DAG stage: input is already resident in memory
                     else:
@@ -707,9 +718,8 @@ class DataMPIEngine(Engine):
                     if orc:
                         cpu_ms += batch_bytes / MB * costs.cpu_orc_decode_ms_per_mb
                     yield from node.compute(cpu_ms * gc_factor / 1000.0)
-                    mapper.process_batch(batch_rows)
-                    task.collect_samples.append((sim.now, spl.bytes_added))
-                    fresh = _stamp(collector.take_full(), scale, index, emit_seq)
+                    task.collect_samples.append((sim.now, spl_bytes))
+                    fresh = _stamp(full_buffers, scale, index, emit_seq)
                     if overlap:
                         yield from self._emit_buffers(
                             sim, mpi, node, fresh, queue, receive,
@@ -718,8 +728,8 @@ class DataMPIEngine(Engine):
                     else:
                         held.extend(fresh)
 
-                result = mapper.close()
-                fresh = _stamp(collector.take_full() + spl.drain(), scale,
+                result = outcome.result
+                fresh = _stamp(outcome.final_buffers, scale,
                                index, emit_seq)
                 if overlap:
                     yield from self._emit_buffers(
@@ -984,18 +994,3 @@ def _group_splits(
         for bucket in buckets:
             groups.append((node_index, bucket))
     return groups
-
-
-def _make_batches(rows, total_bytes: float, costs: DataMPICosts):
-    if not rows:
-        if total_bytes > 0:
-            return [([], total_bytes)]
-        return []
-    target = costs.batch_target_mb * MB
-    num_batches = max(1, int(total_bytes / target))
-    batch_rows = max(costs.min_batch_rows, (len(rows) + num_batches - 1) // num_batches)
-    batches = []
-    for start in range(0, len(rows), batch_rows):
-        chunk = rows[start : start + batch_rows]
-        batches.append((chunk, total_bytes * len(chunk) / len(rows)))
-    return batches

@@ -68,8 +68,8 @@ from repro.engines.base import (
     scan_split_batch,
     write_task_output,
 )
-from repro.exec.mapper import ExecMapper
 from repro.obs import Tracer, get_metrics
+from repro.parallel import pool_from_conf, resolve_compute, spec_for_split
 from repro.plan.physical import MRJob, PhysicalPlan
 from repro.simulate import (
     Cluster,
@@ -159,6 +159,7 @@ class _JobState:
         self.last_copy_done = 0.0
         self.compress_ratio = 1.0  # <1 when mapred.compress.map.output
         self.vectorized = False  # repro.exec.vectorized, read at job start
+        self.pool = None  # repro.parallel worker pool (None = inline)
         self.map_task_records: Dict[int, TaskTiming] = {}
         self.map_durations: List[float] = []  # successful runs, for speculation
 
@@ -314,6 +315,7 @@ class HadoopEngine(Engine):
         compress = conf.get_bool("mapred.compress.map.output", False)
         state.compress_ratio = self.costs.compress_ratio if compress else 1.0
         state.vectorized = conf.get_bool(EXEC_VECTORIZED, True)
+        state.pool = pool_from_conf(conf)
         map_processes = [
             sim.spawn(
                 self._map_task(
@@ -513,6 +515,21 @@ class HadoopEngine(Engine):
         committed = False
         collector = None
         result = None
+        spec = None
+        future = None
+        if doom is None:
+            spec = spec_for_split(
+                "hadoop", tagged, num_partitions=num_reducers,
+                small_tables=small_tables, vectorized=state.vectorized,
+                map_only=job.is_map_only,
+                batch_target_mb=costs.batch_target_mb,
+                min_batch_rows=costs.min_batch_rows,
+            )
+            if state.pool is not None:
+                # submit before any simulated wait: every sibling attempt
+                # scheduled at this same instant reaches the pool before
+                # the DES first blocks on a result
+                future = state.pool.submit(spec)
         try:
             yield acquired
             held_slot = True
@@ -525,14 +542,13 @@ class HadoopEngine(Engine):
             if not first_start_event.triggered:
                 first_start_event.trigger(sim.now)
 
-            if state.vectorized:
-                rows, bytes_to_read = scan_split_batch(tagged)
-            else:
-                rows, bytes_to_read = scan_split(tagged)
-
             if doom is not None:
                 # injected failure: burn the work done up to the doom point,
                 # then die — the coordinator re-launches elsewhere
+                if state.vectorized:
+                    _rows, bytes_to_read = scan_split_batch(tagged)
+                else:
+                    _rows, bytes_to_read = scan_split(tagged)
                 partial = bytes_to_read * doom
                 yield from self._charge_split_read(cluster, node, node_index,
                                                    tagged, partial)
@@ -541,21 +557,19 @@ class HadoopEngine(Engine):
                 )
                 return ("failed", "injected")
 
-            collector = _MapOutputCollector(num_reducers)
-            mapper = ExecMapper(
-                tagged.operators,
-                collector=collector if not job.is_map_only else None,
-                num_partitions=num_reducers,
-                small_tables=small_tables,
-                vectorized=state.vectorized,
-            )
+            # the pure compute (scan + operator pipeline) ran on a pool
+            # worker — or runs inline right here; either way, replay its
+            # per-batch records so every simulated charge lands exactly
+            # where the single-process path put it
+            outcome = resolve_compute(future, spec)
+            collector = outcome.collector
+            result = outcome.result
 
             scale = tagged.split.scale
             orc = tagged.split.stored.__class__.__name__.startswith("Orc")
-            batches = _make_batches(rows, bytes_to_read, costs)
             spilled_mark = 0.0
             spills = 0
-            for batch_rows, batch_bytes in batches:
+            for batch_bytes, collected_bytes in outcome.records:
                 # read this chunk (locally or from a replica over the net)
                 yield from self._charge_split_read(cluster, node, node_index,
                                                    tagged, batch_bytes)
@@ -563,9 +577,8 @@ class HadoopEngine(Engine):
                 if orc:
                     cpu_ms += batch_bytes / MB * costs.cpu_orc_decode_ms_per_mb
                 yield from node.compute(cpu_ms / 1000.0)
-                mapper.process_batch(batch_rows)
-                emitted = collector.total_bytes * scale
-                task.collect_samples.append((sim.now, collector.total_bytes))
+                emitted = collected_bytes * scale
+                task.collect_samples.append((sim.now, collected_bytes))
                 # spill when the in-memory map-output buffer overflows
                 while emitted - spilled_mark > costs.io_sort_mb * MB:
                     spill_bytes = costs.io_sort_mb * MB
@@ -585,7 +598,6 @@ class HadoopEngine(Engine):
                     if spill_span is not None:
                         spill_span.finish(sim.now)
 
-            result = mapper.close()
             emitted = collector.total_bytes * scale
             ratio = state.compress_ratio
             final_spill = emitted - spilled_mark
@@ -876,20 +888,3 @@ class HadoopEngine(Engine):
     # -- HDFS write pipeline -------------------------------------------------------
     def _hdfs_write(self, cluster: Cluster, node, data_file):
         yield from hdfs_write_pipeline(cluster, node, data_file)
-
-
-def _make_batches(rows, total_bytes: float, costs: HadoopCosts):
-    """Chunk a split's rows into (rows, bytes) batches for interleaved
-    read/compute; byte budget follows the batch target."""
-    if not rows:
-        if total_bytes > 0:
-            return [([], total_bytes)]
-        return []
-    target = costs.batch_target_mb * MB
-    num_batches = max(1, int(total_bytes / target))
-    batch_rows = max(costs.min_batch_rows, (len(rows) + num_batches - 1) // num_batches)
-    batches = []
-    for start in range(0, len(rows), batch_rows):
-        chunk = rows[start : start + batch_rows]
-        batches.append((chunk, total_bytes * len(chunk) / len(rows)))
-    return batches

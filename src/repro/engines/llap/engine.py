@@ -47,7 +47,6 @@ from repro.common.config import (
     TASK_MAX_ATTEMPTS,
 )
 from repro.common.kv import KeyValue
-from repro.common.rows import ColumnBatch
 from repro.common.units import MB
 from repro.engines.base import (
     Engine,
@@ -77,8 +76,8 @@ from repro.engines.base import (
     write_task_output,
 )
 from repro.engines.llap.cache import StripeCache
-from repro.exec.mapper import ExecMapper
 from repro.obs import Tracer, get_metrics
+from repro.parallel import pool_from_conf, resolve_compute, spec_for_split
 from repro.plan.physical import MRJob, PhysicalPlan
 from repro.simulate import (
     Cluster,
@@ -118,9 +117,13 @@ class LlapCosts:
 
 @dataclass
 class _ScanOutcome:
-    """One fragment's pass through the columnar cache."""
+    """One fragment's byte bookkeeping through the columnar cache.
 
-    payload: object  # rows list (row mode) or ColumnBatch (vectorized)
+    The payload itself comes from :func:`repro.parallel.run_map_compute`
+    (inline or on a pool worker) via the stored file's ordinary
+    ``scan``/``scan_batch`` — byte-identical rows by construction — so
+    the cache pass only decides which bytes were hits."""
+
     total_bytes: float  # logical bytes the fragment processed
     hit_bytes: float  # served from the node cache (no read, no decode)
     miss_bytes: float  # read + decoded (and inserted)
@@ -154,6 +157,7 @@ class _ShuffleState:
         self.all_maps_event = sim.event()
         self.last_copy_done = 0.0
         self.vectorized = False
+        self.pool = None  # repro.parallel worker pool (None = inline)
         self.map_task_records: Dict[int, TaskTiming] = {}
 
     def map_finished(self, map_index: int, node: int,
@@ -489,6 +493,7 @@ class LlapEngine(Engine):
         state = _ShuffleState(sim, len(splits), num_reducers)
         state.map_completion_events = [sim.event() for _ in splits]
         state.vectorized = conf.get_bool(EXEC_VECTORIZED, True)
+        state.pool = pool_from_conf(conf)
         assignment = assign_splits_locality(splits, len(cluster.workers))
         first_start_event = sim.event()
 
@@ -590,25 +595,18 @@ class LlapEngine(Engine):
         return live[(preferred + salt + spread) % len(live)]
 
     # -- columnar cache scan -------------------------------------------------
-    def _cached_scan(self, tagged: TaggedSplit, node_index: int,
-                     vectorized: bool) -> _ScanOutcome:
-        """Scan a split through node *node_index*'s stripe cache.
+    def _cached_scan(self, tagged: TaggedSplit, node_index: int) -> _ScanOutcome:
+        """Pass an ORC split through node *node_index*'s stripe cache.
 
-        Non-ORC formats have no stripe structure to cache: they scan
-        normally and charge every byte as a miss.  For ORC the stripe
-        iteration (range overlap, predicate skipping, byte arithmetic)
-        mirrors ``OrcStoredFile.scan``/``scan_batch`` statement for
-        statement, so the produced rows are byte-identical to the other
-        engines; only the hit portion of the byte charge is dropped.
+        The stripe iteration (range overlap, predicate skipping, byte
+        arithmetic) mirrors ``OrcStoredFile.scan``/``scan_batch``
+        statement for statement, so the hit/miss split covers exactly the
+        bytes those scans charge; only the hit portion of the byte charge
+        is dropped.  Non-ORC formats never come here — they have no
+        stripe structure to cache, so every byte is a miss and the charge
+        comes straight from the compute outcome.
         """
         stored = tagged.split.stored
-        if not isinstance(stored, OrcStoredFile):
-            if vectorized:
-                payload, nbytes = scan_split_batch(tagged)
-            else:
-                payload, nbytes = scan_split(tagged)
-            return _ScanOutcome(payload, nbytes, 0.0, nbytes, orc=False)
-
         cache = self.node_cache(node_index)
         split = tagged.split
         hints = tagged.map_input.hints
@@ -617,10 +615,6 @@ class LlapEngine(Engine):
         scale = split.scale
         row_start = split.row_start
         row_end = row_start + split.row_count
-        width = len(stored.schema)
-        out_columns: List[list] = [[] for _ in range(width)]
-        rows: List[tuple] = []
-        size = 0
         hit = 0.0
         miss = 0.0
         for stripe_index, stripe in enumerate(stored.stripes):
@@ -645,18 +639,7 @@ class LlapEngine(Engine):
                 miss += nbytes
             else:
                 hit += nbytes
-            if vectorized:
-                local_lo = lo - stripe.row_start
-                local_hi = hi - stripe.row_start
-                for position in range(width):
-                    out_columns[position].extend(
-                        decoded[position][local_lo:local_hi]
-                    )
-                size += hi - lo
-            else:
-                rows.extend(stored.rows[lo:hi])
-        payload = ColumnBatch(out_columns, size) if vectorized else rows
-        return _ScanOutcome(payload, hit + miss, hit, miss, orc=True)
+        return _ScanOutcome(hit + miss, hit, miss, orc=True)
 
     def _charge_read(self, cluster: Cluster, node, node_index: int,
                      tagged: TaggedSplit, nbytes: float):
@@ -759,12 +742,25 @@ class LlapEngine(Engine):
         leases: LeaseManager = runtime.leases
         costs = self.costs
         node = cluster.workers[node_index]
-        pool = fleet.exec_slots[node_index]
-        acquired = leases.acquire(pool, owner)
+        exec_pool = fleet.exec_slots[node_index]
+        acquired = leases.acquire(exec_pool, owner)
         held_slot = False
         committed = False
         collector = None
         result = None
+        spec = None
+        future = None
+        if doom is None:
+            spec = spec_for_split(
+                "llap", tagged, num_partitions=num_reducers,
+                small_tables=small_tables, vectorized=state.vectorized,
+                map_only=job.is_map_only,
+            )
+            if state.pool is not None:
+                # submit before any simulated wait: sibling fragments
+                # scheduled at this instant reach the pool before the DES
+                # first blocks on a result
+                future = state.pool.submit(spec)
         try:
             yield acquired
             held_slot = True
@@ -773,58 +769,65 @@ class LlapEngine(Engine):
             if not first_start_event.triggered:
                 first_start_event.trigger(sim.now)
 
-            cache = self.node_cache(node_index)
-            before = (cache.hits, cache.misses, cache.evictions)
-            scan = self._cached_scan(tagged, node_index, state.vectorized)
-            hit_delta = cache.hits - before[0]
-            miss_delta = cache.misses - before[1]
-            evict_delta = cache.evictions - before[2]
-            metrics = get_metrics()
-            if hit_delta:
-                metrics.counter("llap.cache.hits").add(hit_delta)
-                metrics.counter("llap.cache.hit.bytes").add(scan.hit_bytes)
-            if miss_delta:
-                metrics.counter("llap.cache.misses").add(miss_delta)
-                metrics.counter("llap.cache.miss.bytes").add(scan.miss_bytes)
-            if evict_delta:
-                metrics.counter("llap.cache.evictions").add(evict_delta)
-            if task.span is not None and scan.orc:
-                task.span.add_event(
-                    "columnar-cache", sim.now,
-                    hits=hit_delta, misses=miss_delta,
-                    hit_bytes=scan.hit_bytes, miss_bytes=scan.miss_bytes,
-                )
+            orc = isinstance(tagged.split.stored, OrcStoredFile)
+            scan = None
+            if orc:
+                cache = self.node_cache(node_index)
+                before = (cache.hits, cache.misses, cache.evictions)
+                scan = self._cached_scan(tagged, node_index)
+                hit_delta = cache.hits - before[0]
+                miss_delta = cache.misses - before[1]
+                evict_delta = cache.evictions - before[2]
+                metrics = get_metrics()
+                if hit_delta:
+                    metrics.counter("llap.cache.hits").add(hit_delta)
+                    metrics.counter("llap.cache.hit.bytes").add(scan.hit_bytes)
+                if miss_delta:
+                    metrics.counter("llap.cache.misses").add(miss_delta)
+                    metrics.counter("llap.cache.miss.bytes").add(scan.miss_bytes)
+                if evict_delta:
+                    metrics.counter("llap.cache.evictions").add(evict_delta)
+                if task.span is not None:
+                    task.span.add_event(
+                        "columnar-cache", sim.now,
+                        hits=hit_delta, misses=miss_delta,
+                        hit_bytes=scan.hit_bytes, miss_bytes=scan.miss_bytes,
+                    )
 
             if doom is not None:
                 # injected failure: burn the work up to the doom point
-                partial = scan.miss_bytes * doom
+                if orc:
+                    read_bytes, burn_bytes = scan.miss_bytes, scan.total_bytes
+                else:
+                    if state.vectorized:
+                        _payload, nbytes = scan_split_batch(tagged)
+                    else:
+                        _payload, nbytes = scan_split(tagged)
+                    read_bytes = burn_bytes = nbytes
                 yield from self._charge_read(cluster, node, node_index,
-                                             tagged, partial)
+                                             tagged, read_bytes * doom)
                 yield from node.compute(
-                    scan.total_bytes * doom / MB * costs.cpu_map_ms_per_mb
-                    / 1000.0
+                    burn_bytes * doom / MB * costs.cpu_map_ms_per_mb / 1000.0
                 )
                 return ("failed", "injected")
+
+            # the fragment's scan + operator pipeline ran on a pool worker
+            # (or runs inline here); the cache pass above already split
+            # the byte charge into hits and misses
+            outcome = resolve_compute(future, spec)
+            collector = outcome.collector
+            result = outcome.result
+            total_bytes = scan.total_bytes if orc else outcome.bytes_to_read
+            miss_bytes = scan.miss_bytes if orc else outcome.bytes_to_read
 
             # cache misses hit the disk (or a replica over the wire) and
             # pay the decode rate; hits cost neither
             yield from self._charge_read(cluster, node, node_index, tagged,
-                                         scan.miss_bytes)
-            cpu_ms = scan.total_bytes / MB * costs.cpu_map_ms_per_mb
-            if scan.orc:
-                cpu_ms += scan.miss_bytes / MB * costs.cpu_orc_decode_ms_per_mb
+                                         miss_bytes)
+            cpu_ms = total_bytes / MB * costs.cpu_map_ms_per_mb
+            if orc:
+                cpu_ms += miss_bytes / MB * costs.cpu_orc_decode_ms_per_mb
             yield from node.compute(cpu_ms / 1000.0)
-
-            collector = MapOutputCollector(num_reducers)
-            mapper = ExecMapper(
-                tagged.operators,
-                collector=collector if not job.is_map_only else None,
-                num_partitions=num_reducers,
-                small_tables=small_tables,
-                vectorized=state.vectorized,
-            )
-            mapper.process_batch(scan.payload)
-            result = mapper.close()
             task.collect_samples.append((sim.now, collector.total_bytes))
 
             if job.is_map_only:
@@ -846,9 +849,9 @@ class LlapEngine(Engine):
             return ("killed", interrupt.cause)
         finally:
             if held_slot:
-                leases.release(pool, owner)
+                leases.release(exec_pool, owner)
             elif acquired is not None:
-                leases.cancel(pool, acquired, owner)
+                leases.cancel(exec_pool, acquired, owner)
 
     # -- reduce fragment -----------------------------------------------------
     def _reduce_fragment(self, runtime: EngineRuntime, fleet: _DaemonFleet,

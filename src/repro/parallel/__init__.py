@@ -1,0 +1,52 @@
+"""Multi-core wall-clock execution for the simulated engines.
+
+The DES stays single-threaded and owns simulated time; the *computation*
+of independent map tasks (split scan + operator pipeline + ReduceSink
+encoding — pure functions of their inputs) is dispatched to a persistent
+pool of worker processes.  See :mod:`repro.parallel.pool` for the
+orchestration and :mod:`repro.parallel.compute` for the pure compute
+half and the record-replay protocol that keeps simulated seconds and
+result digests byte-identical to inline execution.
+"""
+
+from repro.parallel.compute import (
+    BLOB_FIELDS,
+    MapComputeOutcome,
+    MapComputeSpec,
+    make_batches,
+    run_map_compute,
+    spec_for_split,
+)
+from repro.parallel.pool import (
+    ComputeFuture,
+    PoolError,
+    RemoteComputeError,
+    WorkerCrashError,
+    WorkerPool,
+    active_pool,
+    get_pool,
+    pool_from_conf,
+    resolve_compute,
+    resolve_workers,
+    shutdown,
+)
+
+__all__ = [
+    "BLOB_FIELDS",
+    "MapComputeOutcome",
+    "MapComputeSpec",
+    "make_batches",
+    "run_map_compute",
+    "spec_for_split",
+    "ComputeFuture",
+    "PoolError",
+    "RemoteComputeError",
+    "WorkerCrashError",
+    "WorkerPool",
+    "active_pool",
+    "get_pool",
+    "pool_from_conf",
+    "resolve_compute",
+    "resolve_workers",
+    "shutdown",
+]

@@ -1,0 +1,225 @@
+"""The pure compute half of a map task, shared by inline and pooled modes.
+
+A simulated map attempt does two separable things: it *computes* (scan a
+split, push batches through the operator pipeline, encode ReduceSink
+output) and it *accounts* (charge simulated disk/CPU/network seconds,
+spill, emit buffers, sample progress).  The computation is a pure
+function of ``(split, compiled plan spec)`` — no simulator state — so it
+can run on a pool worker process while the single-threaded DES keeps
+sole authority over simulated time.
+
+:func:`run_map_compute` is that pure function.  The engine coroutine
+replays the returned per-batch *records* against the simulator, charging
+exactly the seconds the inline path would have: the record protocol
+captures every mid-task quantity the engine's accounting reads (per-batch
+byte shares, cumulative collector bytes, filled send buffers), and
+:func:`make_batches` reproduces the engines' chunking bit for bit, so
+simulated seconds and result digests are identical whether the compute
+ran inline (``repro.parallel.workers=0``), on a worker, or inline again
+after a worker crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.common.units import MB
+from repro.engines.base import MapOutputCollector
+from repro.engines.datampi.buffers import SendBuffer, SendPartitionList
+from repro.exec.mapper import ExecMapper
+
+#: Spec fields holding heavy, identity-sensitive objects.  The pool ships
+#: them once per worker as *blobs* and replaces them with stable uids on
+#: the per-task wire message; the worker rehydrates from its blob cache,
+#: so every task over the same table/plan sees the *same* objects — which
+#: is what lets the ``id()``-keyed vectorized kernel cache hit across
+#: tasks inside one worker.
+BLOB_FIELDS = ("stored", "operators", "small_tables")
+
+
+@dataclass
+class MapComputeSpec:
+    """Everything :func:`run_map_compute` needs; picklable end to end."""
+
+    kind: str  # "hadoop" | "datampi" | "llap"
+    stored: object  # StoredFile (blob)
+    row_start: int
+    row_count: int
+    scale: float
+    columns: Optional[Sequence[str]]
+    stats_conjuncts: Optional[Sequence[Tuple[str, str, object]]]
+    operators: Sequence[object]  # map-side operator descriptors (blob)
+    small_tables: Optional[dict]  # broadcast tables (blob)
+    num_partitions: int
+    map_only: bool
+    vectorized: bool
+    batch_target_mb: float = 8.0
+    min_batch_rows: int = 200
+    # datampi only: SPL per-partition capacity in *actual* bytes (the
+    # engine's conf/scale arithmetic happens before submission)
+    partition_capacity: float = 0.0
+
+
+@dataclass
+class MapComputeOutcome:
+    """What the engine coroutine replays against the simulator.
+
+    ``records`` is engine-specific, one entry per input batch in
+    processing order:
+
+    * hadoop — ``(batch_bytes, cumulative_collector_bytes)``
+    * datampi — ``(batch_bytes, cumulative_spl_bytes, filled_buffers)``
+    * llap — empty (one fragment-sized batch, no mid-task accounting)
+    """
+
+    bytes_to_read: float
+    records: List[tuple] = field(default_factory=list)
+    collector: Optional[MapOutputCollector] = None
+    final_buffers: Optional[List[SendBuffer]] = None
+    result: object = None  # repro.exec.mapper.MapTaskResult
+
+
+def spec_for_split(
+    kind: str,
+    tagged,
+    *,
+    num_partitions: int,
+    small_tables: Optional[dict],
+    vectorized: bool,
+    map_only: bool,
+    batch_target_mb: float = 8.0,
+    min_batch_rows: int = 200,
+    partition_capacity: float = 0.0,
+) -> MapComputeSpec:
+    """Build a compute spec from an engine's :class:`TaggedSplit`."""
+    split = tagged.split
+    hints = tagged.map_input.hints
+    return MapComputeSpec(
+        kind=kind,
+        stored=split.stored,
+        row_start=split.row_start,
+        row_count=split.row_count,
+        scale=split.scale,
+        columns=hints.columns,
+        stats_conjuncts=hints.stats_conjuncts or None,
+        operators=tagged.operators,
+        small_tables=small_tables,
+        num_partitions=num_partitions,
+        map_only=map_only,
+        vectorized=vectorized,
+        batch_target_mb=batch_target_mb,
+        min_batch_rows=min_batch_rows,
+        partition_capacity=partition_capacity,
+    )
+
+
+def make_batches(rows, total_bytes: float, target_mb: float, min_rows: int):
+    """Chunk a split's payload exactly as the engines always have.
+
+    ``rows`` is a row list or a dense :class:`ColumnBatch` (both support
+    ``len`` and contiguous slicing); each chunk carries a byte share
+    proportional to its row count.  The arithmetic — including the
+    empty-payload literal and the float division — is the engines'
+    original ``_make_batches`` verbatim, so simulated charges cannot
+    drift between inline and pooled execution.
+    """
+    if not rows:
+        return [([], total_bytes)] if total_bytes > 0 else []
+    target = target_mb * MB
+    num_batches = max(1, int(total_bytes / target))
+    batch_rows = max(min_rows, (len(rows) + num_batches - 1) // num_batches)
+    batches = []
+    for start in range(0, len(rows), batch_rows):
+        chunk = rows[start : start + batch_rows]
+        batches.append((chunk, total_bytes * len(chunk) / len(rows)))
+    return batches
+
+
+def _scan(spec: MapComputeSpec):
+    """Scan the spec's row range; mirrors ``engines.base.scan_split``."""
+    if spec.vectorized:
+        result = spec.stored.scan_batch(
+            spec.row_start,
+            spec.row_count,
+            columns=spec.columns,
+            stats_conjuncts=spec.stats_conjuncts,
+        )
+        return result.batch, result.bytes_read * spec.scale
+    result = spec.stored.scan(
+        spec.row_start,
+        spec.row_count,
+        columns=spec.columns,
+        stats_conjuncts=spec.stats_conjuncts,
+    )
+    return result.rows, result.bytes_read * spec.scale
+
+
+def run_map_compute(spec: MapComputeSpec) -> MapComputeOutcome:
+    """Run one split's scan + operator pipeline; no simulator access."""
+    payload, bytes_to_read = _scan(spec)
+    if spec.kind == "datampi":
+        return _run_datampi(spec, payload, bytes_to_read)
+    collector = MapOutputCollector(spec.num_partitions)
+    mapper = ExecMapper(
+        spec.operators,
+        collector=collector if not spec.map_only else None,
+        num_partitions=spec.num_partitions,
+        small_tables=spec.small_tables,
+        vectorized=spec.vectorized,
+    )
+    records: List[tuple] = []
+    if spec.kind == "hadoop":
+        for chunk, chunk_bytes in make_batches(
+            payload, bytes_to_read, spec.batch_target_mb, spec.min_batch_rows
+        ):
+            mapper.process_batch(chunk)
+            records.append((chunk_bytes, collector.total_bytes))
+    else:  # llap: the whole fragment is one batch
+        mapper.process_batch(payload)
+    result = mapper.close()
+    return MapComputeOutcome(
+        bytes_to_read=bytes_to_read,
+        records=records,
+        collector=collector,
+        result=result,
+    )
+
+
+def _run_datampi(
+    spec: MapComputeSpec, payload, bytes_to_read: float
+) -> MapComputeOutcome:
+    # lazy: datampi.engine imports repro.parallel at module scope
+    from repro.engines.datampi.engine import DataMPICollector
+
+    spl = SendPartitionList(max(1, spec.num_partitions), spec.partition_capacity)
+    collector = DataMPICollector(spl)
+    mapper = ExecMapper(
+        spec.operators,
+        collector=collector if not spec.map_only else None,
+        num_partitions=spec.num_partitions,
+        small_tables=spec.small_tables,
+        vectorized=spec.vectorized,
+    )
+    records: List[tuple] = []
+    for chunk, chunk_bytes in make_batches(
+        payload, bytes_to_read, spec.batch_target_mb, spec.min_batch_rows
+    ):
+        mapper.process_batch(chunk)
+        # the filled buffers this batch produced, in emission order —
+        # the O task stamps and emits them at the same simulated point
+        # the inline path did
+        records.append((chunk_bytes, spl.bytes_added, collector.take_full()))
+    result = mapper.close()
+    final_buffers = collector.take_full() + spl.drain()
+    return MapComputeOutcome(
+        bytes_to_read=bytes_to_read,
+        records=records,
+        final_buffers=final_buffers,
+        result=result,
+    )
+
+
+def lean_spec(spec: MapComputeSpec) -> MapComputeSpec:
+    """Copy of *spec* with the blob fields stripped (wire form)."""
+    return replace(spec, **{name: None for name in BLOB_FIELDS})

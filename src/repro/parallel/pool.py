@@ -1,0 +1,372 @@
+"""Persistent worker-process pool for map-task computation.
+
+One pool per process (module-global, lazily spawned, resized on demand)
+holds ``repro.parallel.workers`` long-lived child processes connected by
+pipes.  Engines submit :class:`~repro.parallel.compute.MapComputeSpec`s
+at simulated task start and block on the future only where the inline
+path would have computed — so while the discrete-event simulator works
+through one task's simulated setup, the other tasks scheduled at the
+same simulated instant are already crunching on other cores.
+
+Protocol (parent → worker): ``("blob", uid, obj)`` ships a heavy object
+once per worker; ``("task", task_id, lean_spec, refs)`` names the blobs
+a stripped spec needs; ``("shutdown",)`` ends the worker loop.  Worker →
+parent: ``("result", task_id, outcome)`` or ``("error", task_id, tb)``.
+Blobs are cached per worker keyed by uid, so every task over the same
+table/plan rehydrates the *same* objects — keeping the ``id()``-keyed
+vectorized kernel cache hot across tasks (per-worker compiled-plan
+memoization without pickling code objects).
+
+Failure policy: any pool-side problem (worker crash, pickling surprise,
+broken pipe) surfaces as a :class:`PoolError` from ``future.result()``;
+the engine's :func:`resolve_compute` then recomputes inline, so a sick
+pool degrades to the single-process behaviour instead of failing the
+query.  Genuine query errors re-raise identically during the inline
+recompute.  Crashed workers are respawned with a fresh blob cache.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import traceback
+from collections import deque
+from itertools import count
+from multiprocessing import connection, get_all_start_methods, get_context
+from typing import Deque, Dict, List, Optional
+
+from repro.common.config import PARALLEL_WORKERS, Configuration
+from repro.common.errors import ConfigError, ExecutionError
+from repro.obs import get_metrics
+from repro.parallel.compute import (
+    BLOB_FIELDS,
+    MapComputeOutcome,
+    MapComputeSpec,
+    lean_spec,
+    run_map_compute,
+)
+
+
+class PoolError(ExecutionError):
+    """The pool could not produce a result; compute inline instead."""
+
+
+class WorkerCrashError(PoolError):
+    """A worker process died while holding (or being handed) a task."""
+
+
+class RemoteComputeError(PoolError):
+    """The compute raised on the worker; carries the remote traceback."""
+
+
+class ComputeFuture:
+    """Handle for one submitted task; ``result()`` blocks the *process*
+    (never the simulator — engines call it where the inline compute
+    would have run, which is not a simulated yield point)."""
+
+    __slots__ = ("_pool", "task_id", "_value", "_error", "_done")
+
+    def __init__(self, pool: "WorkerPool", task_id: int):
+        self._pool = pool
+        self.task_id = task_id
+        self._value: Optional[MapComputeOutcome] = None
+        self._error: Optional[PoolError] = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> MapComputeOutcome:
+        self._pool._wait_for(self)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    # pool-internal
+    def _resolve(self, value: MapComputeOutcome) -> None:
+        self._value = value
+        self._done = True
+
+    def _reject(self, error: PoolError) -> None:
+        self._error = error
+        self._done = True
+
+
+class _Task:
+    __slots__ = ("task_id", "lean", "refs", "future")
+
+    def __init__(self, task_id, lean, refs, future):
+        self.task_id = task_id
+        self.lean = lean
+        self.refs = refs
+        self.future = future
+
+
+class _Worker:
+    __slots__ = ("proc", "conn", "sent", "task")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.sent = set()  # blob uids this worker already holds
+        self.task: Optional[_Task] = None
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: cache blobs, run compute specs, ship outcomes back."""
+    blobs: Dict[int, object] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        tag = message[0]
+        if tag == "blob":
+            blobs[message[1]] = message[2]
+        elif tag == "task":
+            task_id, lean, refs = message[1], message[2], message[3]
+            try:
+                for name, uid in refs.items():
+                    setattr(lean, name, None if uid is None else blobs[uid])
+                reply = ("result", task_id, run_map_compute(lean))
+            except BaseException:
+                reply = ("error", task_id, traceback.format_exc())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                return
+        else:  # shutdown
+            return
+
+
+class WorkerPool:
+    """A fixed-size set of persistent compute workers."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ConfigError("WorkerPool needs at least one worker")
+        # fork shares the parent's loaded tables copy-on-write; spawn is
+        # the fallback where fork does not exist
+        method = "fork" if "fork" in get_all_start_methods() else "spawn"
+        self._ctx = get_context(method)
+        self.num_workers = workers
+        self.closed = False
+        self._task_ids = count()
+        self._tasks: Dict[int, _Task] = {}
+        self._pending: Deque[_Task] = deque()
+        self._blob_uids: Dict[int, int] = {}  # id(obj) -> uid
+        self._blobs: Dict[int, object] = {}  # uid -> obj (keeps ids stable)
+        self._blob_seq = count(1)
+        self._workers: List[_Worker] = [self._spawn() for _ in range(workers)]
+
+    # -- lifecycle ----------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True,
+            name="repro-parallel-worker",
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    def shutdown(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        for task in list(self._tasks.values()):
+            task.future._reject(PoolError("pool shut down"))
+        self._tasks.clear()
+        self._pending.clear()
+        for worker in self._workers:
+            try:
+                worker.conn.send(("shutdown",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.proc.join(timeout=10)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=10)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._workers = []
+
+    def worker_pids(self) -> List[int]:
+        return [worker.proc.pid for worker in self._workers]
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, spec: MapComputeSpec) -> ComputeFuture:
+        if self.closed:
+            raise PoolError("pool is closed")
+        task_id = next(self._task_ids)
+        refs = {}
+        for name in BLOB_FIELDS:
+            obj = getattr(spec, name)
+            refs[name] = None if obj is None else self._uid_for(obj)
+        task = _Task(task_id, lean_spec(spec), refs, ComputeFuture(self, task_id))
+        self._tasks[task_id] = task
+        idle = next((w for w in self._workers if w.task is None), None)
+        if idle is not None:
+            self._dispatch(idle, task)
+        else:
+            self._pending.append(task)
+        get_metrics().counter("parallel.tasks.dispatched").add(1)
+        return task.future
+
+    def _uid_for(self, obj: object) -> int:
+        uid = self._blob_uids.get(id(obj))
+        if uid is None:
+            uid = next(self._blob_seq)
+            self._blob_uids[id(obj)] = uid
+            self._blobs[uid] = obj  # strong ref keeps id(obj) unambiguous
+        return uid
+
+    def _dispatch(self, worker: _Worker, task: _Task) -> None:
+        try:
+            for uid in task.refs.values():
+                if uid is not None and uid not in worker.sent:
+                    worker.conn.send(("blob", uid, self._blobs[uid]))
+                    worker.sent.add(uid)
+            worker.conn.send(("task", task.task_id, task.lean, task.refs))
+        except (BrokenPipeError, OSError):
+            worker.task = task  # so _crash rejects + respawns
+            self._crash(worker)
+            return
+        worker.task = task
+
+    # -- completion ---------------------------------------------------------
+    def _wait_for(self, future: ComputeFuture) -> None:
+        while not future._done:
+            if self.closed:
+                future._reject(PoolError("pool shut down"))
+                return
+            self._poll()
+
+    def _poll(self) -> None:
+        busy = [w for w in self._workers if w.task is not None]
+        if not busy:
+            # a waited-on future with no busy worker means its dispatch
+            # crashed and it was rejected; nothing to poll
+            return
+        readers = [w.conn for w in busy] + [w.proc.sentinel for w in busy]
+        ready = set(connection.wait(readers))
+        for worker in busy:
+            if worker.conn in ready:
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._crash(worker)
+                    continue
+                self._finish(worker, message)
+            elif worker.proc.sentinel in ready:
+                self._crash(worker)
+
+    def _finish(self, worker: _Worker, message) -> None:
+        tag, task_id, payload = message
+        worker.task = None
+        task = self._tasks.pop(task_id, None)
+        if task is not None:
+            if tag == "result":
+                task.future._resolve(payload)
+            else:
+                task.future._reject(
+                    RemoteComputeError(f"compute failed on worker:\n{payload}")
+                )
+        get_metrics().counter("parallel.tasks.completed").add(1)
+        self._drain(worker)
+
+    def _crash(self, worker: _Worker) -> None:
+        task = worker.task
+        worker.task = None
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(timeout=10)
+        replacement = self._spawn()
+        self._workers[self._workers.index(worker)] = replacement
+        get_metrics().counter("parallel.workers.respawned").add(1)
+        if task is not None:
+            self._tasks.pop(task.task_id, None)
+            task.future._reject(
+                WorkerCrashError(f"worker died while running task {task.task_id}")
+            )
+        self._drain(replacement)
+
+    def _drain(self, worker: _Worker) -> None:
+        if worker.task is None and self._pending:
+            self._dispatch(worker, self._pending.popleft())
+
+
+# -- module-global pool ------------------------------------------------------
+
+_POOL: Optional[WorkerPool] = None
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The process-wide pool, (re)spawned to hold *workers* processes."""
+    global _POOL
+    if _POOL is not None and (_POOL.closed or _POOL.num_workers != workers):
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = WorkerPool(workers)
+        get_metrics().gauge("parallel.workers").set(workers)
+    return _POOL
+
+
+def active_pool() -> Optional[WorkerPool]:
+    return _POOL if _POOL is not None and not _POOL.closed else None
+
+
+def shutdown() -> None:
+    """Tear down the global pool (atexit; also used by tests/benchmarks)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+        get_metrics().gauge("parallel.workers").set(0)
+
+
+atexit.register(shutdown)
+
+
+def resolve_workers(conf: Configuration) -> int:
+    """Worker count from ``repro.parallel.workers`` (0 = inline)."""
+    raw = (conf.get(PARALLEL_WORKERS, "0") or "0").strip().lower()
+    if raw == "auto":
+        return max(1, (os.cpu_count() or 2) - 1)
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{PARALLEL_WORKERS}={raw!r} is not an int or 'auto'"
+        ) from None
+    return max(0, workers)
+
+
+def pool_from_conf(conf: Configuration) -> Optional[WorkerPool]:
+    """The pool a query should dispatch to, or None for inline compute."""
+    workers = resolve_workers(conf)
+    return get_pool(workers) if workers > 0 else None
+
+
+def resolve_compute(
+    future: Optional[ComputeFuture], spec: MapComputeSpec
+) -> MapComputeOutcome:
+    """A task's compute outcome: the pool's result when a future is in
+    flight, computed inline otherwise — and *recomputed* inline when the
+    pool fails, so worker crashes degrade to single-process behaviour
+    (genuine query errors re-raise identically from the inline run)."""
+    if future is not None:
+        try:
+            return future.result()
+        except PoolError:
+            get_metrics().counter("parallel.fallbacks").add(1)
+    return run_map_compute(spec)

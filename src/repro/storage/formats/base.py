@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import StorageError
-from repro.common.rows import ColumnBatch, Schema
+from repro.common.rows import ColumnBatch, Schema, pack_column
 
 Row = Tuple[object, ...]
 Predicate = Callable[[Row], bool]
@@ -115,15 +115,17 @@ def contiguous_scan_batch(
 ) -> BatchScanResult:
     """``scan_batch`` for row-major formats whose :meth:`StoredFile.scan`
     returns the plain contiguous row range (Text, Sequence: no pruning,
-    no pushdown).  The file's rows are transposed once, cached, and every
-    scan serves column slices — the per-scan rows→columns conversion the
-    generic adapter pays disappears.  Byte charges are unchanged."""
+    no pushdown).  The file's rows are transposed once, cached in the
+    typed-buffer layout (:func:`~repro.common.rows.pack_column`), and
+    every scan serves column slices — slicing a typed ``array`` yields a
+    typed ``array``, so batches stay cheap to pickle across the process
+    pool.  Byte charges are unchanged."""
     row_end = min(row_start + row_count, stored.row_count)
     start = min(row_start, stored.row_count)
     columns = getattr(stored, "_columns_cache", None)
     if columns is None:
         if stored.rows:
-            columns = [list(column) for column in zip(*stored.rows)]
+            columns = [pack_column(column) for column in zip(*stored.rows)]
         else:
             columns = [[] for _ in range(len(stored.schema))]
         stored._columns_cache = columns

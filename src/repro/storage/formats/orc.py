@@ -25,8 +25,10 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from array import array
+
 from repro.common.errors import StorageError
-from repro.common.rows import ColumnBatch, DataType, Schema
+from repro.common.rows import ColumnBatch, DataType, Schema, pack_column
 from repro.storage.formats.base import (
     BatchScanResult,
     FileFormat,
@@ -302,6 +304,28 @@ def _decode_column(dtype: DataType, chunk: ColumnChunk, count: int) -> List[obje
 # the stored file
 # ---------------------------------------------------------------------------
 
+def _concat_column(pieces: List[Sequence]) -> Sequence:
+    """Join per-stripe column slices, preserving typed buffers when every
+    contributing stripe packed to the same typecode."""
+    if not pieces:
+        return []
+    if len(pieces) == 1:
+        return pieces[0]
+    first = pieces[0]
+    if isinstance(first, array) and all(
+        isinstance(piece, array) and piece.typecode == first.typecode
+        for piece in pieces[1:]
+    ):
+        out = array(first.typecode)
+        for piece in pieces:
+            out.extend(piece)
+        return out
+    out_list: list = []
+    for piece in pieces:
+        out_list.extend(piece)
+    return out_list
+
+
 class OrcStoredFile(StoredFile):
     """Stripe-organized columnar file with stats and real encoded streams."""
 
@@ -311,16 +335,18 @@ class OrcStoredFile(StoredFile):
         self.stripes: List[Stripe] = []
         # decoded column streams, one list-of-columns per stripe — the
         # per-column value lists computed while encoding ARE the decoded
-        # representation, so the columnar scan (scan_batch) serves them
-        # directly without ever materializing intermediate row tuples
-        self._stripe_columns: List[List[list]] = []
+        # representation (packed into typed buffers where the values
+        # allow, see pack_column), so the columnar scan (scan_batch)
+        # serves them directly without ever materializing intermediate
+        # row tuples
+        self._stripe_columns: List[List[Sequence]] = []
         for start in range(0, len(rows), stripe_rows):
             block = rows[start : start + stripe_rows]
             stripe = Stripe(row_start=start, row_count=len(block))
-            decoded: List[list] = []
+            decoded: List[Sequence] = []
             for position, column in enumerate(schema.columns):
                 values = [row[position] for row in block]
-                decoded.append(values)
+                decoded.append(pack_column(values))
                 stripe.chunks[column.name.lower()] = _encode_column(column.dtype, values)
                 present = [value for value in values if value is not None]
                 if present:
@@ -397,12 +423,14 @@ class OrcStoredFile(StoredFile):
         """Columnar scan straight from the decoded stripe streams.
 
         No intermediate row tuples: surviving stripes contribute slices
-        of their per-column value lists.  Stripe skipping and the
-        byte-charge arithmetic are the same statements as :meth:`scan`,
-        so the cost model cannot diverge between the two paths.
+        of their per-column value streams (typed ``array`` slices stay
+        typed, so the output batch keeps the cheap-to-pickle layout).
+        Stripe skipping and the byte-charge arithmetic are the same
+        statements as :meth:`scan`, so the cost model cannot diverge
+        between the two paths.
         """
         width = len(self.schema)
-        out_columns: List[list] = [[] for _ in range(width)]
+        parts: List[List[Sequence]] = [[] for _ in range(width)]
         size = 0
         bytes_read = 0.0
         skipped = 0
@@ -423,8 +451,9 @@ class OrcStoredFile(StoredFile):
             local_lo = lo - stripe.row_start
             local_hi = hi - stripe.row_start
             for position in range(width):
-                out_columns[position].extend(decoded[position][local_lo:local_hi])
+                parts[position].append(decoded[position][local_lo:local_hi])
             size += hi - lo
+        out_columns = [_concat_column(pieces) for pieces in parts]
         return BatchScanResult(
             batch=ColumnBatch(out_columns, size),
             bytes_read=int(bytes_read),
@@ -455,7 +484,7 @@ class OrcStoredFile(StoredFile):
             signature = tuple(sorted({name.lower() for name in columns}))
         return (path, stripe.row_start, signature)
 
-    def decoded_stripe_columns(self, stripe_index: int) -> List[list]:
+    def decoded_stripe_columns(self, stripe_index: int) -> List[Sequence]:
         """One stripe's decoded per-column value lists (shared,
         read-only).  This is the object a daemon cache retains so a hit
         skips both the simulated disk read and the decode work."""

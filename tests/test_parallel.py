@@ -1,0 +1,170 @@
+"""Dual-mode equivalence for the multi-core worker pool.
+
+The persistent process pool (``repro.parallel``) exists to change
+wall-clock time and nothing else: with ``repro.parallel.workers`` set,
+every query must produce byte-identical rows and the identical
+simulated-seconds figure it produces inline.  The suite sweeps engines
+(hadoop, datampi, llap) crossed with row-at-a-time and vectorized
+execution over sequence-file and ORC warehouses, at pool sizes 2 and 4,
+and additionally checks the failure policy (a crashed worker degrades
+to inline recompute, never a wrong answer), clean shutdown, and the
+plan-cache layout-version key the pool's shared kernels rely on.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro import connect
+from repro.bench import fresh_tpch
+from repro.common.config import (
+    Configuration,
+    EXEC_VECTORIZED,
+    PARALLEL_WORKERS,
+)
+from repro.common.errors import ConfigError
+from repro.common.rows import LAYOUT_VERSION
+from repro.obs import get_metrics
+from repro.parallel import (
+    active_pool,
+    get_pool,
+    make_batches,
+    resolve_workers,
+    shutdown,
+)
+from repro.workloads.tpch import tpch_query
+
+SF = 1
+LINEITEM_SAMPLE = 300
+ENGINES = ("hadoop", "datampi", "llap")
+MODES = (False, True)
+FORMATS = ("sequence", "orc")
+QUERIES = (1, 6)
+
+
+@pytest.fixture(scope="module")
+def stores():
+    return {
+        fmt: fresh_tpch(SF, lineitem_sample=LINEITEM_SAMPLE, format_name=fmt)
+        for fmt in FORMATS
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_cleanup():
+    """Leave no worker processes behind for the rest of the test run."""
+    yield
+    shutdown()
+
+
+def run_queries(store, engine, vectorized, workers):
+    """(query, rows-repr, simulated seconds) for each probe query."""
+    hdfs, metastore = store
+    conf = {EXEC_VECTORIZED: vectorized, PARALLEL_WORKERS: workers}
+    out = []
+    with connect(engine=engine, hdfs=hdfs, metastore=metastore,
+                 conf=conf) as session:
+        for query in QUERIES:
+            results = session.execute(tpch_query(query, SF))
+            rows = [r for r in results if r.statement == "select"][-1].rows
+            simulated = sum(r.simulated_seconds for r in results)
+            out.append((query, repr(rows), simulated))
+    return out
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+@pytest.mark.parametrize("vectorized", MODES, ids=["row", "vectorized"])
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pool_matches_inline(stores, engine, vectorized, fmt):
+    """Pool of 2: identical rows AND identical simulated time."""
+    store = stores[fmt]
+    inline = run_queries(store, engine, vectorized, 0)
+    pooled = run_queries(store, engine, vectorized, 2)
+    assert pooled == inline
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pool_of_four_matches_inline(stores, engine):
+    store = stores["sequence"]
+    inline = run_queries(store, engine, True, 0)
+    pooled = run_queries(store, engine, True, 4)
+    assert pooled == inline
+
+
+def test_worker_crash_falls_back_inline(stores):
+    """SIGKILLed workers must cost a fallback, never a wrong answer."""
+    store = stores["sequence"]
+    baseline = run_queries(store, "hadoop", True, 0)
+    pool = get_pool(2)
+    before = get_metrics().counter("parallel.fallbacks").value
+    respawned = get_metrics().counter("parallel.workers.respawned").value
+    for pid in pool.worker_pids():
+        os.kill(pid, signal.SIGKILL)
+    pooled = run_queries(store, "hadoop", True, 2)
+    assert pooled == baseline
+    assert get_metrics().counter("parallel.fallbacks").value > before
+    assert (
+        get_metrics().counter("parallel.workers.respawned").value > respawned
+    )
+    # The pool healed: every slot holds a live respawned worker.
+    assert len(pool.worker_pids()) == 2
+    assert all(worker.proc.is_alive() for worker in pool._workers)
+
+
+def test_shutdown_leaves_no_children():
+    pool = get_pool(2)
+    pids = pool.worker_pids()
+    assert len(pids) == 2
+    shutdown()
+    assert active_pool() is None
+    leaked = [
+        proc for proc in multiprocessing.active_children()
+        if proc.name.startswith("repro-parallel-worker")
+    ]
+    assert leaked == []
+    for pid in pids:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+
+
+def test_get_pool_resizes():
+    pool = get_pool(2)
+    assert len(pool.worker_pids()) == 2
+    bigger = get_pool(3)
+    assert bigger is active_pool()
+    assert len(bigger.worker_pids()) == 3
+    shutdown()
+
+
+def test_resolve_workers():
+    assert resolve_workers(Configuration()) == 0
+    assert resolve_workers(Configuration({PARALLEL_WORKERS: 3})) == 3
+    assert resolve_workers(Configuration({PARALLEL_WORKERS: "0"})) == 0
+    assert resolve_workers(Configuration({PARALLEL_WORKERS: -2})) == 0
+    auto = resolve_workers(Configuration({PARALLEL_WORKERS: "auto"}))
+    assert auto == max(1, (os.cpu_count() or 2) - 1)
+    with pytest.raises(ConfigError):
+        resolve_workers(Configuration({PARALLEL_WORKERS: "many"}))
+
+
+def test_make_batches_matches_engine_chunking():
+    rows = [(i,) for i in range(10)]
+    total = 3 * 2 ** 20  # 3 MB at a 1 MB target -> 3 batches
+    batches = make_batches(rows, total_bytes=total, target_mb=1.0, min_rows=4)
+    assert [chunk for chunk, _ in batches] == [rows[0:4], rows[4:8], rows[8:10]]
+    assert sum(nbytes for _, nbytes in batches) == pytest.approx(total)
+    # Empty scans still charge their bytes through a single empty batch.
+    assert make_batches([], total_bytes=77.0, target_mb=8.0, min_rows=200) \
+        == [([], 77.0)]
+
+
+def test_plan_cache_key_includes_layout_version(stores):
+    """A ColumnBatch layout bump must invalidate compiled plans: cached
+    descriptors are compiled into kernels against a specific physical
+    column representation (the one pool workers also assume)."""
+    hdfs, metastore = stores["sequence"]
+    with connect(engine="datampi", hdfs=hdfs, metastore=metastore) as session:
+        key = session._plan_cache_key(object())  # repr()-able stand-in
+    assert LAYOUT_VERSION in key
