@@ -69,6 +69,14 @@ echo "== serving smoke (open-loop traffic, SLO metrics per policy) =="
 python benchmarks/bench_serving.py --smoke --guard-seconds 60 \
     --output "$(mktemp -d)/BENCH_serving_smoke.json"
 
+echo "== skew smoke (stats-driven split shuffle, oracle-checked) =="
+# One Zipf-1.6 join per engine with splitting on and off: rows must be
+# byte-identical to the local oracle both ways, and at least two
+# engines must collapse the hot reducer's byte share >=2x.  The
+# wall-clock guard only trips on order-of-magnitude regressions.
+python benchmarks/bench_skew.py --smoke --guard-seconds 60 \
+    --output "$(mktemp -d)/BENCH_skew_smoke.json"
+
 if [[ "${CHECK_CHAOS_FULL:-0}" == "1" ]]; then
     echo "== chaos full (>=25 schedules + replay determinism) =="
     # Full sweep (9 seeds x 3 engines plus a replay pass per engine)
@@ -128,6 +136,15 @@ if (os.cpu_count() or 1) >= 4 and speedup < 2.0:
     sys.exit(f"PARALLEL REGRESSION: aggregate speedup {speedup:.2f}x < 2.0x "
              f"with 4 workers on a {os.cpu_count()}-core host")
 PY
+fi
+
+if [[ "${CHECK_SKEW_FULL:-0}" == "1" ]]; then
+    echo "== skew full (3 skew factors x 3 engines, committed report) =="
+    # Full sweep over Zipf 0.8/1.2/1.6 writing the committed tail-
+    # reduction report to results/BENCH_skew.json.  Opt-in because it
+    # takes a while; run it before committing optimizer-, stats- or
+    # shuffle-sensitive changes.
+    python benchmarks/bench_skew.py
 fi
 
 if [[ "${CHECK_PERF_FULL:-0}" == "1" ]]; then

@@ -36,6 +36,8 @@ from repro.common.config import (
     SCHED_MAX_CONCURRENT,
     SCHED_POLICY,
     SCHED_POOLS,
+    SKEWJOIN_THRESHOLD,
+    STATS_ENABLED,
 )
 from repro.common.errors import ReproError
 from repro.common.units import format_duration
@@ -116,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-result-cache", action="store_true",
                         help="disable the driver result cache "
                              "(repro.result.cache.enabled=false)")
+    parser.add_argument("--no-stats", action="store_true",
+                        help="plan from raw table bytes, ignoring collected "
+                             "statistics (repro.stats.enabled=false)")
+    parser.add_argument("--skew-threshold", type=float, metavar="SHARE",
+                        help="heavy-hitter share above which a join key is "
+                             "split across reducers; 0 disables skew joins "
+                             "(repro.skewjoin.threshold)")
     return parser
 
 
@@ -228,6 +237,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             session.conf.set(RESULT_CACHE_ENTRIES, args.result_cache_entries)
         if args.no_result_cache:
             session.conf.set(RESULT_CACHE_ENABLED, False)
+        if args.no_stats:
+            session.conf.set(STATS_ENABLED, False)
+        if args.skew_threshold is not None:
+            session.conf.set(SKEWJOIN_THRESHOLD, args.skew_threshold)
         if args.lease_audit:
             session.conf.set(LEASE_AUDIT, True)
         if concurrent:

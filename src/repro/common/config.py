@@ -63,6 +63,12 @@ RESULT_CACHE_ENTRIES = "repro.result.cache.entries"  # LRU capacity (queries)
 # -- host-parallelism knobs (docs/performance.md) ---------------------------
 PARALLEL_WORKERS = "repro.parallel.workers"  # pool size; 0 = inline, "auto"
 
+# -- statistics / skew-join knobs (docs/optimizer.md) -----------------------
+STATS_ENABLED = "repro.stats.enabled"  # bool; stats-driven planning
+STATS_AUTO = "repro.stats.auto"  # bool; basic-stats autogather on INSERT/CTAS
+SKEWJOIN_THRESHOLD = "repro.skewjoin.threshold"  # heavy-key share; <=0 disables
+SKEWJOIN_FANOUT = "repro.skewjoin.fanout"  # reducers per heavy key; 0 = all
+
 # -- workload scheduler knobs (docs/scheduling.md) --------------------------
 SCHED_POLICY = "repro.sched.policy"  # "fifo" | "fair" | "capacity"
 SCHED_MAX_CONCURRENT = "repro.sched.max.concurrent"  # global cap (0 = unlimited)

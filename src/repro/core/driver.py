@@ -25,6 +25,10 @@ from repro.common.config import (
     RESULT_CACHE_ENABLED,
     RESULT_CACHE_ENTRIES,
     RETRY_FALLBACK,
+    SKEWJOIN_FANOUT,
+    SKEWJOIN_THRESHOLD,
+    STATS_AUTO,
+    STATS_ENABLED,
 )
 from repro.common.errors import RetryExhaustedError, SemanticError
 from repro.common.rows import LAYOUT_VERSION, Schema, Column, DataType
@@ -34,6 +38,7 @@ from repro.plan.analyzer import Analyzer
 from repro.plan.optimizer import prune_columns
 from repro.plan.physical import PhysicalCompiler, PhysicalPlan
 from repro.sql import ast, parse_script
+from repro.stats.model import collect_table_stats
 from repro.storage.hdfs import DEFAULT_BLOCK_SIZE, HDFS
 from repro.storage.metastore import Metastore
 
@@ -48,7 +53,7 @@ class QueryResult:
     """Outcome of one statement.
 
     ``statement`` names what ran: ``'select'``, ``'create'``, ``'ctas'``,
-    ``'insert'``, ``'drop'``, ``'set'`` or ``'explain'``.
+    ``'insert'``, ``'drop'``, ``'set'``, ``'analyze'`` or ``'explain'``.
     Behaves like a cursor over its result rows: iterate it directly,
     ``len()`` it, or use :meth:`fetchall` / :meth:`to_pydict`.
     ``trace`` holds the statement's span tree (``query`` → ``compile`` →
@@ -353,6 +358,9 @@ class Driver:
             )
             return QueryResult(statement="create")
 
+        if isinstance(statement, ast.AnalyzeTable):
+            return self._run_analyze(statement)
+
         if isinstance(statement, ast.Explain):
             return self._run_explain(statement)
 
@@ -488,6 +496,8 @@ class Driver:
                 statement.name, plan.output_schema, format_name=fmt,
                 location=location,
             )
+            if execution is not None:
+                self._autogather_stats(statement.name)
             return QueryResult(
                 statement="ctas",
                 schema=plan.output_schema,
@@ -550,6 +560,8 @@ class Driver:
 
         def finalize(execution: Optional[PlanResult],
                      trace: Optional[Span]) -> QueryResult:
+            if execution is not None:
+                self._autogather_stats(table.name)
             return QueryResult(
                 statement="insert",
                 schema=target_schema,
@@ -564,6 +576,55 @@ class Driver:
             "insert", plan, query_id, statement.overwrite, compile_seconds,
             finalize,
         )
+
+    def _run_analyze(self, statement: ast.AnalyzeTable) -> QueryResult:
+        """ANALYZE TABLE: collect stats host-side and store them.
+
+        Scanning happens on the simulated namenode's row store, so no
+        cluster time is charged — like Hive's metastore-backed quick
+        stats.  ``FOR COLUMNS`` adds the NDV / heavy-hitter sketches the
+        optimizer's selectivity and skew decisions read.
+        """
+        table = self.metastore.get_table(statement.name)
+        stats = collect_table_stats(
+            self.hdfs, table, with_columns=statement.with_columns
+        )
+        self.metastore.put_table_stats(stats)
+        rows = [
+            (
+                table.name,
+                stats.row_count,
+                float(round(stats.total_bytes, 1)),
+                len(stats.columns),
+            )
+        ]
+        schema = Schema(
+            [
+                Column("table_name", DataType.STRING),
+                Column("row_count", DataType.BIGINT),
+                Column("total_bytes", DataType.DOUBLE),
+                Column("column_stats", DataType.INT),
+            ]
+        )
+        return QueryResult(statement="analyze", rows=rows, schema=schema)
+
+    def _autogather_stats(self, table_name: str) -> None:
+        """Basic-stats autogather after INSERT/CTAS (Hive's
+        ``hive.stats.autogather``): row count + bytes from file metadata
+        only — no row scan, no column sketches — so estimates equal raw
+        sizes and plan decisions are unchanged until an explicit
+        ANALYZE ... FOR COLUMNS."""
+        if not (
+            self.conf.get_bool(STATS_ENABLED, True)
+            and self.conf.get_bool(STATS_AUTO, True)
+        ):
+            return
+        try:
+            table = self.metastore.get_table(table_name)
+            stats = collect_table_stats(self.hdfs, table, with_columns=False)
+            self.metastore.put_table_stats(stats)
+        except Exception:
+            pass  # stats are advisory; never fail the write
 
     def _run_explain(self, statement: ast.Explain) -> QueryResult:
         """EXPLAIN: compile the target and render its physical plan
@@ -684,8 +745,13 @@ class Driver:
         The AST repr stands in for normalized query text; the
         configuration the physical compiler consults is the map-join
         small-table threshold (``hive.mapjoin.smalltable.filesize``),
-        and the execution mode decides which pipeline the cached plan's
-        descriptors get compiled into at task start.  The ColumnBatch
+        stats-driven planning and skew-join knobs, and the execution
+        mode decides which pipeline the cached plan's descriptors get
+        compiled into at task start.  The metastore ``stats_epoch`` is
+        part of the key so a plan costed under old statistics can never
+        be replayed after an ANALYZE (or autogather) changed what the
+        optimizer would decide — the input-snapshot check alone cannot
+        see ANALYZE, which touches no data files.  The ColumnBatch
         ``LAYOUT_VERSION`` pins the physical column representation the
         vectorized kernels were compiled against, so entries persisted
         across a layout change can never serve a plan whose kernels
@@ -696,6 +762,10 @@ class Driver:
             self.engine.name,
             self.conf.get(HIVE_MAPJOIN_SMALLTABLE_BYTES, None),
             self.conf.get(EXEC_VECTORIZED, None),
+            self.conf.get(STATS_ENABLED, None),
+            self.conf.get(SKEWJOIN_THRESHOLD, None),
+            self.conf.get(SKEWJOIN_FANOUT, None),
+            self.metastore.stats_epoch,
             LAYOUT_VERSION,
         )
 

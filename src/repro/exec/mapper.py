@@ -17,6 +17,8 @@ from repro.exec.operators import (
     Collector,
     MapOperator,
     OperatorContext,
+    ReduceSinkDesc,
+    SkewRoutingCollector,
     build_pipeline,
 )
 from repro.exec.reduce import ReduceLogic, build_reduce_logic
@@ -51,6 +53,16 @@ class ExecMapper:
             num_partitions=num_partitions,
             small_tables=small_tables,
         )
+        # Skew routing sits between the sink and the engine collector;
+        # both sink implementations read ``context.collector`` at call
+        # time, so swapping it here covers every engine, the local
+        # oracle and pooled workers with one mechanism.
+        if descriptors and collector is not None:
+            last = descriptors[-1]
+            if isinstance(last, ReduceSinkDesc) and last.skew is not None:
+                self.context.collector = SkewRoutingCollector(
+                    last.skew, collector, self.context
+                )
         # Vectorized mode is all-or-nothing per task: when any descriptor
         # falls outside the column-kernel subset the whole task runs the
         # row pipeline (the ground truth both modes are checked against).

@@ -55,12 +55,32 @@ class MapGroupByDesc:
     max_groups_in_memory: int = 100_000
 
 
+@dataclass(frozen=True)
+class SkewRouteDesc:
+    """SharesSkew-style routing for heavy join keys (docs/optimizer.md).
+
+    The optimizer attaches one of these to each side's ReduceSink when
+    column stats flag skewed join keys.  ``mode='split'`` (the big side)
+    round-robins a heavy key's pairs over ``fanout`` partitions starting
+    at the key's hash partition; ``mode='replicate'`` (the other side)
+    copies each heavy-key pair to all ``fanout`` targets.  Every split
+    partition thus holds a disjoint slice of the big side against the
+    complete other side, so the per-partition join outputs union to
+    exactly the plain-shuffle result.  Non-heavy keys route normally.
+    """
+
+    heavy_keys: Tuple[Tuple[object, ...], ...]
+    mode: str  # 'split' | 'replicate'
+    fanout: int = 0  # target partitions per heavy key; 0 = all
+
+
 @dataclass
 class ReduceSinkDesc:
     key_expressions: List[BoundExpression]
     value_expressions: List[BoundExpression]
     tag: int = 0
     # number of reduce partitions is decided by the engine at job start
+    skew: Optional[SkewRouteDesc] = None
 
 
 @dataclass
@@ -126,6 +146,64 @@ class ListCollector(Collector):
 
     def collect(self, partition: int, pair: KeyValue) -> None:
         self.pairs.append((partition, pair))
+
+
+class SkewRoutingCollector(Collector):
+    """Re-routes heavy join keys per a :class:`SkewRouteDesc`.
+
+    Wraps the engine collector inside :class:`~repro.exec.mapper.ExecMapper`
+    — below the sink (row and vectorized paths both read
+    ``context.collector`` at call time) and above the engine's partition
+    buffers, so byte accounting per partition stays exact on every
+    engine, the local oracle and pooled workers alike.  Routing is
+    deterministic: per-key round-robin counters start at zero in every
+    task and targets are ``(hash_partition + s) % P`` for ``s <
+    fanout``, so a run's pair placement never depends on task order.
+    """
+
+    def __init__(self, desc: SkewRouteDesc, inner: Collector, context: "OperatorContext"):
+        num_partitions = context.num_partitions
+        self._fanout = min(desc.fanout or num_partitions, num_partitions)
+        self._num_partitions = num_partitions
+        self._split = desc.mode == "split"
+        self._inner = inner
+        self._context = context
+        # heavy key -> next round-robin offset (split mode)
+        self._next: Dict[Tuple[object, ...], int] = {
+            key: 0 for key in desc.heavy_keys
+        }
+
+    def collect(self, partition: int, pair: KeyValue) -> None:
+        offsets = self._next
+        key = pair.key
+        if key not in offsets:
+            self._inner.collect(partition, pair)
+            return
+        fanout = self._fanout
+        if self._split:
+            offset = offsets[key]
+            offsets[key] = (offset + 1) % fanout
+            self._inner.collect((partition + offset) % self._num_partitions, pair)
+            return
+        # replicate: one copy per split target.  The sink already
+        # accounted the pair once, so charge the extra copies here —
+        # the engine's partition buffers below see every copy anyway.
+        inner_collect = self._inner.collect
+        num_partitions = self._num_partitions
+        for offset in range(fanout):
+            inner_collect((partition + offset) % num_partitions, pair)
+        extra = fanout - 1
+        if extra > 0:
+            size = pair.serialized_size()
+            context = self._context
+            context.kv_pairs_out += extra
+            context.kv_bytes_out += size * extra
+            context.kv_size_histogram[size] += extra
+
+    def collect_batch(self, partitions, pairs) -> None:
+        collect = self.collect
+        for partition, pair in zip(partitions, pairs):
+            collect(partition, pair)
 
 
 class OperatorContext:

@@ -20,6 +20,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.config import (
     Configuration,
     HIVE_MAPJOIN_SMALLTABLE_BYTES,
+    SKEWJOIN_FANOUT,
+    SKEWJOIN_THRESHOLD,
+    STATS_ENABLED,
 )
 from repro.common.errors import PlanError
 from repro.common.rows import DataType, Schema
@@ -34,7 +37,9 @@ from repro.exec.operators import (
     MapJoinDesc,
     ReduceSinkDesc,
     SelectDesc,
+    SkewRouteDesc,
 )
+from repro.obs.metrics import get_metrics
 from repro.exec.reduce import (
     ReduceAggregateDesc,
     ReduceDistinctDesc,
@@ -55,10 +60,15 @@ from repro.plan.logical import (
     SortNode,
     UnionNode,
 )
+from repro.stats.model import TableStats
 from repro.storage.hdfs import HDFS
 from repro.storage.metastore import Metastore
 
 DEFAULT_MAPJOIN_THRESHOLD = 25 * MB  # Hive 0.13 hive.mapjoin.smalltable.filesize
+DEFAULT_SKEW_THRESHOLD = 0.2  # heavy-hitter share of a join key column
+# require this margin before reordering a shuffle join's build side, so
+# sketch noise near parity cannot flap plans between runs
+SWAP_MARGIN = 0.8
 
 
 # ---------------------------------------------------------------------------
@@ -118,6 +128,8 @@ class PhysicalPlan:
     output_location: str
     output_schema: Schema
     final_limit: Optional[int] = None
+    # human-readable costing/skew decisions, rendered by explain_plan
+    optimizer_notes: List[str] = field(default_factory=list)
 
     @property
     def num_jobs(self) -> int:
@@ -155,6 +167,55 @@ class _ReduceStream:
         self.job.reduce_operators.append(descriptor)
 
 
+@dataclass
+class _SideEstimate:
+    """What the cost model knows about one join input (see
+    :meth:`PhysicalCompiler._estimate_stream`)."""
+
+    table: Optional[str] = None
+    raw_bytes: Optional[float] = None       # live logical bytes on disk
+    est_bytes: Optional[float] = None       # post-filter estimate
+    est_rows: Optional[float] = None
+    selectivity: float = 1.0
+    stats: Optional[TableStats] = None
+    # row position -> base column name, None entries unresolvable
+    column_map: Optional[List[Optional[str]]] = None
+    conjuncts: List[Tuple[str, str, object]] = field(default_factory=list)
+
+    @property
+    def has_stats(self) -> bool:
+        return self.stats is not None
+
+    def size_or_inf(self) -> float:
+        return self.est_bytes if self.est_bytes is not None else float("inf")
+
+    def key_column_stats(self, key_expressions):
+        """Column stats behind a single-column join key, if resolvable."""
+        if self.stats is None or self.column_map is None:
+            return None
+        if len(key_expressions) != 1:
+            return None
+        key = key_expressions[0]
+        if not isinstance(key, InputRef):
+            return None
+        if not 0 <= key.index < len(self.column_map):
+            return None
+        column = self.column_map[key.index]
+        if column is None:
+            return None
+        return self.stats.column(column)
+
+
+def _fmt_bytes(value: Optional[float]) -> str:
+    if value is None:
+        return "?"
+    if value >= MB:
+        return f"{value / MB:.1f}MB"
+    if value >= 1024:
+        return f"{value / 1024:.1f}KB"
+    return f"{value:.0f}B"
+
+
 class PhysicalCompiler:
     def __init__(self, metastore: Metastore, hdfs: HDFS, conf: Optional[Configuration] = None,
                  query_id: str = "q"):
@@ -165,6 +226,12 @@ class PhysicalCompiler:
         self._job_counter = 0
         self._temp_counter = 0
         self.jobs: List[MRJob] = []
+        self.notes: List[str] = []
+        self._stats_enabled = self.conf.get_bool(STATS_ENABLED, True)
+        self._skew_threshold = self.conf.get_float(
+            SKEWJOIN_THRESHOLD, DEFAULT_SKEW_THRESHOLD
+        )
+        self._skew_fanout = self.conf.get_int(SKEWJOIN_FANOUT, 0)
 
     # -- public API ---------------------------------------------------------
     def compile(
@@ -174,6 +241,7 @@ class PhysicalCompiler:
         output_format: str = "text",
     ) -> PhysicalPlan:
         self.jobs = []
+        self.notes = []
         final_limit = root.limit if isinstance(root, LimitNode) else None
         stream = self._compile_node(root)
         schema = stream.signature.to_schema()
@@ -195,6 +263,7 @@ class PhysicalCompiler:
             output_location=output_location,
             output_schema=schema,
             final_limit=final_limit,
+            optimizer_notes=list(self.notes),
         )
 
     # -- helpers ----------------------------------------------------------------
@@ -371,30 +440,137 @@ class PhysicalCompiler:
         except Exception:
             return None
 
+    def _estimate_stream(self, stream) -> "_SideEstimate":
+        """Cost-model view of one join input.
+
+        For a single-base-table map stream: raw logical bytes, fresh
+        metastore stats (if any), selectivity of the filter conjuncts
+        already applied on the chain, and a row-position -> base-column
+        map for resolving join keys to column stats.  Anything else
+        (materialized reduce output, union, post-map-join chain) gets an
+        empty estimate and the planner falls back to seed behavior.
+        """
+        estimate = _SideEstimate()
+        if not isinstance(stream, _MapStream) or stream.base_table is None:
+            return estimate
+        if len(stream.inputs) != 1:
+            return estimate
+        table = self.metastore.get_table(stream.base_table)
+        estimate.table = table.name
+        try:
+            estimate.raw_bytes = table.logical_bytes(self.hdfs)
+        except Exception:
+            estimate.raw_bytes = None
+        estimate.est_bytes = estimate.raw_bytes
+        if not self._stats_enabled:
+            return estimate
+        stats = self.metastore.get_table_stats(table.name)
+        if stats is None:
+            return estimate
+        estimate.stats = stats
+        names = [column.name.lower() for column in table.full_schema.columns]
+        # mapping[i] = base-column index feeding row position i (same walk
+        # as _compute_scan_hints, restricted to the ops a scan chain has
+        # before its join descriptor)
+        mapping: List[int] = list(range(len(names)))
+        conjuncts: List[Tuple[str, str, object]] = []
+        resolved = True
+        for descriptor in stream.inputs[0].operators:
+            if isinstance(descriptor, FilterDesc):
+                conjuncts.extend(
+                    self._extract_stats_conjuncts(descriptor.predicate, names, mapping)
+                )
+            elif isinstance(descriptor, SelectDesc):
+                if all(
+                    isinstance(e, InputRef) and 0 <= e.index < len(mapping)
+                    for e in descriptor.expressions
+                ):
+                    mapping = [mapping[e.index] for e in descriptor.expressions]
+                else:
+                    resolved = False
+                    break
+            elif isinstance(descriptor, LimitDesc):
+                continue
+            else:
+                resolved = False
+                break
+        if resolved:
+            estimate.column_map = [
+                names[index] if 0 <= index < len(names) else None
+                for index in mapping
+            ]
+        estimate.conjuncts = conjuncts
+        if stats.has_column_stats and conjuncts:
+            estimate.selectivity = stats.conjunct_selectivity(conjuncts)
+        base_bytes = (
+            stats.total_bytes if estimate.raw_bytes is None else estimate.raw_bytes
+        )
+        estimate.est_bytes = base_bytes * estimate.selectivity
+        estimate.est_rows = stats.row_count * estimate.selectivity
+        return estimate
+
     def _compile_join(self, node: JoinNode):
         left_stream = self._compile_node(node.left)
         right_stream = self._compile_node(node.right)
         threshold = self.conf.get_float(
             HIVE_MAPJOIN_SMALLTABLE_BYTES, DEFAULT_MAPJOIN_THRESHOLD
         )
+        left_est = self._estimate_stream(left_stream)
+        right_est = self._estimate_stream(right_stream)
 
         # broadcast conversion applies to equi joins and cross joins alike
-        # (a cross join's empty key matches every probe row)
+        # (a cross join's empty key matches every probe row); sizing uses
+        # the post-filter estimate when stats exist, raw bytes otherwise
         right_small = (
             isinstance(right_stream, _MapStream)
-            and (self._table_bytes(right_stream) or float("inf")) < threshold
+            and right_est.size_or_inf() < threshold
         )
         left_small = (
             isinstance(left_stream, _MapStream)
-            and (self._table_bytes(left_stream) or float("inf")) < threshold
+            and left_est.size_or_inf() < threshold
             and node.join_type == "inner"
         )
+        if (
+            right_small
+            and left_small
+            and left_est.has_stats
+            and right_est.has_stats
+            and left_est.est_bytes < right_est.est_bytes
+        ):
+            # both sides broadcastable: build from the smaller estimate
+            right_small = False
+            self.notes.append(
+                f"join order: building from {left_est.table} "
+                f"({_fmt_bytes(left_est.est_bytes)}) instead of "
+                f"{right_est.table} ({_fmt_bytes(right_est.est_bytes)})"
+            )
         if right_small:
+            self._note_map_join(right_est, left_est, threshold)
             return self._map_join(node, big=left_stream, small=right_stream, swap=False)
         if left_small:
+            self._note_map_join(left_est, right_est, threshold)
             return self._map_join(node, big=right_stream, small=left_stream, swap=True)
 
-        return self._common_join(node, left_stream, right_stream)
+        return self._common_join(node, left_stream, right_stream, left_est, right_est)
+
+    def _note_map_join(
+        self, small: "_SideEstimate", big: "_SideEstimate", threshold: float
+    ) -> None:
+        build = small.table or "intermediate"
+        probe = big.table or "intermediate"
+        if small.has_stats:
+            get_metrics().counter("optimizer.mapjoin_auto").add(1)
+            detail = (
+                f"est {_fmt_bytes(small.est_bytes)} "
+                f"(raw {_fmt_bytes(small.raw_bytes)}, "
+                f"sel {small.selectivity:.3f}, stats)"
+            )
+        else:
+            detail = f"raw {_fmt_bytes(small.raw_bytes)}"
+        self.notes.append(
+            f"map-join: build {build} [{detail}] < threshold "
+            f"{_fmt_bytes(threshold)}, probe {probe}"
+        )
 
     def _map_join(self, node: JoinNode, big, small: _MapStream, swap: bool):
         small_chain: List[object] = []
@@ -428,21 +604,64 @@ class PhysicalCompiler:
             big.append(FilterDesc(node.residual))
         return big
 
-    def _common_join(self, node: JoinNode, left_stream, right_stream) -> _ReduceStream:
+    def _common_join(
+        self,
+        node: JoinNode,
+        left_stream,
+        right_stream,
+        left_est: Optional["_SideEstimate"] = None,
+        right_est: Optional["_SideEstimate"] = None,
+    ) -> _ReduceStream:
+        left_est = left_est or _SideEstimate()
+        right_est = right_est or _SideEstimate()
+        left_keys_src = list(node.left_keys)
+        right_keys_src = list(node.right_keys)
+
+        # build-side ordering: JoinReduceLogic buffers the tag-0 side per
+        # key group, so with trustworthy estimates on both sides put the
+        # smaller one there.  Inner joins only (the preserved side of a
+        # LEFT join must stay tag 0), and only past a margin so sketch
+        # noise cannot flap the plan.  Output columns are restored by a
+        # Select on the reduce side, so downstream plans are unaffected.
+        swapped = (
+            node.join_type == "inner"
+            and not self._both_sides_same(left_stream, right_stream)
+            and left_est.has_stats
+            and right_est.has_stats
+            and left_est.est_rows is not None
+            and right_est.est_rows is not None
+            and right_est.est_rows < left_est.est_rows * SWAP_MARGIN
+        )
+        if swapped:
+            left_stream, right_stream = right_stream, left_stream
+            left_est, right_est = right_est, left_est
+            left_keys_src, right_keys_src = right_keys_src, left_keys_src
+            get_metrics().counter("optimizer.join_swaps").add(1)
+            self.notes.append(
+                f"shuffle join order: buffering {left_est.table} "
+                f"(~{left_est.est_rows:.0f} rows) before {right_est.table} "
+                f"(~{right_est.est_rows:.0f} rows)"
+            )
+
+        skew_left, skew_right = self._plan_skew(
+            node, left_keys_src, right_keys_src, left_est, right_est
+        )
+
         left_stream = self._materialize(left_stream)
         right_stream = self._materialize(right_stream)
         left_width = len(left_stream.signature)
         right_width = len(right_stream.signature)
 
         cross = not node.left_keys
-        left_keys = node.left_keys or [Const(0, DataType.INT)]
-        right_keys = node.right_keys or [Const(0, DataType.INT)]
+        left_keys = left_keys_src or [Const(0, DataType.INT)]
+        right_keys = right_keys_src or [Const(0, DataType.INT)]
 
         left_stream.append(
             ReduceSinkDesc(
                 key_expressions=list(left_keys),
                 value_expressions=[InputRef(i) for i in range(left_width)],
                 tag=0,
+                skew=skew_left,
             )
         )
         right_stream.append(
@@ -450,6 +669,7 @@ class PhysicalCompiler:
                 key_expressions=list(right_keys),
                 value_expressions=[InputRef(i) for i in range(right_width)],
                 tag=1,
+                skew=skew_right,
             )
         )
         for map_input in right_stream.inputs:
@@ -468,9 +688,87 @@ class PhysicalCompiler:
         if cross:
             job.num_reducers_hint = 1
         stream = _ReduceStream(job, node.signature)
+        if swapped:
+            # reduce emits right+left; restore the plan's left+right order
+            stream.append(
+                SelectDesc(
+                    [InputRef(left_width + i) for i in range(right_width)]
+                    + [InputRef(i) for i in range(left_width)]
+                )
+            )
         if node.residual is not None:
             stream.append(FilterDesc(node.residual))
         return stream
+
+    @staticmethod
+    def _both_sides_same(left_stream, right_stream) -> bool:
+        """Self-joins share MapInput objects only when streams alias."""
+        return left_stream is right_stream
+
+    def _plan_skew(
+        self,
+        node: JoinNode,
+        left_keys: List[BoundExpression],
+        right_keys: List[BoundExpression],
+        left_est: "_SideEstimate",
+        right_est: "_SideEstimate",
+    ) -> Tuple[Optional[SkewRouteDesc], Optional[SkewRouteDesc]]:
+        """SharesSkew-style routing for heavy join keys.
+
+        The side whose key column's heavy-hitter sketch crosses
+        ``repro.skewjoin.threshold`` has those keys *split* round-robin
+        over the reducers; the other side *replicates* its matching rows
+        to the same targets, so every split partition joins a disjoint
+        big-side slice against the complete other side.  Only the
+        preserved (left) side of a LEFT join may be split; cross joins
+        are excluded (single reducer anyway).
+        """
+        threshold = self._skew_threshold
+        if not self._stats_enabled or threshold <= 0 or not node.left_keys:
+            return None, None
+        if node.join_type not in ("inner", "left"):
+            return None, None
+
+        def heavy_of(estimate: "_SideEstimate", keys) -> List[Tuple[object, float]]:
+            column_stats = estimate.key_column_stats(keys)
+            if column_stats is None:
+                return []
+            return column_stats.heavy_hitters(threshold)
+
+        left_heavy = heavy_of(left_est, left_keys)
+        right_heavy = (
+            heavy_of(right_est, right_keys) if node.join_type == "inner" else []
+        )
+        if not left_heavy and not right_heavy:
+            return None, None
+        # split the side that is both skewed and larger; ties prefer left
+        if left_heavy and right_heavy:
+            left_size = left_est.est_rows or 0.0
+            right_size = right_est.est_rows or 0.0
+            split_left = left_size >= right_size
+        else:
+            split_left = bool(left_heavy)
+        hitters = left_heavy if split_left else right_heavy
+        heavy_keys = tuple((value,) for value, _share in hitters)
+        split_desc = SkewRouteDesc(
+            heavy_keys=heavy_keys, mode="split", fanout=self._skew_fanout
+        )
+        replicate_desc = SkewRouteDesc(
+            heavy_keys=heavy_keys, mode="replicate", fanout=self._skew_fanout
+        )
+        split_est = left_est if split_left else right_est
+        side_name = split_est.table or ("left" if split_left else "right")
+        get_metrics().counter("optimizer.skew_splits").add(1)
+        shares = ", ".join(
+            f"{value!r}={share:.2f}" for value, share in hitters[:4]
+        )
+        self.notes.append(
+            f"skew join: splitting {len(heavy_keys)} heavy key(s) on "
+            f"{side_name} [{shares}] (threshold {threshold:.2f})"
+        )
+        if split_left:
+            return split_desc, replicate_desc
+        return replicate_desc, split_desc
 
     # -- sort --------------------------------------------------------------------
     def _compile_sort(self, node: SortNode) -> _ReduceStream:
@@ -616,16 +914,25 @@ class PhysicalCompiler:
 def explain_plan(plan: PhysicalPlan) -> str:
     """Human-readable physical plan (used in tests and EXPLAIN output)."""
     lines = [f"physical plan: {plan.num_jobs} job(s) -> {plan.output_location}"]
+    for note in plan.optimizer_notes:
+        lines.append(f"  optimizer: {note}")
     for job in plan.jobs:
         kind = "map-only" if job.is_map_only else type(job.reduce_logic).__name__
         lines.append(f"  {job.job_id} [{kind}] -> {job.output_location}")
         for map_input in job.inputs:
-            ops = ", ".join(type(op).__name__ for op in map_input.operators)
+            ops = ", ".join(_describe_op(op) for op in map_input.operators)
             cols = ",".join(map_input.hints.columns) if map_input.hints.columns else "*"
             lines.append(f"    in[{map_input.tag}] {map_input.location} cols({cols}): {ops}")
         if job.reduce_operators:
-            ops = ", ".join(type(op).__name__ for op in job.reduce_operators)
+            ops = ", ".join(_describe_op(op) for op in job.reduce_operators)
             lines.append(f"    reduce: {ops}")
         for broadcast in job.broadcasts:
             lines.append(f"    broadcast: {broadcast.location}")
     return "\n".join(lines)
+
+
+def _describe_op(op: object) -> str:
+    name = type(op).__name__
+    if isinstance(op, ReduceSinkDesc) and op.skew is not None:
+        return f"{name}[skew:{op.skew.mode}x{len(op.skew.heavy_keys)}]"
+    return name

@@ -132,6 +132,34 @@ class Session(Driver):
             "columnar": self.engine.cache_stats(),
         }
 
+    # -- statistics introspection --------------------------------------------
+    def stats(self, table: Optional[str] = None) -> Dict[str, object]:
+        """Collected table statistics (see docs/optimizer.md).
+
+        With *table*: that table's stats summary plus per-column
+        summaries (NDV estimate, null count, min/max, top heavy
+        hitters), or ``None`` values when no fresh stats exist.  Without
+        arguments: ``{table_name: summary}`` for every table whose
+        recorded stats are still fresh (stale entries are omitted —
+        the optimizer would not use them either).
+        """
+        if table is not None:
+            stats = self.metastore.get_table_stats(table)
+            if stats is None:
+                return {"table": table.lower(), "stats": None}
+            summary = stats.summary()
+            summary["columns"] = {
+                name: column.summary()
+                for name, column in sorted(stats.columns.items())
+            }
+            return summary
+        out: Dict[str, object] = {}
+        for name in self.metastore.stats_tables():
+            stats = self.metastore.get_table_stats(name)
+            if stats is not None:
+                out[name] = stats.summary()
+        return out
+
     # -- concurrent submission (repro.sched) --------------------------------
     @property
     def scheduler(self):

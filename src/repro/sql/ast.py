@@ -299,6 +299,19 @@ class Explain:
     target: "Statement"
 
 
+@dataclass
+class AnalyzeTable:
+    """ANALYZE TABLE t COMPUTE STATISTICS [FOR COLUMNS].
+
+    ``with_columns=False`` gathers only basic stats (row count, bytes);
+    ``FOR COLUMNS`` additionally scans rows to build NDV and
+    heavy-hitter sketches per column.
+    """
+
+    name: str
+    with_columns: bool = False
+
+
 Statement = Union[
     Select,
     UnionAll,
@@ -308,6 +321,7 @@ Statement = Union[
     InsertOverwrite,
     SetOption,
     Explain,
+    AnalyzeTable,
 ]
 
 

@@ -32,6 +32,7 @@ KEYWORDS = {
     "create", "table", "drop", "insert", "overwrite", "into", "if",
     "exists", "stored", "set", "asc", "desc", "union", "all", "true",
     "false", "interval", "explain", "partitioned", "partition",
+    "analyze", "compute", "statistics",
 }
 
 _OPERATORS = ("<>", "!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "%", "||")

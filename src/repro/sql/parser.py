@@ -93,6 +93,8 @@ class Parser:
             return self._parse_insert()
         if token.is_keyword("set"):
             return self._parse_set()
+        if token.is_keyword("analyze"):
+            return self._parse_analyze()
         raise self._error("expected a statement")
 
     def parse_query(self):
@@ -162,6 +164,28 @@ class Parser:
             self._expect_keyword("exists")
             if_exists = True
         return ast.DropTable(self._expect_ident(), if_exists)
+
+    def _parse_analyze(self) -> ast.AnalyzeTable:
+        self._expect_keyword("analyze")
+        self._expect_keyword("table")
+        name = self._expect_ident()
+        self._expect_keyword("compute")
+        self._expect_keyword("statistics")
+        with_columns = False
+        # FOR COLUMNS — both words lex as identifiers (they stay usable
+        # as column names elsewhere), so match on their text
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.text == "for":
+            self._advance()
+            columns_token = self._peek()
+            if not (
+                columns_token.type is TokenType.IDENT
+                and columns_token.text == "columns"
+            ):
+                raise self._error("expected COLUMNS after FOR")
+            self._advance()
+            with_columns = True
+        return ast.AnalyzeTable(name, with_columns)
 
     def _parse_insert(self) -> ast.InsertOverwrite:
         self._expect_keyword("insert")

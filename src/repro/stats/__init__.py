@@ -1,0 +1,28 @@
+"""Statistics subsystem: deterministic sketches + table/column stats.
+
+See :mod:`repro.stats.sketches` for the KMV (NDV) and Space-Saving
+(heavy hitter) sketches and :mod:`repro.stats.model` for collection,
+selectivity estimation and freshness fingerprints.
+"""
+
+from repro.stats.model import (
+    ColumnStats,
+    TableStats,
+    collect_table_stats,
+    table_fingerprint,
+)
+from repro.stats.sketches import (
+    KMVSketch,
+    SpaceSavingSketch,
+    value_hash64,
+)
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "collect_table_stats",
+    "table_fingerprint",
+    "KMVSketch",
+    "SpaceSavingSketch",
+    "value_hash64",
+]

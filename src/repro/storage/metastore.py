@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import SemanticError
 from repro.common.rows import Column, Schema
+from repro.stats.model import TableStats, table_fingerprint
 from repro.storage.hdfs import HDFS, FileSplit
 
 WAREHOUSE_ROOT = "/warehouse"
@@ -84,6 +85,11 @@ class Metastore:
         # bumped on every catalog mutation; consumers (the driver's plan
         # cache) use it as a cheap staleness check
         self.version = 0
+        # table statistics live beside the catalog, with their own epoch:
+        # ANALYZE changes what the optimizer sees without changing any
+        # table's data, so plan-cache keys must include stats_epoch too
+        self._stats: Dict[str, TableStats] = {}
+        self.stats_epoch = 0
 
     def create_table(
         self,
@@ -121,6 +127,7 @@ class Metastore:
             raise SemanticError(f"no such table: {name}")
         descriptor = self._tables.pop(key)
         self.version += 1
+        self.drop_table_stats(key)
         self.hdfs.delete(descriptor.location)
 
     def truncate_table(self, name: str) -> None:
@@ -128,6 +135,7 @@ class Metastore:
         (INSERT OVERWRITE semantics)."""
         descriptor = self.get_table(name)
         self.version += 1
+        self.drop_table_stats(descriptor.name)
         self.hdfs.delete(descriptor.location)
 
     def get_table(self, name: str) -> TableDescriptor:
@@ -141,3 +149,42 @@ class Metastore:
 
     def table_names(self) -> List[str]:
         return sorted(self._tables)
+
+    # -- statistics ---------------------------------------------------------
+    def put_table_stats(self, stats: TableStats) -> None:
+        """Store *stats* and bump the stats epoch.
+
+        Deliberately does NOT bump :attr:`version`: ANALYZE changes no
+        table data, so previously returned rows stay correct — but
+        compiled plans must be re-costed, which the driver enforces by
+        including :attr:`stats_epoch` in its plan-cache keys.
+        """
+        self._stats[stats.table.lower()] = stats
+        self.stats_epoch += 1
+
+    def get_table_stats(self, name: str) -> Optional[TableStats]:
+        """Stats for *name*, or ``None`` when absent or stale.
+
+        Staleness is checked read-only against the live filesystem: if
+        any part-file was added, removed or rewritten since collection,
+        the fingerprint differs and the stats are withheld (the planner
+        then falls back to raw table bytes, never to wrong estimates).
+        """
+        key = name.lower()
+        stats = self._stats.get(key)
+        if stats is None:
+            return None
+        descriptor = self._tables.get(key)
+        if descriptor is None:
+            return None
+        if stats.fingerprint != table_fingerprint(self.hdfs, descriptor.location):
+            return None
+        return stats
+
+    def drop_table_stats(self, name: str) -> None:
+        if self._stats.pop(name.lower(), None) is not None:
+            self.stats_epoch += 1
+
+    def stats_tables(self) -> List[str]:
+        """Names of tables with (possibly stale) recorded stats."""
+        return sorted(self._stats)

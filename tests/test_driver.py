@@ -165,3 +165,54 @@ class TestPlanCache:
         second = local_session.query(sql)  # new key: threshold is part of it
         assert second.rows == first.rows
         assert len(local_session._plan_cache) == 2
+
+
+class TestPlanCacheStats:
+    """ANALYZE bumps only the stats epoch (not the catalog version);
+    cached plans must still be re-costed against the new statistics."""
+
+    # dept raw is 4.6KB; region = 'east' keeps 1 of 3 rows -> est ~1.5KB
+    SQL = (
+        "SELECT e.name, d.region FROM emp e JOIN dept d ON e.dept = d.dept "
+        "WHERE d.region = 'east' ORDER BY e.name"
+    )
+
+    def test_analyze_recosts_cached_plan(self, local_session):
+        local_session.execute("SET hive.mapjoin.smalltable.filesize = 3000")
+        first = local_session.query(self.SQL)
+        assert not first.plan.jobs[0].broadcasts  # raw dept above threshold
+        local_session.execute("ANALYZE TABLE dept COMPUTE STATISTICS FOR COLUMNS")
+        second = local_session.query(self.SQL)  # stats epoch is part of the key
+        assert second.plan is not first.plan
+        assert second.plan.jobs[0].broadcasts  # estimate now below threshold
+        assert second.plan.num_jobs < first.plan.num_jobs  # join job folded away
+        assert second.rows == first.rows
+
+    def test_growth_past_threshold_flips_back_to_shuffle(self, local_session):
+        local_session.execute("CREATE TABLE tiny AS SELECT name FROM emp LIMIT 1")
+        sql = (
+            "SELECT e.name FROM emp e JOIN tiny t ON e.name = t.name "
+            "ORDER BY e.name"
+        )
+        tiny_bytes = local_session.metastore.get_table("tiny").logical_bytes(
+            local_session.hdfs
+        )
+        local_session.execute(
+            f"SET hive.mapjoin.smalltable.filesize = {int(tiny_bytes * 3)}"
+        )
+        first = local_session.query(sql)
+        assert first.plan.jobs[0].broadcasts  # tiny broadcasts
+        local_session.execute("INSERT OVERWRITE TABLE tiny SELECT name FROM emp")
+        second = local_session.query(sql)
+        assert not second.plan.jobs[0].broadcasts  # grew past the threshold
+        assert len(second.rows) == 7
+
+    def test_stats_knobs_are_part_of_cache_key(self, local_session):
+        local_session.execute("ANALYZE TABLE dept COMPUTE STATISTICS FOR COLUMNS")
+        local_session.execute("SET hive.mapjoin.smalltable.filesize = 3000")
+        with_stats = local_session.query(self.SQL)
+        assert with_stats.plan.jobs[0].broadcasts
+        local_session.execute("SET repro.stats.enabled = false")
+        without = local_session.query(self.SQL)  # distinct key, fresh plan
+        assert not without.plan.jobs[0].broadcasts
+        assert without.rows == with_stats.rows

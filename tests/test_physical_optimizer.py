@@ -22,6 +22,7 @@ from repro.plan.analyzer import Analyzer
 from repro.plan.optimizer import prune_columns
 from repro.plan.physical import PhysicalCompiler, explain_plan
 from repro.sql import parse_statement
+from repro.stats.model import collect_table_stats
 
 
 @pytest.fixture()
@@ -212,3 +213,175 @@ class TestColumnPruner:
         node = self.analyze(warehouse, "SELECT count(*) FROM emp")
         pruned = prune_columns(node)  # must not crash on zero column refs
         assert len(pruned.signature) == 1
+
+
+@pytest.fixture()
+def stats_compile(warehouse):
+    """Like compile_sql, but with column stats collected for emp/dept."""
+    hdfs, metastore = warehouse
+    for name in ("emp", "dept"):
+        metastore.put_table_stats(
+            collect_table_stats(hdfs, metastore.get_table(name))
+        )
+    analyzer = Analyzer(metastore)
+
+    def _compile(sql, conf=None):
+        node = prune_columns(analyzer.analyze(parse_statement(sql)))
+        compiler = PhysicalCompiler(metastore, hdfs, conf or Configuration(), "t")
+        return compiler.compile(node, "/tmp/out", "text")
+
+    return _compile
+
+
+def join_sinks(job):
+    """tag -> final ReduceSinkDesc of each map input."""
+    return {
+        map_input.tag: map_input.operators[-1]
+        for map_input in job.inputs
+        if isinstance(map_input.operators[-1], ReduceSinkDesc)
+    }
+
+
+class TestStatsDrivenJoins:
+    """Golden plans: decisions the cost model must keep making."""
+
+    # dept raw logical bytes = 4.6KB; region = 'east' matches 1 of 3 rows
+    FILTERED_JOIN = (
+        "SELECT name FROM emp e JOIN dept d ON e.dept = d.dept "
+        "WHERE d.region = 'east'"
+    )
+
+    def test_filter_estimate_enables_map_join(self, stats_compile):
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": "3000"})
+        plan = stats_compile(self.FILTERED_JOIN, conf=conf)
+        assert plan.jobs[0].is_map_only
+        assert any(
+            note.startswith("map-join: build dept") and "sel 0.333" in note
+            for note in plan.optimizer_notes
+        ), plan.optimizer_notes
+
+    def test_without_stats_same_threshold_shuffles(self, compile_sql):
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": "3000"})
+        plan = compile_sql(self.FILTERED_JOIN, conf=conf)
+        assert isinstance(plan.jobs[0].reduce_logic, ReduceJoinDesc)
+        assert plan.optimizer_notes == []
+
+    def test_stats_disabled_falls_back_to_raw_bytes(self, stats_compile):
+        conf = Configuration({
+            "hive.mapjoin.smalltable.filesize": "3000",
+            "repro.stats.enabled": "false",
+        })
+        plan = stats_compile(self.FILTERED_JOIN, conf=conf)
+        assert isinstance(plan.jobs[0].reduce_logic, ReduceJoinDesc)
+
+    def test_shuffle_join_buffers_smaller_side(self, stats_compile, warehouse):
+        _hdfs, metastore = warehouse
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": "1"})
+        plan = stats_compile(
+            "SELECT name, budget FROM emp e JOIN dept d ON e.dept = d.dept",
+            conf=conf,
+        )
+        job = plan.jobs[0]
+        # dept (~3 rows) buffers at tag 0 even though it is the right input
+        by_tag = {m.tag: m.location for m in job.inputs}
+        assert by_tag[0] == "/warehouse/dept"
+        assert by_tag[1] == "/warehouse/emp"
+        assert any(
+            note.startswith("shuffle join order: buffering dept")
+            for note in plan.optimizer_notes
+        )
+        # a reduce-side Select restores the query's left-to-right order
+        assert isinstance(job.reduce_operators[0], SelectDesc)
+
+    def test_skewed_key_splits_big_side(self, stats_compile):
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": "1"})
+        plan = stats_compile(
+            "SELECT name, budget FROM emp e JOIN dept d ON e.dept = d.dept",
+            conf=conf,
+        )
+        sinks = join_sinks(plan.jobs[0])
+        assert sinks[1].skew is not None and sinks[1].skew.mode == "split"
+        assert sinks[0].skew is not None and sinks[0].skew.mode == "replicate"
+        # emp.dept: eng is 3 of 6 non-null rows, ops 2 of 6 — both heavy
+        assert ("eng",) in sinks[1].skew.heavy_keys
+        assert sinks[0].skew.heavy_keys == sinks[1].skew.heavy_keys
+        assert any(
+            note.startswith("skew join: splitting") for note in plan.optimizer_notes
+        )
+
+    def test_left_join_never_splits_null_generating_side(self, stats_compile):
+        # threshold 0.4: emp.dept's eng (share 0.5) is heavy, dept's
+        # uniform 1/3 shares are not.  In dept LEFT JOIN emp the skewed
+        # side generates nulls, so splitting it would need every partition
+        # to agree on matches — the planner must leave the shuffle alone
+        conf = Configuration({
+            "hive.mapjoin.smalltable.filesize": "1",
+            "repro.skewjoin.threshold": "0.4",
+        })
+        plan = stats_compile(
+            "SELECT budget FROM dept d LEFT JOIN emp e ON d.dept = e.dept",
+            conf=conf,
+        )
+        for sink in join_sinks(plan.jobs[0]).values():
+            assert sink.skew is None
+        # sanity: the same shape as an inner join does split emp
+        inner = stats_compile(
+            "SELECT budget FROM dept d JOIN emp e ON d.dept = e.dept",
+            conf=conf,
+        )
+        modes = {s.skew.mode for s in join_sinks(inner.jobs[0]).values() if s.skew}
+        assert modes == {"split", "replicate"}
+
+    def test_left_join_may_split_preserved_side(self, stats_compile):
+        # emp LEFT JOIN dept: heavy keys on the preserved side are safe to
+        # split (each split slice still meets every matching dept row)
+        conf = Configuration({
+            "hive.mapjoin.smalltable.filesize": "1",
+            "repro.skewjoin.threshold": "0.4",
+        })
+        plan = stats_compile(
+            "SELECT budget FROM emp e LEFT JOIN dept d ON e.dept = d.dept",
+            conf=conf,
+        )
+        sinks = join_sinks(plan.jobs[0])
+        assert sinks[0].skew is not None and sinks[0].skew.mode == "split"
+        assert sinks[0].skew.heavy_keys == (("eng",),)
+        assert sinks[1].skew is not None and sinks[1].skew.mode == "replicate"
+
+    def test_skew_threshold_zero_disables(self, stats_compile):
+        conf = Configuration({
+            "hive.mapjoin.smalltable.filesize": "1",
+            "repro.skewjoin.threshold": "0",
+        })
+        plan = stats_compile(
+            "SELECT name, budget FROM emp e JOIN dept d ON e.dept = d.dept",
+            conf=conf,
+        )
+        for sink in join_sinks(plan.jobs[0]).values():
+            assert sink.skew is None
+
+    def test_explain_shows_decisions(self, stats_compile):
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": "1"})
+        plan = stats_compile(
+            "SELECT name, budget FROM emp e JOIN dept d ON e.dept = d.dept",
+            conf=conf,
+        )
+        text = explain_plan(plan)
+        assert "optimizer: shuffle join order: buffering dept" in text
+        assert "optimizer: skew join: splitting" in text
+        assert "ReduceSinkDesc[skew:splitx" in text
+        assert "ReduceSinkDesc[skew:replicatex" in text
+
+    def test_range_conjunct_shrinks_estimate(self, stats_compile):
+        # self-join so only the filtered side can be small: salary > 90
+        # interpolates over the observed [80, 120] range, pulling emp's
+        # estimate below a threshold its raw bytes exceed
+        conf = Configuration({"hive.mapjoin.smalltable.filesize": str(70 * MB)})
+        plan = stats_compile(
+            "SELECT a.name FROM emp a JOIN emp b ON a.dept = b.dept "
+            "WHERE a.salary > 90",
+            conf=conf,
+        )
+        assert plan.jobs[0].is_map_only
+        note = next(n for n in plan.optimizer_notes if n.startswith("map-join"))
+        assert "build emp" in note and "sel 0.514" in note
